@@ -1,0 +1,170 @@
+//! On-chip buffer sizing — the paper's §V-B1/§V-B2 storage plan.
+//!
+//! Each PE owns:
+//!
+//! * an **input buffer** duplicated per PE (the Eq. 7 overhead that makes
+//!   feature-map parallelism skip-friendly), holding `Tn` channels of the
+//!   input feature map at `Tn × 32` bits per entry;
+//! * a **weight buffer** for the kernel(s) it is currently computing;
+//! * an **output buffer** holding one sample's outputs for its channels,
+//!   flushed to DRAM when full (with 1-bit zero indicators accompanying
+//!   each value, §V-B1);
+//! * prediction-unit **mini-buffers**: a mask buffer of at most `R·C`
+//!   bits and an indicator buffer of `Tm'` bits per entry (1/32 of the
+//!   weight buffer's width).
+//!
+//! [`plan`] sizes all of them for a workload's worst-case layer and
+//! checks the plan against a BRAM budget.
+
+use crate::{HwConfig, LayerWork, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Bits per BRAM-36 block usable as storage.
+const BRAM36_BITS: u64 = 36 * 1024;
+
+/// The per-PE buffer plan for a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferPlan {
+    /// Input-buffer bits per PE (Tn channels × worst-case plane × 32 b).
+    pub input_bits: u64,
+    /// Weight-buffer bits per PE (worst-case kernel × 32 b).
+    pub weight_bits: u64,
+    /// Output-buffer bits per PE (worst-case output plane × 32 b + zero
+    /// indicators).
+    pub output_bits: u64,
+    /// Prediction mask-buffer bits per PE (worst-case `R·C`).
+    pub mask_bits: u64,
+    /// Indicator-buffer bits per PE.
+    pub indicator_bits: u64,
+}
+
+impl BufferPlan {
+    /// Total bits per PE.
+    pub fn total_bits_per_pe(&self) -> u64 {
+        self.input_bits + self.weight_bits + self.output_bits + self.mask_bits + self.indicator_bits
+    }
+
+    /// BRAM-36 blocks needed per PE (each buffer rounds up separately —
+    /// the granularity effect the paper notes for the 1 KB mask buffer).
+    pub fn brams_per_pe(&self) -> u64 {
+        [
+            self.input_bits,
+            self.weight_bits,
+            self.output_bits,
+            self.mask_bits,
+            self.indicator_bits,
+        ]
+        .iter()
+        .map(|b| b.div_ceil(BRAM36_BITS))
+        .sum()
+    }
+
+    /// BRAM-36 blocks for the whole PE array.
+    pub fn total_brams(&self, cfg: &HwConfig) -> u64 {
+        self.brams_per_pe() * cfg.tm() as u64
+    }
+
+    /// Whether the plan fits a device budget (in BRAM-36 blocks).
+    pub fn fits(&self, cfg: &HwConfig, budget_brams: u64) -> bool {
+        self.total_brams(cfg) <= budget_brams
+    }
+}
+
+fn worst<T: Ord + Copy + Default>(items: impl Iterator<Item = T>) -> T {
+    items.max().unwrap_or_default()
+}
+
+/// Sizes the per-PE buffers for a workload on a configuration.
+pub fn plan(w: &Workload, cfg: &HwConfig) -> BufferPlan {
+    let input_plane = worst(w.layers.iter().map(input_plane_of));
+    let weight_words = worst(w.layers.iter().map(|l| (l.k * l.k * l.n) as u64));
+    let out_plane = worst(w.layers.iter().map(|l| l.plane() as u64));
+    BufferPlan {
+        input_bits: cfg.tn() as u64 * input_plane * 32,
+        weight_bits: weight_words * 32,
+        // 32-bit value + 1-bit zero indicator per output neuron.
+        output_bits: out_plane * 33,
+        mask_bits: out_plane,
+        // One entry per counting lane (1-bit indicators, Tm' per entry).
+        indicator_bits: (cfg.counting_lanes() as u64).max(1) * weight_words.div_ceil(32).max(1),
+    }
+}
+
+/// The input plane a layer reads (its own plane scaled back up by
+/// stride; exact for the stride-1/pool-2 topologies in the model zoo).
+fn input_plane_of(l: &LayerWork) -> u64 {
+    // Upstream spatial extent: output plane × stride² is not recorded in
+    // LayerWork; for the stride-1 convolutions of all three models the
+    // input plane equals the output plane (same-padding) or slightly
+    // exceeds it (valid padding). Use output plane + kernel fringe.
+    let side = (l.plane() as f64).sqrt().ceil() as u64 + l.k as u64;
+    side * side
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::VIRTEX7_VC709;
+    use fbcnn_bayes::BayesianNetwork;
+    use fbcnn_nn::models;
+    use fbcnn_predictor::ThresholdSet;
+    use fbcnn_tensor::Tensor;
+
+    fn lenet_workload() -> Workload {
+        let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+        let input = Tensor::full(bnet.network().input_shape(), 0.4);
+        Workload::build(
+            &bnet,
+            &input,
+            &ThresholdSet::never_predict(bnet.network().len()),
+            2,
+            1,
+        )
+    }
+
+    #[test]
+    fn lenet_plan_fits_the_vc709_easily() {
+        let w = lenet_workload();
+        let cfg = HwConfig::fast_bcnn(64);
+        let p = plan(&w, &cfg);
+        assert!(p.total_bits_per_pe() > 0);
+        assert!(
+            p.fits(&cfg, VIRTEX7_VC709.brams),
+            "LeNet needs {} BRAMs",
+            p.total_brams(&cfg)
+        );
+    }
+
+    #[test]
+    fn wider_tn_needs_bigger_input_buffers() {
+        let w = lenet_workload();
+        let narrow = plan(&w, &HwConfig::fast_bcnn(64)); // Tn = 4
+        let wide = plan(&w, &HwConfig::fast_bcnn(8)); // Tn = 32
+        assert!(wide.input_bits > narrow.input_bits);
+    }
+
+    #[test]
+    fn mask_buffer_is_one_bit_per_neuron() {
+        let w = lenet_workload();
+        let p = plan(&w, &HwConfig::fast_bcnn(64));
+        // LeNet's biggest plane is 28x28 = 784 bits — the paper's "at
+        // most Rl x Cl bits".
+        assert_eq!(p.mask_bits, 784);
+        // And it still rounds up to a whole BRAM (the paper's observed
+        // BRAM overhead for a tiny buffer).
+        assert!(p.brams_per_pe() >= 5);
+    }
+
+    #[test]
+    fn buffer_granularity_rounds_per_buffer() {
+        let p = BufferPlan {
+            input_bits: 1,
+            weight_bits: 1,
+            output_bits: 1,
+            mask_bits: 1,
+            indicator_bits: 1,
+        };
+        // Five one-bit buffers still cost five BRAMs.
+        assert_eq!(p.brams_per_pe(), 5);
+    }
+}

@@ -1,0 +1,220 @@
+use crate::baseline::{dense_fc_cycles, dense_fc_energy, dram_words_per_pass};
+use crate::{EnergyBreakdown, EnergyModel, HwConfig, LayerReport, RunReport, Workload};
+use fbcnn_tensor::stats::ceil_div;
+
+/// A Cnvlutin-style input-sparsity skipper (paper §VI-A: the original
+/// design scaled to 8×8 sub-units with 4 synapse lanes — 64 filters in
+/// parallel, 4 input lanes each, the same 256-MAC budget).
+///
+/// Cnvlutin removes multiplications whose *input activation* is zero —
+/// including zeros created by dropout — but it cannot predetermine output
+/// neurons, so every output is still produced, and the densely-valued
+/// first layer gains nothing. Lanes process disjoint input-channel
+/// groups and synchronize per output window, so the window latency is the
+/// *maximum* lane occupancy — modeled from the per-channel non-zero
+/// densities recorded in the workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CnvlutinSim {
+    filters: usize,
+    lanes: usize,
+    energy: EnergyModel,
+}
+
+impl Default for CnvlutinSim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CnvlutinSim {
+    /// The scaled configuration of the paper's comparison (64 filters ×
+    /// 4 lanes = 256 MACs).
+    pub fn new() -> Self {
+        Self {
+            filters: 64,
+            lanes: 4,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Overrides the energy model.
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Equivalent `<Tm, Tn>` view of this configuration.
+    pub fn equivalent_config(&self) -> HwConfig {
+        HwConfig::fast_bcnn(self.filters)
+    }
+
+    /// Simulates `T` input-sparsity-skipping sample inferences (no
+    /// pre-inference — Cnvlutin has no use for one).
+    pub fn run(&self, w: &Workload) -> RunReport {
+        let e = &self.energy;
+        let mut layers: Vec<LayerReport> = w
+            .layers
+            .iter()
+            .map(|lw| LayerReport {
+                label: lw.label.clone(),
+                ..Default::default()
+            })
+            .collect();
+
+        let mut total_cycles = 0u64;
+        let mut macs_performed = 0f64;
+        let mut outputs = 0f64;
+
+        for sample in &w.samples {
+            for (i, (lw, ls)) in w.layers.iter().zip(&sample.per_layer).enumerate() {
+                // Split input channels into `lanes` contiguous groups and
+                // compute each group's expected non-zero work per window.
+                let group = ceil_div(lw.n, self.lanes);
+                let k2 = (lw.k * lw.k) as f64;
+                let mut max_group_work = 0f64;
+                let mut total_density = 0f64;
+                for g in 0..self.lanes {
+                    let lo = g * group;
+                    if lo >= lw.n {
+                        break;
+                    }
+                    let hi = ((g + 1) * group).min(lw.n);
+                    let d: f64 = ls.input_channel_density[lo..hi]
+                        .iter()
+                        .map(|&v| v as f64)
+                        .sum();
+                    max_group_work = max_group_work.max(d);
+                    total_density += d;
+                }
+                // Cycles per output window: the slowest lane's non-zero
+                // inputs, at least one dispatch cycle.
+                let window_cycles = (k2 * max_group_work).ceil().max(1.0) as u64;
+                let cycles =
+                    ceil_div(lw.m, self.filters) as u64 * lw.plane() as u64 * window_cycles;
+                layers[i].cycles += cycles;
+                layers[i].computed_neurons += lw.neurons() as u64;
+                total_cycles += cycles;
+                // MACs actually executed: non-zero inputs only.
+                macs_performed += lw.neurons() as f64 * k2 * total_density;
+            }
+            total_cycles += dense_fc_cycles(&w.dense, &self.equivalent_config());
+            outputs += (w.conv_neurons_per_pass()
+                + w.dense.iter().map(|&(_, o)| o as u64).sum::<u64>())
+                as f64;
+        }
+
+        let fc_energy = dense_fc_energy(&w.dense, e) * w.t() as f64;
+        let conv_energy = macs_performed * e.e_mac
+            + outputs * e.e_output
+            + fc_energy
+            + total_cycles as f64 * self.filters as f64 * e.p_static_pe
+            // Offset/indexing machinery for the sparse format: a small
+            // per-nonzero-access overhead.
+            + macs_performed * 0.02;
+        let dram = dram_words_per_pass(w) as f64 * w.t() as f64 * e.e_dram_word;
+
+        RunReport {
+            name: "cnvlutin".into(),
+            model_name: w.model_name.clone(),
+            t: w.t(),
+            pre_inference_cycles: 0,
+            total_cycles,
+            layers,
+            energy: EnergyBreakdown {
+                conv: conv_energy,
+                prediction: 0.0,
+                central: 0.0,
+                dram,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaselineSim, FastBcnnSim, SkipMode};
+    use fbcnn_bayes::BayesianNetwork;
+    use fbcnn_nn::models;
+    use fbcnn_predictor::ThresholdOptimizer;
+    use fbcnn_tensor::Tensor;
+
+    fn lenet_workload(t: usize) -> Workload {
+        let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r + 2 * c) % 7) as f32 / 7.0
+        });
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        Workload::build(&bnet, &input, &thresholds, t, 3)
+    }
+
+    #[test]
+    fn cnvlutin_beats_baseline_but_not_fast_bcnn() {
+        let w = lenet_workload(8);
+        let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+        let cnv = CnvlutinSim::new().run(&w);
+        let fast = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both).run(&w);
+        assert!(
+            cnv.normalized_cycles() <= base.normalized_cycles(),
+            "cnvlutin should not be slower than baseline"
+        );
+        assert!(
+            fast.normalized_cycles() < cnv.normalized_cycles(),
+            "fast-bcnn ({}) must outperform cnvlutin ({})",
+            fast.normalized_cycles(),
+            cnv.normalized_cycles()
+        );
+    }
+
+    #[test]
+    fn first_layer_gains_nothing_on_dense_inputs() {
+        let w = lenet_workload(2);
+        let cnv = CnvlutinSim::new().run(&w);
+        let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+        // Layer 1 sees the (dense) image: cnvlutin cycles are within a few
+        // percent of the baseline's for that layer.
+        let ratio = cnv.layers[0].cycles as f64 / base.layers[0].cycles as f64;
+        assert!(
+            ratio > 0.85,
+            "cnvlutin should not skip the first layer (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn pooled_inputs_limit_gains_but_direct_sparse_inputs_help() {
+        // LeNet's conv2 reads max-pooled activations: pooling densifies
+        // the naturally-zero values, so Cnvlutin gains little there.
+        let w = lenet_workload(2);
+        let cnv = CnvlutinSim::new().run(&w);
+        let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+        let pooled_ratio = cnv.layers[1].cycles as f64 / base.layers[1].cycles as f64;
+        assert!(pooled_ratio <= 1.0 + 1e-9);
+
+        // A conv fed directly by a sparse ReLU output does benefit.
+        let bnet = BayesianNetwork::new(
+            models::ModelKind::Vgg16.build_scaled(1, models::ModelScale::TINY),
+            0.3,
+        );
+        let input = Tensor::from_fn(bnet.network().input_shape(), |ch, r, c| {
+            ((ch + 2 * r + 3 * c) % 7) as f32 / 7.0
+        });
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let wv = Workload::build(&bnet, &input, &thresholds, 2, 3);
+        let cnv_v = CnvlutinSim::new().run(&wv);
+        let base_v = BaselineSim::new(HwConfig::baseline()).run(&wv);
+        // conv1_2 reads conv1_1's (sparse, unpooled) output.
+        let ratio = cnv_v.layers[1].cycles as f64 / base_v.layers[1].cycles as f64;
+        assert!(
+            ratio < 0.9,
+            "sparse direct input should speed up conv1_2 (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn no_pre_inference() {
+        let w = lenet_workload(2);
+        let cnv = CnvlutinSim::new().run(&w);
+        assert_eq!(cnv.pre_inference_cycles, 0);
+        assert_eq!(cnv.energy.prediction, 0.0);
+    }
+}

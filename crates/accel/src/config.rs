@@ -1,0 +1,182 @@
+use serde::{Deserialize, Serialize};
+
+/// Which neuron classes the Fast-BCNN simulator skips — the paper's FB,
+/// FB-d and FB-u operating modes (Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkipMode {
+    /// Skip dropped and predicted-unaffected neurons (Fast-BCNN).
+    Both,
+    /// Skip only dropped neurons (Fast-BCNN-d).
+    DroppedOnly,
+    /// Skip only predicted-unaffected neurons (Fast-BCNN-u).
+    UnaffectedOnly,
+}
+
+impl SkipMode {
+    /// Whether dropped neurons are skipped in this mode.
+    pub fn skips_dropped(&self) -> bool {
+        matches!(self, SkipMode::Both | SkipMode::DroppedOnly)
+    }
+
+    /// Whether predicted-unaffected neurons are skipped in this mode.
+    pub fn skips_unaffected(&self) -> bool {
+        matches!(self, SkipMode::Both | SkipMode::UnaffectedOnly)
+    }
+}
+
+/// The hardware design point: Table I's `<Tm, Tn>` feature-map
+/// parallelism with `4·Tn` counting lanes per PE (Eq. 9 with δ = 4).
+///
+/// The total MAC budget is fixed at `Tm × Tn = 256` across the design
+/// space, exactly as in Table I.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_accel::HwConfig;
+///
+/// let cfg = HwConfig::fast_bcnn(64);
+/// assert_eq!(cfg.tn(), 4);
+/// assert_eq!(cfg.counting_lanes(), 16);
+/// assert_eq!(cfg.total_macs(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HwConfig {
+    tm: usize,
+    tn: usize,
+    counting_lanes: usize,
+    frequency_mhz: u32,
+}
+
+/// The fixed MAC budget of Table I.
+pub const TOTAL_MACS: usize = 256;
+
+impl HwConfig {
+    /// A Fast-BCNN configuration with `tm` PEs (Table I rows: 8, 16, 32
+    /// or 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tm` divides 256.
+    pub fn fast_bcnn(tm: usize) -> Self {
+        assert!(
+            tm > 0 && TOTAL_MACS.is_multiple_of(tm),
+            "Tm {tm} must divide the {TOTAL_MACS}-MAC budget"
+        );
+        let tn = TOTAL_MACS / tm;
+        Self {
+            tm,
+            tn,
+            counting_lanes: 4 * tn,
+            frequency_mhz: 100,
+        }
+    }
+
+    /// Overrides the counting-lane provisioning to `delta · Tn` lanes per
+    /// PE (Eq. 9's δ; Table I fixes δ = 4, the paper's analysis says the
+    /// workload may demand 4–8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is zero.
+    pub fn with_lane_factor(mut self, delta: usize) -> Self {
+        assert!(delta > 0, "lane factor must be non-zero");
+        self.counting_lanes = delta * self.tn;
+        self
+    }
+
+    /// The baseline accelerator: same `<Tm=64, Tn=4>` parallelism as
+    /// Fast-BCNN-64, no skipping machinery (paper §VI-A).
+    pub fn baseline() -> Self {
+        Self {
+            counting_lanes: 0,
+            ..Self::fast_bcnn(64)
+        }
+    }
+
+    /// The four Fast-BCNN design points of Table I.
+    pub fn design_space() -> [HwConfig; 4] {
+        [
+            Self::fast_bcnn(8),
+            Self::fast_bcnn(16),
+            Self::fast_bcnn(32),
+            Self::fast_bcnn(64),
+        ]
+    }
+
+    /// Number of PEs (`Tm`).
+    pub fn tm(&self) -> usize {
+        self.tm
+    }
+
+    /// Multipliers per PE (`Tn`).
+    pub fn tn(&self) -> usize {
+        self.tn
+    }
+
+    /// Counting lanes per PE in the prediction unit.
+    pub fn counting_lanes(&self) -> usize {
+        self.counting_lanes
+    }
+
+    /// Clock frequency (all designs run at 100 MHz, §VI-A).
+    pub fn frequency_mhz(&self) -> u32 {
+        self.frequency_mhz
+    }
+
+    /// The multiplier budget `Tm × Tn`.
+    pub fn total_macs(&self) -> usize {
+        self.tm * self.tn
+    }
+
+    /// Short display name ("FB-64"-style).
+    pub fn name(&self) -> String {
+        format!("FB-{}", self.tm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_design_space() {
+        let space = HwConfig::design_space();
+        let expect = [(8, 32, 128), (16, 16, 64), (32, 8, 32), (64, 4, 16)];
+        for (cfg, (tm, tn, lanes)) in space.iter().zip(expect) {
+            assert_eq!(cfg.tm(), tm);
+            assert_eq!(cfg.tn(), tn);
+            assert_eq!(cfg.counting_lanes(), lanes);
+            assert_eq!(cfg.total_macs(), TOTAL_MACS);
+            assert_eq!(cfg.frequency_mhz(), 100);
+        }
+    }
+
+    #[test]
+    fn baseline_matches_fb64_parallelism() {
+        let b = HwConfig::baseline();
+        assert_eq!(b.tm(), 64);
+        assert_eq!(b.tn(), 4);
+        assert_eq!(b.counting_lanes(), 0);
+    }
+
+    #[test]
+    fn names_follow_paper_convention() {
+        assert_eq!(HwConfig::fast_bcnn(32).name(), "FB-32");
+    }
+
+    #[test]
+    fn skip_mode_flags() {
+        assert!(SkipMode::Both.skips_dropped() && SkipMode::Both.skips_unaffected());
+        assert!(SkipMode::DroppedOnly.skips_dropped());
+        assert!(!SkipMode::DroppedOnly.skips_unaffected());
+        assert!(!SkipMode::UnaffectedOnly.skips_dropped());
+        assert!(SkipMode::UnaffectedOnly.skips_unaffected());
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn invalid_tm_rejected() {
+        let _ = HwConfig::fast_bcnn(7);
+    }
+}

@@ -1,0 +1,156 @@
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energies and per-module static power, in arbitrary
+/// energy units (1.0 = one fp32 MAC including its operand buffer reads).
+///
+/// The paper measures energy with the Xilinx Power Estimator on the
+/// post-synthesis design and reports *relative* numbers (normalized to
+/// the baseline accelerator) plus a three-way module breakdown. Relative
+/// energy depends only on operation counts × relative per-op costs, which
+/// this model captures; the constants below are calibrated so the
+/// baseline-relative reductions and the prediction-unit/central-predictor
+/// shares land in the paper's reported ranges (§VI-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// One fp32 multiply-accumulate, including local buffer reads.
+    pub e_mac: f64,
+    /// Skip engine handling one skipped neuron (OR gate, MUX, counter
+    /// bump, zero write enable).
+    pub e_skip: f64,
+    /// Masking one neuron on the first-layer shortcut path.
+    pub e_mask: f64,
+    /// One counting-lane operation (AND gate + counter increment + mask /
+    /// indicator mini-buffer read).
+    pub e_count_op: f64,
+    /// One partial count processed by the central predictor (adder-tree
+    /// slice, threshold compare, zero-index AND and prediction-bit
+    /// routing back to the PE), per contributing PE.
+    pub e_central_add: f64,
+    /// Writing one output neuron to the output buffer.
+    pub e_output: f64,
+    /// Transferring one 32-bit word to/from DRAM.
+    pub e_dram_word: f64,
+    /// Static + clock-network energy per PE per cycle. On an FPGA this
+    /// dominates (XPE attributes most of the power envelope to static and
+    /// clocking), which is why the paper's energy reductions track its
+    /// cycle reductions closely; the constant is calibrated to reproduce
+    /// that coupling.
+    pub p_static_pe: f64,
+    /// Static energy per counting lane per cycle (prediction units).
+    pub p_static_lane: f64,
+    /// Static energy for the central predictor per cycle.
+    pub p_static_central: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            e_mac: 1.0,
+            e_skip: 0.08,
+            e_mask: 0.10,
+            e_count_op: 0.03,
+            e_central_add: 0.3,
+            e_output: 0.15,
+            e_dram_word: 2.0,
+            p_static_pe: 0.8,
+            p_static_lane: 0.006,
+            p_static_central: 0.08,
+        }
+    }
+}
+
+/// Energy totals by module — the decomposition of paper §VI-B1
+/// ("convolution unit, prediction unit and central predictor").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Convolution units: MACs, skip engine, masking, output writes and
+    /// PE static power.
+    pub conv: f64,
+    /// Prediction units: counting-lane operations and lane static power.
+    pub prediction: f64,
+    /// Central predictor: adder-tree operations and static power.
+    pub central: f64,
+    /// Off-chip traffic.
+    pub dram: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.conv + self.prediction + self.central + self.dram
+    }
+
+    /// Fraction of total consumed by the prediction units.
+    pub fn prediction_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.prediction / self.total()
+        }
+    }
+
+    /// Fraction of total consumed by the central predictor.
+    pub fn central_share(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.central / self.total()
+        }
+    }
+
+    /// Accumulates another breakdown.
+    pub fn absorb(&mut self, other: EnergyBreakdown) {
+        self.conv += other.conv;
+        self.prediction += other.prediction;
+        self.central += other.central;
+        self.dram += other.dram;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shares() {
+        let b = EnergyBreakdown {
+            conv: 80.0,
+            prediction: 12.0,
+            central: 5.0,
+            dram: 3.0,
+        };
+        assert!((b.total() - 100.0).abs() < 1e-12);
+        assert!((b.prediction_share() - 0.12).abs() < 1e-12);
+        assert!((b.central_share() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_adds_componentwise() {
+        let mut a = EnergyBreakdown {
+            conv: 1.0,
+            prediction: 2.0,
+            central: 3.0,
+            dram: 4.0,
+        };
+        a.absorb(a);
+        assert_eq!(a.conv, 2.0);
+        assert_eq!(a.dram, 8.0);
+    }
+
+    #[test]
+    fn default_constants_are_ordered_sensibly() {
+        let m = EnergyModel::default();
+        // A MAC dwarfs a counting-lane op; skipping is far cheaper than
+        // computing a whole neuron (K²·N MACs).
+        assert!(m.e_mac > 10.0 * m.e_count_op);
+        assert!(m.e_skip < m.e_mac);
+        assert!(m.e_dram_word > m.e_mac);
+    }
+
+    #[test]
+    fn empty_breakdown_has_zero_shares() {
+        let b = EnergyBreakdown::default();
+        assert_eq!(b.prediction_share(), 0.0);
+        assert_eq!(b.central_share(), 0.0);
+    }
+}

@@ -1,0 +1,486 @@
+use crate::baseline::{dense_fc_cycles, dense_layer_cycles, dram_words_per_pass};
+use crate::{
+    EnergyBreakdown, EnergyModel, HwConfig, LayerReport, LayerSkips, LayerWork, RunReport,
+    SkipMode, Workload,
+};
+use fbcnn_tensor::stats::ceil_div;
+
+/// The Fast-BCNN accelerator cycle model (paper §V).
+///
+/// One complete BCNN task costs a dropout-free *pre-inference* (recording
+/// the zero-neuron index) plus `T` skipping sample inferences. Per sample
+/// and layer:
+///
+/// * layers without upstream dropout take the **first-layer shortcut**:
+///   pre-inference outputs are reloaded and masked at one neuron per PE
+///   per cycle;
+/// * every other layer distributes output channels round-robin over the
+///   `Tm` PEs; a kept neuron costs `K²·⌈N/Tn⌉` cycles, a skipped neuron
+///   costs one skip-engine cycle, and the layer finishes when the slowest
+///   PE does (the idle gap the paper measures against the ideal case);
+/// * the prediction unit counts dropped nw-inputs for the *next* layer in
+///   parallel; if its `K'²·⌈M'/lanes⌉·R'·C'` per-channel latency exceeds
+///   the convolution time, the layer stalls (the Eq. 8 condition).
+///
+/// [`SkipMode`] selects the FB / FB-d / FB-u ablation of Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastBcnnSim {
+    cfg: HwConfig,
+    mode: SkipMode,
+    energy: EnergyModel,
+}
+
+impl FastBcnnSim {
+    /// Creates the simulator with the default energy model.
+    pub fn new(cfg: HwConfig, mode: SkipMode) -> Self {
+        Self {
+            cfg,
+            mode,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Overrides the energy model.
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> HwConfig {
+        self.cfg
+    }
+
+    /// The skip mode.
+    pub fn mode(&self) -> SkipMode {
+        self.mode
+    }
+
+    /// Effective skipped-neuron count per channel under the current mode.
+    fn skips_of<'a>(&self, ls: &'a LayerSkips) -> &'a [u32] {
+        match self.mode {
+            SkipMode::Both => &ls.skipped_per_channel,
+            SkipMode::DroppedOnly => &ls.dropped_per_channel,
+            SkipMode::UnaffectedOnly => &ls.predicted_per_channel,
+        }
+    }
+
+    /// Convolution cycles of one layer in one sample: `(max_pe, idle)`.
+    ///
+    /// Channels are dispatched dynamically: every PE holds a duplicate of
+    /// the input feature map (that is the point of the skip-friendly
+    /// feature-map parallelism, §IV-B), so a PE that finishes its channel
+    /// fetches the next pending channel's kernel instead of idling. The
+    /// makespan is that of greedy list scheduling; residual idleness is
+    /// what remains of the per-channel skip imbalance.
+    fn layer_conv_cycles(&self, lw: &LayerWork, skips: &[u32]) -> (u64, u64) {
+        let tm = self.cfg.tm() as u64;
+        let cpn = lw.cycles_per_neuron(self.cfg.tn());
+        let plane = lw.plane() as u64;
+        // Channel-granular dispatch, as in the paper's feature-map
+        // parallelism: a PE owns one output channel at a time; when it
+        // drains its channel it fetches the next *pending channel's*
+        // kernel (dynamic dispatch — every PE holds a duplicate of the
+        // input feature map, §IV-B). The layer ends when the slowest PE
+        // does; the residual makespan excess over perfect balance is the
+        // PE idleness the paper measures against the ideal case.
+        let mut pe_load = vec![0u64; tm as usize];
+        for &sk in skips {
+            let sk = sk as u64;
+            let work = (plane - sk) * cpn + sk;
+            let (idx, _) = pe_load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &l)| l)
+                .expect("at least one PE");
+            pe_load[idx] += work;
+        }
+        let max_pe = pe_load.iter().copied().max().unwrap_or(0);
+        let sum_pe: u64 = pe_load.iter().sum();
+        let idle = tm * max_pe - sum_pe;
+        (max_pe, idle)
+    }
+
+    /// Prediction-unit cycles to produce layer `next`'s prediction bits,
+    /// per PE (Eq. 8's left-hand side, summed over the channels each PE
+    /// feeds through its counting lanes).
+    pub(crate) fn prediction_cycles(&self, current: &LayerWork, next: &LayerWork) -> u64 {
+        let lanes = self.cfg.counting_lanes();
+        if lanes == 0 {
+            return 0;
+        }
+        let channels_per_pe = ceil_div(current.m, self.cfg.tm()) as u64;
+        if next.m >= lanes {
+            // More kernels than lanes: several passes per input channel.
+            channels_per_pe
+                * (next.k * next.k) as u64
+                * ceil_div(next.m, lanes) as u64
+                * next.plane() as u64
+        } else {
+            // Fewer kernels than lanes: the idle lanes batch several input
+            // channels per pass (the data-packaging stage interleaves
+            // their dropout bits).
+            let channels_in_parallel = (lanes / next.m).max(1);
+            ceil_div(channels_per_pe as usize, channels_in_parallel) as u64
+                * (next.k * next.k) as u64
+                * next.plane() as u64
+        }
+    }
+
+    /// Checks the Eq. 8 synchronization condition for a layer transition
+    /// under an estimated skip rate.
+    pub fn sync_ok(&self, current: &LayerWork, next: &LayerWork, skip_rate: f64) -> bool {
+        let conv = (current.k * current.k) as u64
+            * ceil_div(current.n, self.cfg.tn()) as u64
+            * current.plane() as u64;
+        let conv_effective = (conv as f64 * (1.0 - skip_rate)) as u64;
+        let pred = (next.k * next.k) as u64
+            * ceil_div(next.m, self.cfg.counting_lanes().max(1)) as u64
+            * next.plane() as u64;
+        pred <= conv_effective
+    }
+
+    /// Replays the two-resource schedule and records every interval —
+    /// used by [`FastBcnnSim::timeline`]. Returns
+    /// `(conv_intervals, prediction_intervals, total_cycles, pre_cycles)`
+    /// with timing identical to [`FastBcnnSim::run`].
+    pub(crate) fn schedule(
+        &self,
+        w: &Workload,
+    ) -> (
+        Vec<crate::timeline::Interval>,
+        Vec<crate::timeline::Interval>,
+        u64,
+        u64,
+    ) {
+        use crate::timeline::Interval;
+        let cfg = &self.cfg;
+        let uses_pre_inference = self.mode.skips_unaffected();
+        let pre_cycles: u64 = if uses_pre_inference {
+            w.layers
+                .iter()
+                .map(|lw| dense_layer_cycles(lw, cfg))
+                .sum::<u64>()
+                + dense_fc_cycles(&w.dense, cfg)
+        } else {
+            0
+        };
+        let mut conv_iv = Vec::new();
+        let mut pred_iv = Vec::new();
+        let mut conv_t = pre_cycles;
+        let mut pred_t = pre_cycles;
+        for (s, sample) in w.samples.iter().enumerate() {
+            for (i, (lw, ls)) in w.layers.iter().zip(&sample.per_layer).enumerate() {
+                let conv_cycles = if !lw.upstream_dropout && uses_pre_inference {
+                    ceil_div(lw.m, cfg.tm()) as u64 * lw.plane() as u64
+                } else {
+                    self.layer_conv_cycles(lw, self.skips_of(ls)).0
+                };
+                let mut ready = conv_t;
+                if self.mode.skips_unaffected() && lw.upstream_dropout && i > 0 {
+                    let job = self.prediction_cycles(&w.layers[i - 1], lw);
+                    pred_iv.push(Interval {
+                        layer: lw.label.clone(),
+                        sample: s,
+                        start: pred_t,
+                        end: pred_t + job,
+                    });
+                    pred_t += job;
+                    ready = ready.max(pred_t);
+                }
+                conv_iv.push(Interval {
+                    layer: lw.label.clone(),
+                    sample: s,
+                    start: ready,
+                    end: ready + conv_cycles,
+                });
+                conv_t = ready + conv_cycles;
+            }
+            conv_t += dense_fc_cycles(&w.dense, cfg);
+        }
+        (conv_iv, pred_iv, conv_t, pre_cycles)
+    }
+
+    /// Simulates the complete BCNN task: pre-inference + `T` samples.
+    pub fn run(&self, w: &Workload) -> RunReport {
+        let e = &self.energy;
+        let cfg = &self.cfg;
+        let tm = cfg.tm() as f64;
+
+        // Pre-inference: a dense pass recording the zero-neuron index.
+        // Dropped-only skipping needs no pre-inference (the masks alone
+        // decide), so FB-d skips it — and with it the first-layer
+        // shortcut, whose stored outputs it would have reused.
+        let uses_pre_inference = self.mode.skips_unaffected();
+        let pre_cycles: u64 = if uses_pre_inference {
+            w.layers
+                .iter()
+                .map(|lw| dense_layer_cycles(lw, cfg))
+                .sum::<u64>()
+                + dense_fc_cycles(&w.dense, cfg)
+        } else {
+            0
+        };
+
+        let mut layers: Vec<LayerReport> = w
+            .layers
+            .iter()
+            .map(|lw| LayerReport {
+                label: lw.label.clone(),
+                ..Default::default()
+            })
+            .collect();
+
+        let mut total_cycles = pre_cycles;
+        let mut macs_computed = 0f64;
+        let mut skipped_neurons = 0f64;
+        let mut masked_neurons = 0f64;
+        let mut outputs_written = 0f64;
+        let mut count_ops = 0f64;
+        let mut central_neurons = 0f64;
+
+        if uses_pre_inference {
+            outputs_written += (w.conv_neurons_per_pass() + fc_outputs(w)) as f64;
+            macs_computed += pre_pass_macs(w);
+        }
+
+        // Two-resource pipeline. Dropout bits are data-independent (the
+        // BRNG needs no activations), so the prediction unit processes
+        // its counting jobs back to back — running ahead across layer
+        // and even sample boundaries — while a convolution layer that
+        // consumes prediction bits cannot start before its job
+        // completes. Eq. 8 is the per-transition health check
+        // ([`FastBcnnSim::sync_ok`]); this cumulative form credits the
+        // slack earlier, cheaper jobs leave behind.
+        let mut conv_t = 0u64; // convolution-unit timeline
+        let mut pred_t = 0u64; // prediction-unit timeline
+        for sample in &w.samples {
+            for (i, (lw, ls)) in w.layers.iter().zip(&sample.per_layer).enumerate() {
+                let report = &mut layers[i];
+                let (conv_cycles, idle) = if !lw.upstream_dropout && uses_pre_inference {
+                    // Shortcut: reload pre-inference outputs, apply the
+                    // dropout bits, one neuron per PE per cycle.
+                    report.skipped_neurons += lw.neurons() as u64;
+                    masked_neurons += lw.neurons() as f64;
+                    (ceil_div(lw.m, cfg.tm()) as u64 * lw.plane() as u64, 0u64)
+                } else {
+                    let skips = self.skips_of(ls);
+                    let skipped: u64 = skips.iter().map(|&s| s as u64).sum();
+                    let computed = lw.neurons() as u64 - skipped;
+                    report.computed_neurons += computed;
+                    report.skipped_neurons += skipped;
+                    macs_computed += (computed as usize * lw.k * lw.k * lw.n) as f64;
+                    skipped_neurons += skipped as f64;
+                    self.layer_conv_cycles(lw, skips)
+                };
+
+                // The counting job that produces *this* layer's
+                // prediction bits (issued by the previous layer's PEs).
+                let mut stall = 0u64;
+                if self.mode.skips_unaffected() && lw.upstream_dropout && i > 0 {
+                    let prev = &w.layers[i - 1];
+                    pred_t += self.prediction_cycles(prev, lw);
+                    count_ops += (lw.neurons() * lw.k * lw.k * lw.n) as f64;
+                    central_neurons += lw.neurons() as f64;
+                    if pred_t > conv_t {
+                        stall = pred_t - conv_t;
+                    }
+                }
+                let start = conv_t + stall;
+                conv_t = start + conv_cycles;
+
+                report.cycles += conv_cycles + stall;
+                report.idle_cycles += idle + stall * cfg.tm() as u64;
+                report.stall_cycles += stall;
+            }
+            conv_t += dense_fc_cycles(&w.dense, cfg);
+            outputs_written += (w.conv_neurons_per_pass() + fc_outputs(w)) as f64;
+        }
+        total_cycles += conv_t;
+
+        let passes = w.t() + usize::from(uses_pre_inference);
+        let fc_macs: f64 = w
+            .dense
+            .iter()
+            .map(|&(inf, outf)| (inf * outf) as f64)
+            .sum::<f64>()
+            * passes as f64;
+
+        let conv_energy = macs_computed * e.e_mac
+            + fc_macs * e.e_mac
+            + skipped_neurons * e.e_skip
+            + masked_neurons * e.e_mask
+            + outputs_written * e.e_output
+            + total_cycles as f64 * tm * e.p_static_pe;
+        let prediction_energy = count_ops * e.e_count_op
+            + total_cycles as f64 * (cfg.tm() * cfg.counting_lanes()) as f64 * e.p_static_lane;
+        let central_energy = central_neurons * tm * e.e_central_add
+            + if self.mode.skips_unaffected() {
+                total_cycles as f64 * e.p_static_central
+            } else {
+                0.0
+            };
+        // DRAM: skipped outputs travel as 1-bit zero indicators.
+        let full_words = dram_words_per_pass(w) as f64 * passes as f64;
+        let saved_output_words = (skipped_neurons + masked_neurons) * (31.0 / 32.0);
+        let dram = (full_words - saved_output_words) * e.e_dram_word;
+
+        RunReport {
+            name: format!(
+                "{}{}",
+                cfg.name(),
+                match self.mode {
+                    SkipMode::Both => "",
+                    SkipMode::DroppedOnly => "-d",
+                    SkipMode::UnaffectedOnly => "-u",
+                }
+            ),
+            model_name: w.model_name.clone(),
+            t: w.t(),
+            pre_inference_cycles: pre_cycles,
+            total_cycles,
+            layers,
+            energy: EnergyBreakdown {
+                conv: conv_energy,
+                prediction: prediction_energy,
+                central: central_energy,
+                dram,
+            },
+        }
+    }
+}
+
+fn fc_outputs(w: &Workload) -> u64 {
+    w.dense.iter().map(|&(_, o)| o as u64).sum()
+}
+
+fn pre_pass_macs(w: &Workload) -> f64 {
+    w.layers
+        .iter()
+        .map(|l| (l.neurons() * l.k * l.k * l.n) as f64)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaselineSim;
+    use fbcnn_bayes::BayesianNetwork;
+    use fbcnn_nn::models;
+    use fbcnn_predictor::{ThresholdOptimizer, ThresholdSet};
+    use fbcnn_tensor::Tensor;
+
+    fn lenet_workload(t: usize) -> Workload {
+        let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r + 2 * c) % 7) as f32 / 7.0
+        });
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        Workload::build(&bnet, &input, &thresholds, t, 3)
+    }
+
+    #[test]
+    fn fast_bcnn_beats_baseline() {
+        let w = lenet_workload(8);
+        let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+        let fast = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both).run(&w);
+        let speedup = fast.speedup_over(&base);
+        assert!(
+            speedup > 2.0,
+            "expected a large LeNet speedup, got {speedup:.2}"
+        );
+        assert!(fast.energy_reduction_vs(&base) > 0.3);
+    }
+
+    #[test]
+    fn both_mode_dominates_single_modes() {
+        let w = lenet_workload(4);
+        let cfg = HwConfig::fast_bcnn(64);
+        let both = FastBcnnSim::new(cfg, SkipMode::Both).run(&w);
+        let d = FastBcnnSim::new(cfg, SkipMode::DroppedOnly).run(&w);
+        let u = FastBcnnSim::new(cfg, SkipMode::UnaffectedOnly).run(&w);
+        // Both skips a superset of UnaffectedOnly under identical
+        // prediction stalls, so it can never be slower.
+        assert!(both.total_cycles <= u.total_cycles);
+        // Against DroppedOnly (which runs no prediction unit and therefore
+        // never stalls), Both's advantage holds on pure convolution
+        // cycles; stalls are accounted separately.
+        assert!(both.total_cycles - both.total_stall() <= d.total_cycles);
+        // Union skipping is sub-additive (overlap): FB savings are less
+        // than the sum of the two single-mode savings.
+        let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+        let red_both = both.cycle_reduction_vs(&base);
+        let red_d = d.cycle_reduction_vs(&base);
+        let red_u = u.cycle_reduction_vs(&base);
+        assert!(
+            red_d + red_u >= red_both - 1e-9,
+            "expected sub-additivity: {red_d} + {red_u} vs {red_both}"
+        );
+    }
+
+    #[test]
+    fn more_skipping_never_costs_cycles() {
+        let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+        let input = Tensor::full(bnet.network().input_shape(), 0.4);
+        let none = ThresholdSet::never_predict(bnet.network().len());
+        let opt = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let w_none = Workload::build(&bnet, &input, &none, 4, 3);
+        let w_opt = Workload::build(&bnet, &input, &opt, 4, 3);
+        let cfg = HwConfig::fast_bcnn(64);
+        let r_none = FastBcnnSim::new(cfg, SkipMode::Both).run(&w_none);
+        let r_opt = FastBcnnSim::new(cfg, SkipMode::Both).run(&w_opt);
+        assert!(r_opt.total_cycles <= r_none.total_cycles);
+    }
+
+    #[test]
+    fn pre_inference_charged_once() {
+        let w = lenet_workload(2);
+        let fast = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both).run(&w);
+        assert!(fast.pre_inference_cycles > 0);
+        assert!(fast.total_cycles > fast.pre_inference_cycles);
+        let base_pass = BaselineSim::new(HwConfig::baseline()).run(&w).total_cycles / 2;
+        assert_eq!(fast.pre_inference_cycles, base_pass);
+    }
+
+    #[test]
+    fn shortcut_makes_first_layer_nearly_free() {
+        let w = lenet_workload(4);
+        let fast = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both).run(&w);
+        // conv1 dense would cost 19600/sample; the shortcut costs 784.
+        let conv1 = &fast.layers[0];
+        assert!(
+            conv1.cycles <= 784 * 4 + 19_600, // samples + possible stall
+            "first layer cycles {} too high",
+            conv1.cycles
+        );
+    }
+
+    #[test]
+    fn prediction_unit_energy_is_minor() {
+        let w = lenet_workload(8);
+        let fast = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both).run(&w);
+        let share = fast.energy.prediction_share() + fast.energy.central_share();
+        assert!(
+            share < 0.4,
+            "prediction machinery consumes {share:.2} of energy"
+        );
+        assert!(fast.energy.prediction > 0.0);
+        assert!(fast.energy.central > 0.0);
+    }
+
+    #[test]
+    fn dropped_only_mode_has_no_prediction_energy() {
+        let w = lenet_workload(4);
+        let d = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::DroppedOnly).run(&w);
+        assert_eq!(d.energy.central, 0.0);
+        assert_eq!(d.total_stall(), 0);
+    }
+
+    #[test]
+    fn sync_condition_matches_eq8() {
+        let w = lenet_workload(1);
+        let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both);
+        // At modest skip rates LeNet transitions are safely synchronized.
+        assert!(sim.sync_ok(&w.layers[0], &w.layers[1], 0.5));
+    }
+}

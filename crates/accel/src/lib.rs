@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! Cycle-level models of the Fast-BCNN FPGA accelerator and its
+//! comparison points.
+//!
+//! The paper's speedup and energy numbers derive from counted cycles of a
+//! fixed-latency feature-map-parallel dataflow plus an XPE energy
+//! estimate. This crate reproduces both as deterministic functions of the
+//! workload (see DESIGN.md §2 and §4 for the substitution argument):
+//!
+//! * [`HwConfig`] — the `<Tm, Tn>` design space of Table I;
+//! * [`Workload`] — everything the cycle models need, extracted once per
+//!   `(network, input, drop rate, thresholds)` and reused across every
+//!   hardware configuration;
+//! * [`FastBcnnSim`] — the Fast-BCNN accelerator (per-PE channel
+//!   scheduling, skip engine, first-layer shortcut, prediction-unit
+//!   overlap with the Eq. 8 stall check, central predictor), with the
+//!   [`SkipMode`] ablations FB-d / FB-u;
+//! * [`BaselineSim`] — the same parallelism without skipping;
+//! * [`CnvlutinSim`] — an input-sparsity-only skipper (zero inputs,
+//!   including dropout-induced ones; blind to output neurons and to the
+//!   first layer's dense inputs);
+//! * [`IdealSim`] — every saved computation converts into speedup;
+//! * [`EnergyModel`] — per-operation energies and per-module static
+//!   power;
+//! * [`resources`] — the FPGA LUT/FF/BRAM estimator behind Table II.
+//!
+//! # Examples
+//!
+//! ```
+//! use fbcnn_accel::{BaselineSim, FastBcnnSim, HwConfig, SkipMode, Workload};
+//! use fbcnn_bayes::BayesianNetwork;
+//! use fbcnn_nn::models;
+//! use fbcnn_predictor::ThresholdOptimizer;
+//! use fbcnn_tensor::Tensor;
+//!
+//! let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+//! let input = Tensor::full(bnet.network().input_shape(), 0.4);
+//! let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 7);
+//! let workload = Workload::build(&bnet, &input, &thresholds, 4, 7);
+//!
+//! let base = BaselineSim::new(HwConfig::baseline()).run(&workload);
+//! let fast = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both).run(&workload);
+//! assert!(fast.total_cycles < base.total_cycles);
+//! ```
+
+mod baseline;
+pub mod buffers;
+mod cnvlutin;
+mod config;
+mod energy;
+mod fastbcnn;
+mod ideal;
+pub mod parallelism;
+mod report;
+pub mod resources;
+pub mod timeline;
+mod workload;
+
+pub use baseline::BaselineSim;
+pub use cnvlutin::CnvlutinSim;
+pub use config::{HwConfig, SkipMode};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use fastbcnn::FastBcnnSim;
+pub use ideal::IdealSim;
+pub use report::{LayerReport, RunReport};
+pub use workload::{LayerSkips, LayerWork, SampleSkips, Workload};

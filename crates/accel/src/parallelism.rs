@@ -1,0 +1,95 @@
+//! The paper's §IV-B skip-friendly parallelism analysis.
+//!
+//! Skipping requires each PE to proceed independently, which forces
+//! per-PE buffering of whatever the PEs would otherwise share:
+//!
+//! * **Synapse parallelism** (`<Ti, Tj>`, systolic): cannot skip at all —
+//!   an input activation flowing through the array contributes to many
+//!   output neurons, so computations tied to one invalid neuron cannot
+//!   be abandoned.
+//! * **Neuron parallelism** (`<Tr, Tc>`): every PE needs its own weight
+//!   buffer; on-chip weight storage grows by `Tr·Tc − 1` (Eq. 6).
+//! * **Feature-map parallelism** (`<Tm, Tn>`): every PE needs its own
+//!   input buffer; on-chip input storage grows by `Tm − 1` (Eq. 7) —
+//!   the cheaper option for equal compute (`Tr·Tc = Tm·Tn`), which is
+//!   why Fast-BCNN adopts it.
+
+use serde::{Deserialize, Serialize};
+
+/// The three parallelism families of §IV-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ParallelismKind {
+    /// `<Ti, Tj>` — kernel-position unrolling in a systolic array.
+    Synapse,
+    /// `<Tr, Tc>` — output-position unrolling.
+    Neuron,
+    /// `<Tm, Tn>` — output-channel/input-channel unrolling (Fast-BCNN's
+    /// choice).
+    FeatureMap,
+}
+
+impl ParallelismKind {
+    /// Whether the dataflow can abandon all computations of an invalid
+    /// output neuron.
+    pub fn supports_neuron_skipping(&self) -> bool {
+        !matches!(self, ParallelismKind::Synapse)
+    }
+}
+
+/// Relative on-chip buffer duplication required to support skipping
+/// under neuron parallelism: `(K²·M·Tr·Tc − K²·M) / (K²·M) = Tr·Tc − 1`
+/// (Eq. 6).
+pub fn neuron_parallelism_buffer_overhead(tr: usize, tc: usize) -> usize {
+    tr * tc - 1
+}
+
+/// Relative on-chip buffer duplication required to support skipping
+/// under feature-map parallelism: `(W·H·Tn·Tm − W·H·Tn) / (W·H·Tn)
+/// = Tm − 1` (Eq. 7).
+pub fn feature_map_parallelism_buffer_overhead(tm: usize) -> usize {
+    tm - 1
+}
+
+/// Compares the two skippable parallelisms at equal compute
+/// (`Tr·Tc = Tm·Tn`) and returns the overhead ratio
+/// `neuron / feature-map` — `Tn` when the budgets match, always > 1 for
+/// `Tn > 1`.
+pub fn overhead_ratio(tm: usize, tn: usize) -> f64 {
+    let neuron = neuron_parallelism_buffer_overhead(tm, tn) as f64;
+    let feature = feature_map_parallelism_buffer_overhead(tm) as f64;
+    neuron / feature
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_and_eq7_match_the_paper() {
+        // The paper's running example: 256 MACs.
+        assert_eq!(neuron_parallelism_buffer_overhead(16, 16), 255);
+        assert_eq!(feature_map_parallelism_buffer_overhead(64), 63);
+        // Same compute, 4x less duplication for feature-map parallelism
+        // at <Tm=64, Tn=4>.
+        let ratio = overhead_ratio(64, 4);
+        assert!(ratio > 4.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn feature_map_always_cheaper_at_equal_compute() {
+        for (tm, tn) in [(8, 32), (16, 16), (32, 8), (64, 4)] {
+            assert!(
+                feature_map_parallelism_buffer_overhead(tm)
+                    < neuron_parallelism_buffer_overhead(tm, tn),
+                "<{tm},{tn}>"
+            );
+        }
+    }
+
+    #[test]
+    fn synapse_parallelism_cannot_skip() {
+        assert!(!ParallelismKind::Synapse.supports_neuron_skipping());
+        assert!(ParallelismKind::Neuron.supports_neuron_skipping());
+        assert!(ParallelismKind::FeatureMap.supports_neuron_skipping());
+    }
+}

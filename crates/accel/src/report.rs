@@ -1,0 +1,144 @@
+use crate::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Cycle accounting for one convolution layer, summed over all sample
+/// inferences.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer label.
+    pub label: String,
+    /// Cycles attributed to the layer (including stalls).
+    pub cycles: u64,
+    /// Neurons actually computed.
+    pub computed_neurons: u64,
+    /// Neurons skipped (or shortcut-masked).
+    pub skipped_neurons: u64,
+    /// Cycles PEs spent idle waiting for the slowest PE (load imbalance).
+    pub idle_cycles: u64,
+    /// Cycles the convolution unit waited for the prediction unit
+    /// (Eq. 8 violations).
+    pub stall_cycles: u64,
+}
+
+/// The outcome of simulating one complete BCNN inference task on one
+/// hardware model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Design name (e.g. `"baseline"`, `"FB-64"`, `"cnvlutin"`).
+    pub name: String,
+    /// Model name the workload came from.
+    pub model_name: String,
+    /// Number of sample inferences `T`.
+    pub t: usize,
+    /// Cycles of the dropout-free pre-inference (zero for designs that do
+    /// not run one).
+    pub pre_inference_cycles: u64,
+    /// Total cycles including the pre-inference.
+    pub total_cycles: u64,
+    /// Per-layer accounting, aggregated over samples.
+    pub layers: Vec<LayerReport>,
+    /// Energy by module.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Total cycles averaged over the `T` samples — the paper's
+    /// normalization ("averaged by 50"), which charges Fast-BCNN its
+    /// pre-inference.
+    pub fn normalized_cycles(&self) -> f64 {
+        self.total_cycles as f64 / self.t as f64
+    }
+
+    /// Wall-clock seconds at the configured frequency.
+    pub fn seconds_at(&self, frequency_mhz: u32) -> f64 {
+        self.total_cycles as f64 / (frequency_mhz as f64 * 1e6)
+    }
+
+    /// Speedup of `self` over `other` (cycle ratio, normalized).
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        other.normalized_cycles() / self.normalized_cycles()
+    }
+
+    /// Cycle reduction of `self` relative to `other` in `[0, 1)`
+    /// (the paper's "X% cycle reduction").
+    pub fn cycle_reduction_vs(&self, other: &RunReport) -> f64 {
+        1.0 - self.normalized_cycles() / other.normalized_cycles()
+    }
+
+    /// Energy reduction of `self` relative to `other`.
+    pub fn energy_reduction_vs(&self, other: &RunReport) -> f64 {
+        1.0 - self.energy.total() / other.energy.total()
+    }
+
+    /// Total idle cycles across layers.
+    pub fn total_idle(&self) -> u64 {
+        self.layers.iter().map(|l| l.idle_cycles).sum()
+    }
+
+    /// Total prediction-stall cycles across layers.
+    pub fn total_stall(&self) -> u64 {
+        self.layers.iter().map(|l| l.stall_cycles).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, t: usize, energy: f64) -> RunReport {
+        RunReport {
+            name: "test".into(),
+            model_name: "m".into(),
+            t,
+            pre_inference_cycles: 0,
+            total_cycles: cycles,
+            layers: vec![],
+            energy: EnergyBreakdown {
+                conv: energy,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn speedup_and_reduction_are_consistent() {
+        let base = report(1000, 10, 100.0);
+        let fast = report(250, 10, 40.0);
+        assert!((fast.speedup_over(&base) - 4.0).abs() < 1e-12);
+        assert!((fast.cycle_reduction_vs(&base) - 0.75).abs() < 1e-12);
+        assert!((fast.energy_reduction_vs(&base) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_divides_by_t() {
+        let r = report(510, 50, 1.0);
+        assert!((r.normalized_cycles() - 10.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_at_frequency() {
+        let r = report(100_000_000, 1, 1.0);
+        assert!((r.seconds_at(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_and_stall_sums() {
+        let mut r = report(1, 1, 1.0);
+        r.layers = vec![
+            LayerReport {
+                label: "a".into(),
+                idle_cycles: 3,
+                stall_cycles: 1,
+                ..Default::default()
+            },
+            LayerReport {
+                label: "b".into(),
+                idle_cycles: 4,
+                stall_cycles: 2,
+                ..Default::default()
+            },
+        ];
+        assert_eq!(r.total_idle(), 7);
+        assert_eq!(r.total_stall(), 3);
+    }
+}

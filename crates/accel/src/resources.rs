@@ -1,0 +1,204 @@
+//! FPGA resource estimation — the model behind Table II.
+//!
+//! The paper synthesizes for a Xilinx Virtex-7 VC709 (XC7VX690T: 433 K
+//! LUTs, 866 K flip-flops, 1470 BRAM-36 blocks) and reports the usage of
+//! the convolution units, prediction units and central predictor. This
+//! module reproduces those numbers with per-component cost coefficients
+//! representative of fp32 arithmetic on 7-series fabric.
+
+use crate::HwConfig;
+use serde::{Deserialize, Serialize};
+
+/// Device capacity of the evaluation board (XC7VX690T).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM-36 blocks.
+    pub brams: u64,
+}
+
+/// The VC709's XC7VX690T part.
+pub const VIRTEX7_VC709: Device = Device {
+    luts: 433_000,
+    ffs: 866_000,
+    brams: 1_470,
+};
+
+/// Resource usage of one module group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Usage {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// BRAM-36 blocks.
+    pub brams: u64,
+}
+
+/// The Table II rows: per-module-group resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceReport {
+    /// All `Tm` convolution units.
+    pub convolution_units: Usage,
+    /// All `Tm` prediction units.
+    pub prediction_units: Usage,
+    /// The central predictor.
+    pub central_predictor: Usage,
+}
+
+// Per-component coefficients (7-series, fp32 soft logic), calibrated so
+// the FB-64 point reproduces Table II exactly.
+const MULT_LUT: u64 = 760;
+const MULT_FF: u64 = 1_050;
+const ADD_LUT: u64 = 380;
+const ADD_FF: u64 = 430;
+const PE_CTRL_LUT: u64 = 144; // skip engine, FIFOs, MUX, counters
+const PE_CTRL_FF: u64 = 125;
+const PE_BRAM: u64 = 8; // duplicated input buffer + weight + output slices
+const LANE_LUT: u64 = 1; // an AND gate + small counter packs into a LUT/FF pair
+const LANE_FF: u64 = 1;
+const PRED_BRAM_PER_PE: u64 = 1; // 1 KB mask buffer rounds up to one BRAM-18 pair
+const CENTRAL_ADDER_LUT: u64 = 160; // 10-bit adder + compare slice
+const CENTRAL_ADDER_FF: u64 = 160;
+const CENTRAL_BRAM: u64 = 2;
+
+/// Estimates resource usage for a hardware configuration.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_accel::{resources, HwConfig};
+///
+/// let report = resources::estimate(&HwConfig::fast_bcnn(64));
+/// assert!(report.prediction_units.luts < report.convolution_units.luts / 100);
+/// ```
+pub fn estimate(cfg: &HwConfig) -> ResourceReport {
+    let tm = cfg.tm() as u64;
+    let tn = cfg.tn() as u64;
+    // Per PE: Tn multipliers, an adder tree of Tn-1 adders, control.
+    let adders = tn.saturating_sub(1);
+    let convolution_units = Usage {
+        luts: tm * (tn * MULT_LUT + adders * ADD_LUT + PE_CTRL_LUT),
+        ffs: tm * (tn * MULT_FF + adders * ADD_FF + PE_CTRL_FF),
+        brams: tm * PE_BRAM,
+    };
+    let lanes = cfg.counting_lanes() as u64;
+    let prediction_units = Usage {
+        luts: tm * lanes * LANE_LUT,
+        ffs: tm * lanes * LANE_FF,
+        brams: tm * PRED_BRAM_PER_PE,
+    };
+    // Adder tree over Tm partial counts (Tm-1 adders) plus compare and
+    // zero-index AND stage — sized in 10-bit slices.
+    let central_predictor = Usage {
+        luts: (tm.saturating_sub(1) + 1) * CENTRAL_ADDER_LUT + 6,
+        ffs: (tm.saturating_sub(1) + 1) * CENTRAL_ADDER_FF + 6,
+        brams: CENTRAL_BRAM,
+    };
+    ResourceReport {
+        convolution_units,
+        prediction_units,
+        central_predictor,
+    }
+}
+
+impl Usage {
+    /// Utilization fractions against a device.
+    pub fn utilization(&self, device: &Device) -> (f64, f64, f64) {
+        (
+            self.luts as f64 / device.luts as f64,
+            self.ffs as f64 / device.ffs as f64,
+            self.brams as f64 / device.brams as f64,
+        )
+    }
+}
+
+impl ResourceReport {
+    /// Total usage across the three module groups.
+    pub fn total(&self) -> Usage {
+        Usage {
+            luts: self.convolution_units.luts
+                + self.prediction_units.luts
+                + self.central_predictor.luts,
+            ffs: self.convolution_units.ffs
+                + self.prediction_units.ffs
+                + self.central_predictor.ffs,
+            brams: self.convolution_units.brams
+                + self.prediction_units.brams
+                + self.central_predictor.brams,
+        }
+    }
+
+    /// Whether the design fits the device.
+    pub fn fits(&self, device: &Device) -> bool {
+        let t = self.total();
+        t.luts <= device.luts && t.ffs <= device.ffs && t.brams <= device.brams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fb64_reproduces_table2_magnitudes() {
+        let r = estimate(&HwConfig::fast_bcnn(64));
+        // Table II: conv units 276736 LUT / 359360 FF / 512 BRAM.
+        assert_eq!(r.convolution_units.luts, 276_736);
+        assert_eq!(r.convolution_units.ffs, 359_360);
+        assert_eq!(r.convolution_units.brams, 512);
+        // Prediction units: 1024 LUT / 1024 FF / 64 BRAM.
+        assert_eq!(r.prediction_units.luts, 1024);
+        assert_eq!(r.prediction_units.ffs, 1024);
+        assert_eq!(r.prediction_units.brams, 64);
+        // Central predictor: ~10246 LUT / 2 BRAM.
+        assert!(
+            (9_000..11_000).contains(&r.central_predictor.luts),
+            "central LUTs {}",
+            r.central_predictor.luts
+        );
+        assert_eq!(r.central_predictor.brams, 2);
+    }
+
+    #[test]
+    fn prediction_overhead_is_below_one_percent() {
+        // The paper's headline claim: prediction units & central predictor
+        // cost <1% LUT/FF each.
+        let r = estimate(&HwConfig::fast_bcnn(64));
+        let (lut_frac, ff_frac, _) = r.prediction_units.utilization(&VIRTEX7_VC709);
+        assert!(lut_frac < 0.01 && ff_frac < 0.01);
+        let (lut_c, ff_c, _) = r.central_predictor.utilization(&VIRTEX7_VC709);
+        assert!(lut_c < 0.03 && ff_c < 0.02);
+    }
+
+    #[test]
+    fn all_design_points_fit_the_device() {
+        for cfg in HwConfig::design_space() {
+            let r = estimate(&cfg);
+            assert!(r.fits(&VIRTEX7_VC709), "{} does not fit", cfg.name());
+        }
+    }
+
+    #[test]
+    fn conv_area_tracks_mac_budget_not_tm() {
+        // With Tm*Tn fixed, multiplier area is constant; only control
+        // differs.
+        let a = estimate(&HwConfig::fast_bcnn(8)).convolution_units;
+        let b = estimate(&HwConfig::fast_bcnn(64)).convolution_units;
+        let ratio = a.luts as f64 / b.luts as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn utilization_fractions_match_table2_percentages() {
+        let r = estimate(&HwConfig::fast_bcnn(64));
+        let (lut, ff, bram) = r.convolution_units.utilization(&VIRTEX7_VC709);
+        // Table II: 64% LUT, 41% FF, 35% BRAM.
+        assert!((0.55..0.72).contains(&lut), "LUT util {lut}");
+        assert!((0.35..0.48).contains(&ff), "FF util {ff}");
+        assert!((0.30..0.40).contains(&bram), "BRAM util {bram}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Pipeline timelines: per-layer start/end times of the convolution and
+//! prediction units — the observability layer behind the Eq. 8 analysis.
+//!
+//! [`FastBcnnSim::timeline`](crate::FastBcnnSim::timeline) replays the
+//! same two-resource schedule as the cycle model and records every
+//! interval, so a stall is visible as a gap between a layer's ready time
+//! and its start.
+
+use crate::{FastBcnnSim, Workload};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One scheduled interval on a unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Layer label.
+    pub layer: String,
+    /// Sample index the interval belongs to.
+    pub sample: usize,
+    /// Start cycle (global timeline).
+    pub start: u64,
+    /// End cycle.
+    pub end: u64,
+}
+
+/// The schedule of a Fast-BCNN run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Convolution-unit intervals in execution order.
+    pub conv: Vec<Interval>,
+    /// Prediction-unit intervals (counting jobs) in execution order.
+    pub prediction: Vec<Interval>,
+    /// Total cycles (including the pre-inference offset).
+    pub total_cycles: u64,
+    /// Cycles of the dropout-free pre-inference that precede sample 0.
+    pub pre_inference_cycles: u64,
+}
+
+impl Timeline {
+    /// Renders the first `samples` samples as a proportional text chart.
+    pub fn render_text(&self, samples: usize, width: usize) -> String {
+        let end = self
+            .conv
+            .iter()
+            .chain(&self.prediction)
+            .filter(|iv| iv.sample < samples)
+            .map(|iv| iv.end)
+            .max()
+            .unwrap_or(1);
+        let start = self.pre_inference_cycles;
+        let span = (end - start).max(1);
+        let scale = |c: u64| {
+            (((c.saturating_sub(start)) as f64 / span as f64) * width as f64).round() as usize
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "cycles {start}..{end} (one row per layer interval)");
+        for (name, list) in [("conv", &self.conv), ("pred", &self.prediction)] {
+            for iv in list.iter().filter(|iv| iv.sample < samples) {
+                let a = scale(iv.start).min(width);
+                let b = scale(iv.end).clamp(a + 1, width + 1);
+                let _ = writeln!(
+                    out,
+                    "{name} s{} {:>10} |{}{}{}|",
+                    iv.sample,
+                    iv.layer,
+                    " ".repeat(a),
+                    "#".repeat(b - a),
+                    " ".repeat(width + 1 - b),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl FastBcnnSim {
+    /// Replays the schedule and records the per-layer intervals of both
+    /// units. The resulting [`Timeline::total_cycles`] matches
+    /// [`FastBcnnSim::run`] exactly.
+    pub fn timeline(&self, w: &Workload) -> Timeline {
+        let (conv, prediction, total_cycles, pre) = self.schedule(w);
+        Timeline {
+            conv,
+            prediction,
+            total_cycles,
+            pre_inference_cycles: pre,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HwConfig, SkipMode};
+    use fbcnn_bayes::BayesianNetwork;
+    use fbcnn_nn::models;
+    use fbcnn_predictor::ThresholdOptimizer;
+    use fbcnn_tensor::Tensor;
+
+    fn workload() -> Workload {
+        let bnet = BayesianNetwork::new(models::lenet5(3), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r * 5 + c) % 7) as f32 / 7.0
+        });
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        Workload::build(&bnet, &input, &thresholds, 3, 3)
+    }
+
+    #[test]
+    fn timeline_total_matches_run() {
+        let w = workload();
+        let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both);
+        let report = sim.run(&w);
+        let tl = sim.timeline(&w);
+        assert_eq!(tl.total_cycles, report.total_cycles);
+        assert_eq!(tl.pre_inference_cycles, report.pre_inference_cycles);
+    }
+
+    #[test]
+    fn conv_intervals_are_ordered_and_contiguous_per_unit() {
+        let w = workload();
+        let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both);
+        let tl = sim.timeline(&w);
+        assert_eq!(tl.conv.len(), w.layers.len() * w.t());
+        for pair in tl.conv.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "conv intervals overlap");
+        }
+        for pair in tl.prediction.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "prediction jobs overlap");
+        }
+        // A layer consuming prediction bits never starts before its job
+        // completes.
+        for p in &tl.prediction {
+            let consumer = tl
+                .conv
+                .iter()
+                .find(|c| c.sample == p.sample && c.layer == p.layer)
+                .expect("every prediction job has a consumer");
+            assert!(
+                consumer.start >= p.end,
+                "{} sample {} started before its prediction finished",
+                p.layer,
+                p.sample
+            );
+        }
+    }
+
+    #[test]
+    fn render_text_produces_rows() {
+        let w = workload();
+        let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both);
+        let text = sim.timeline(&w).render_text(1, 40);
+        assert!(text.lines().count() > 3);
+        assert!(text.contains("conv s0"));
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the accelerator models: ordering and
+//! monotonicity invariants that must hold for any workload.
+
+use fbcnn_accel::{BaselineSim, CnvlutinSim, FastBcnnSim, HwConfig, IdealSim, SkipMode, Workload};
+use fbcnn_bayes::BayesianNetwork;
+use fbcnn_nn::models;
+use fbcnn_predictor::{ThresholdOptimizer, ThresholdSet};
+use fbcnn_tensor::Tensor;
+use proptest::prelude::*;
+
+fn workload_for(seed: u64, drop_rate: f64, t: usize, predict: bool) -> Workload {
+    let bnet = BayesianNetwork::new(models::lenet5(seed), drop_rate);
+    let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+        ((r * 3 + c * 7 + seed as usize) % 13) as f32 / 13.0
+    });
+    let thresholds = if predict {
+        ThresholdOptimizer {
+            samples: 2,
+            ..ThresholdOptimizer::default()
+        }
+        .optimize(&bnet, &input, seed)
+    } else {
+        ThresholdSet::never_predict(bnet.network().len())
+    };
+    Workload::build(&bnet, &input, &thresholds, t, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn ordering_invariants_hold(seed in 0u64..40, drop in 1usize..5) {
+        let drop_rate = drop as f64 / 10.0;
+        let w = workload_for(seed, drop_rate, 3, true);
+        let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+        let cnv = CnvlutinSim::new().run(&w);
+        for tm in [8usize, 64] {
+            let hw = HwConfig::fast_bcnn(tm);
+            let fb = FastBcnnSim::new(hw, SkipMode::Both).run(&w);
+            let ideal = IdealSim::new(hw).run(&w);
+            prop_assert!(ideal.total_cycles <= fb.total_cycles);
+            prop_assert!(fb.total_cycles < base.total_cycles);
+            prop_assert!(ideal.energy.total() <= fb.energy.total());
+            prop_assert!(fb.energy.total() > 0.0);
+        }
+        prop_assert!(cnv.normalized_cycles() <= base.normalized_cycles() + 1e-9);
+    }
+
+    #[test]
+    fn more_drop_means_fewer_cycles(seed in 0u64..40) {
+        let lo = workload_for(seed, 0.1, 3, false);
+        let hi = workload_for(seed, 0.5, 3, false);
+        let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::DroppedOnly);
+        prop_assert!(
+            sim.run(&hi).total_cycles <= sim.run(&lo).total_cycles,
+            "heavier dropout must not slow the dropped-only skipper"
+        );
+    }
+
+    #[test]
+    fn both_mode_is_at_least_unaffected_only(seed in 0u64..40) {
+        let w = workload_for(seed, 0.3, 3, true);
+        let hw = HwConfig::fast_bcnn(64);
+        let both = FastBcnnSim::new(hw, SkipMode::Both).run(&w);
+        let u = FastBcnnSim::new(hw, SkipMode::UnaffectedOnly).run(&w);
+        // Identical prediction pipeline, superset of skips.
+        prop_assert!(both.total_cycles <= u.total_cycles);
+    }
+
+    #[test]
+    fn baseline_is_exactly_linear_in_t(seed in 0u64..40) {
+        let w2 = workload_for(seed, 0.3, 2, false);
+        let w4 = workload_for(seed, 0.3, 4, false);
+        let sim = BaselineSim::new(HwConfig::baseline());
+        prop_assert_eq!(sim.run(&w2).total_cycles * 2, sim.run(&w4).total_cycles);
+    }
+
+    #[test]
+    fn timeline_schedule_matches_run_for_every_mode(seed in 0u64..40) {
+        let w = workload_for(seed, 0.3, 3, true);
+        for tm in [8usize, 64] {
+            for mode in [SkipMode::Both, SkipMode::DroppedOnly, SkipMode::UnaffectedOnly] {
+                let sim = FastBcnnSim::new(HwConfig::fast_bcnn(tm), mode);
+                let tl = sim.timeline(&w);
+                let report = sim.run(&w);
+                prop_assert_eq!(
+                    tl.total_cycles,
+                    report.total_cycles,
+                    "timeline diverged for FB-{} {:?}",
+                    tm,
+                    mode
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn workload_stats_are_internally_consistent(seed in 0u64..40) {
+        let w = workload_for(seed, 0.3, 3, true);
+        let total = w.total_skip_stats();
+        prop_assert_eq!(total.total as u64, w.conv_neurons_per_pass() * 3);
+        prop_assert!(total.skipped <= total.total);
+        prop_assert!(total.skipped >= total.dropped.max(total.predicted));
+        prop_assert!(total.skipped <= total.dropped + total.predicted);
+    }
+}

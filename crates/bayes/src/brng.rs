@@ -1,0 +1,191 @@
+use crate::Lfsr32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The paper's hardware Bernoulli random number generator (§V-B3).
+///
+/// Eight [`Lfsr32`]s each contribute one bit per cycle; the combined 8-bit
+/// uniform value is compared against the threshold `t = 256 · drop_rate`,
+/// and the dropout bit is `1` (dropped) when the value is *below* `t`.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_bayes::Brng;
+///
+/// let mut brng = Brng::new(0.3, 7);
+/// let dropped: usize = (0..1000).filter(|_| brng.next_bit()).count();
+/// assert!((200..400).contains(&dropped));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Brng {
+    lfsrs: [Lfsr32; 8],
+    threshold: u32,
+}
+
+impl Brng {
+    /// Creates a BRNG for the given drop rate, seeding the eight LFSRs
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= drop_rate <= 1.0`.
+    pub fn new(drop_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_rate),
+            "drop rate {drop_rate} out of [0, 1]"
+        );
+        let mut lfsrs = [Lfsr32::new(1); 8];
+        let mut mix = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+        for l in &mut lfsrs {
+            mix = mix
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *l = Lfsr32::new((mix >> 32) as u32);
+        }
+        Self {
+            lfsrs,
+            threshold: (256.0 * drop_rate).round() as u32,
+        }
+    }
+
+    /// The comparison threshold `t = 256 · drop_rate`.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The next 8-bit uniform value (one bit per LFSR).
+    pub fn next_uniform(&mut self) -> u32 {
+        let mut v = 0u32;
+        for l in &mut self.lfsrs {
+            v = (v << 1) | u32::from(l.step());
+        }
+        v
+    }
+
+    /// The next dropout bit: `true` means *dropped*.
+    #[inline]
+    pub fn next_bit(&mut self) -> bool {
+        self.next_uniform() < self.threshold
+    }
+}
+
+/// Software reference Bernoulli generator (the "software approach" column
+/// of Table III), backed by a seeded [`StdRng`].
+#[derive(Debug, Clone)]
+pub struct SoftwareBernoulli {
+    rng: StdRng,
+    drop_rate: f64,
+}
+
+impl SoftwareBernoulli {
+    /// Creates a generator with the given drop rate and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= drop_rate <= 1.0`.
+    pub fn new(drop_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_rate),
+            "drop rate {drop_rate} out of [0, 1]"
+        );
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            drop_rate,
+        }
+    }
+
+    /// The next dropout bit: `true` means *dropped*.
+    pub fn next_bit(&mut self) -> bool {
+        self.rng.gen_bool(self.drop_rate)
+    }
+}
+
+/// Measures the empirical drop rate of `n` bits from any bit source —
+/// the quantity Table III reports for 2000 and 4000 cycles.
+pub fn measured_drop_rate(mut source: impl FnMut() -> bool, n: usize) -> f64 {
+    assert!(n > 0, "cannot measure over zero bits");
+    (0..n).filter(|_| source()).count() as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_matches_paper_formula() {
+        assert_eq!(Brng::new(0.5, 0).threshold(), 128);
+        assert_eq!(Brng::new(0.3, 0).threshold(), 77);
+        assert_eq!(Brng::new(0.1, 0).threshold(), 26);
+        assert_eq!(Brng::new(0.0, 0).threshold(), 0);
+        assert_eq!(Brng::new(1.0, 0).threshold(), 256);
+    }
+
+    #[test]
+    fn extreme_rates_are_exact() {
+        let mut never = Brng::new(0.0, 3);
+        assert!((0..500).all(|_| !never.next_bit()));
+        let mut always = Brng::new(1.0, 3);
+        assert!((0..500).all(|_| always.next_bit()));
+    }
+
+    #[test]
+    fn uniform_values_span_the_byte_range() {
+        let mut brng = Brng::new(0.5, 9);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let v = brng.next_uniform();
+            assert!(v < 256);
+            seen_low |= v < 32;
+            seen_high |= v >= 224;
+        }
+        assert!(seen_low && seen_high, "uniform output not spanning range");
+    }
+
+    #[test]
+    fn measured_rate_close_to_nominal_table3() {
+        // The Table III experiment: 2000 and 4000 cycles at three rates.
+        for &p in &[0.5, 0.2, 0.1] {
+            for &n in &[2000usize, 4000] {
+                let mut brng = Brng::new(p, 1234);
+                let rate = measured_drop_rate(|| brng.next_bit(), n);
+                assert!(
+                    (rate - p).abs() < 0.03,
+                    "LFSR rate {rate} too far from {p} over {n} bits"
+                );
+                let mut sw = SoftwareBernoulli::new(p, 1234);
+                let sw_rate = measured_drop_rate(|| sw.next_bit(), n);
+                assert!(
+                    (sw_rate - p).abs() < 0.03,
+                    "software rate {sw_rate} too far from {p} over {n} bits"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = Brng::new(0.5, 1);
+        let mut b = Brng::new(0.5, 2);
+        let va: Vec<u32> = (0..32).map(|_| a.next_uniform()).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.next_uniform()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = Brng::new(0.3, 42);
+        let mut b = Brng::new(0.3, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn invalid_rate_rejected() {
+        let _ = Brng::new(1.5, 0);
+    }
+}

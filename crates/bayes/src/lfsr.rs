@@ -1,0 +1,133 @@
+use serde::{Deserialize, Serialize};
+
+/// A 32-bit Fibonacci linear feedback shift register with taps at stages
+/// 32, 30, 26 and 25 — the maximal-length polynomial the paper's BRNG is
+/// built on (§V-B3, Fig. 8b).
+///
+/// Each [`Lfsr32::step`] shifts the register by one stage and returns the
+/// bit read at the head, a uniformly distributed pseudo-random bit.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_bayes::Lfsr32;
+///
+/// let mut lfsr = Lfsr32::new(0xACE1_u32 as u32);
+/// let bits: Vec<bool> = (0..8).map(|_| lfsr.step()).collect();
+/// assert_eq!(bits.len(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lfsr32 {
+    state: u32,
+}
+
+impl Lfsr32 {
+    /// Creates an LFSR from a seed. A zero seed is mapped to a fixed
+    /// non-zero state (an all-zero LFSR would be stuck forever).
+    pub fn new(seed: u32) -> Self {
+        Self {
+            state: if seed == 0 { 0xDEAD_BEEF } else { seed },
+        }
+    }
+
+    /// The current register contents.
+    pub fn state(&self) -> u32 {
+        self.state
+    }
+
+    /// Advances one cycle and returns the output bit (the bit shifted out
+    /// at the head of the register).
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        let s = self.state;
+        // Stage k (1-indexed) lives at bit (k - 1): taps 32, 30, 26, 25.
+        let feedback = ((s >> 31) ^ (s >> 29) ^ (s >> 25) ^ (s >> 24)) & 1;
+        let out = (s >> 31) & 1 == 1;
+        self.state = (s << 1) | feedback;
+        out
+    }
+
+    /// Produces the next `n`-bit value, most significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 32`.
+    pub fn next_bits(&mut self, n: usize) -> u32 {
+        assert!(n <= 32, "cannot draw more than 32 bits at once");
+        let mut v = 0u32;
+        for _ in 0..n {
+            v = (v << 1) | u32::from(self.step());
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut l = Lfsr32::new(0);
+        assert_ne!(l.state(), 0);
+        // And it still produces varied output.
+        let bits: u32 = (0..64).map(|_| u32::from(l.step())).sum();
+        assert!(bits > 10 && bits < 54);
+    }
+
+    #[test]
+    fn state_never_reaches_zero() {
+        let mut l = Lfsr32::new(1);
+        for _ in 0..100_000 {
+            l.step();
+            assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn no_short_period() {
+        let start = Lfsr32::new(0x1234_5678);
+        let mut l = start;
+        for _ in 0..1_000_000u32 {
+            l.step();
+            assert_ne!(l, start, "LFSR period is unexpectedly short");
+        }
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        let mut l = Lfsr32::new(0xCAFE_BABE);
+        let n = 100_000;
+        let ones: u32 = (0..n).map(|_| u32::from(l.step())).sum();
+        let ratio = ones as f64 / n as f64;
+        assert!(
+            (0.49..0.51).contains(&ratio),
+            "bit balance {ratio} too far from 0.5"
+        );
+    }
+
+    #[test]
+    fn serial_correlation_is_low() {
+        let mut l = Lfsr32::new(0xBEEF);
+        let bits: Vec<bool> = (0..100_000).map(|_| l.step()).collect();
+        let agree = bits.windows(2).filter(|w| w[0] == w[1]).count();
+        let ratio = agree as f64 / (bits.len() - 1) as f64;
+        assert!(
+            (0.49..0.51).contains(&ratio),
+            "serial correlation {ratio} too far from 0.5"
+        );
+    }
+
+    #[test]
+    fn next_bits_is_msb_first() {
+        let mut a = Lfsr32::new(77);
+        let mut b = Lfsr32::new(77);
+        let v = a.next_bits(8);
+        let mut expect = 0u32;
+        for _ in 0..8 {
+            expect = (expect << 1) | u32::from(b.step());
+        }
+        assert_eq!(v, expect);
+        assert!(v < 256);
+    }
+}

@@ -1,0 +1,166 @@
+//! Dropout masks and the mask-pooling unit.
+
+use fbcnn_nn::{NodeId, Pool2d};
+use fbcnn_tensor::BitMask;
+use serde::{Deserialize, Serialize};
+
+/// The dropout masks of one sample inference: one [`BitMask`] per
+/// dropout-carrying node (convolution outputs), indexed by node id.
+///
+/// Bit `1` means *dropped* — the convention of the paper's BRNG output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DropoutMasks {
+    masks: Vec<Option<BitMask>>,
+}
+
+impl DropoutMasks {
+    /// An empty mask set covering `n_nodes` graph nodes.
+    pub fn empty(n_nodes: usize) -> Self {
+        Self {
+            masks: vec![None; n_nodes],
+        }
+    }
+
+    /// Installs the mask for a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn insert(&mut self, node: NodeId, mask: BitMask) {
+        self.masks[node.0] = Some(mask);
+    }
+
+    /// The mask for a node, if that node carries dropout.
+    pub fn get(&self, node: NodeId) -> Option<&BitMask> {
+        self.masks.get(node.0).and_then(Option::as_ref)
+    }
+
+    /// Number of nodes covered (masked or not).
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether no node carries a mask.
+    pub fn is_empty(&self) -> bool {
+        self.masks.iter().all(Option::is_none)
+    }
+
+    /// Iterates over `(node, mask)` pairs for masked nodes.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &BitMask)> {
+        self.masks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.as_ref().map(|m| (NodeId(i), m)))
+    }
+
+    /// Total dropped neurons across all masks.
+    pub fn total_dropped(&self) -> usize {
+        self.iter().map(|(_, m)| m.count_ones()).sum()
+    }
+}
+
+/// Pools a dropout mask through a pooling layer — the paper's
+/// *mask pooling* unit (§V-B2): the pooled bit is `1` (dropped) only when
+/// **every** in-bounds bit in the window is `1`, because a single
+/// surviving non-zero value wins the max.
+///
+/// The same rule is used for average pooling: an all-dropped window
+/// produces an exactly-zero average, anything else generally does not.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_bayes::mask::pool_mask;
+/// use fbcnn_nn::{Pool2d, PoolKind};
+/// use fbcnn_tensor::{BitMask, Shape};
+///
+/// let mut m = BitMask::ones(Shape::new(1, 2, 2));
+/// m.set_at(0, 0, 0, false);
+/// let pool = Pool2d::new(PoolKind::Max, 2, 2);
+/// let pooled = pool_mask(&m, &pool);
+/// assert!(!pooled.get_at(0, 0, 0)); // one survivor keeps the output
+/// ```
+pub fn pool_mask(mask: &BitMask, pool: &Pool2d) -> BitMask {
+    let in_shape = mask.shape();
+    let out_shape = pool.output_shape(in_shape);
+    let (in_h, in_w) = (in_shape.height(), in_shape.width());
+    let k = pool.window();
+    let stride = pool.stride();
+    let pad = pool.padding() as isize;
+    // Unpack once: byte reads beat per-bit extraction in the window scan.
+    let bytes: Vec<u8> = (0..in_shape.len()).map(|i| u8::from(mask.get(i))).collect();
+    let in_plane = in_shape.plane();
+    let mut out = BitMask::zeros(out_shape);
+    for ch in 0..out_shape.channels() {
+        let plane = &bytes[ch * in_plane..(ch + 1) * in_plane];
+        for r in 0..out_shape.height() {
+            'cols: for c in 0..out_shape.width() {
+                for i in 0..k {
+                    let ri = (r * stride + i) as isize - pad;
+                    if ri < 0 || ri as usize >= in_h {
+                        continue;
+                    }
+                    let row = &plane[ri as usize * in_w..(ri as usize + 1) * in_w];
+                    for j in 0..k {
+                        let ci = (c * stride + j) as isize - pad;
+                        if ci < 0 || ci as usize >= in_w {
+                            continue;
+                        }
+                        if row[ci as usize] == 0 {
+                            continue 'cols;
+                        }
+                    }
+                }
+                out.set_at(ch, r, c, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_nn::PoolKind;
+    use fbcnn_tensor::Shape;
+
+    #[test]
+    fn all_dropped_window_stays_dropped() {
+        let m = BitMask::ones(Shape::new(1, 4, 4));
+        let pooled = pool_mask(&m, &Pool2d::new(PoolKind::Max, 2, 2));
+        assert_eq!(pooled.count_ones(), pooled.len());
+    }
+
+    #[test]
+    fn any_survivor_clears_the_bit() {
+        let mut m = BitMask::ones(Shape::new(1, 4, 4));
+        m.set_at(0, 2, 3, false); // survivor in the (1,1) window
+        let pooled = pool_mask(&m, &Pool2d::new(PoolKind::Max, 2, 2));
+        assert!(pooled.get_at(0, 0, 0));
+        assert!(!pooled.get_at(0, 1, 1));
+    }
+
+    #[test]
+    fn padded_window_ignores_out_of_bounds() {
+        // 3x3/1 pad 1 pooling: the corner window has 4 in-bounds bits.
+        let m = BitMask::ones(Shape::new(1, 3, 3));
+        let pool = Pool2d::new(PoolKind::Max, 3, 1).with_pad(1);
+        let pooled = pool_mask(&m, &pool);
+        assert_eq!(pooled.shape(), Shape::new(1, 3, 3));
+        assert_eq!(pooled.count_ones(), 9);
+    }
+
+    #[test]
+    fn masks_container_roundtrip() {
+        let mut masks = DropoutMasks::empty(5);
+        assert!(masks.is_empty());
+        let m = BitMask::ones(Shape::new(2, 2, 2));
+        masks.insert(NodeId(3), m.clone());
+        assert_eq!(masks.get(NodeId(3)), Some(&m));
+        assert_eq!(masks.get(NodeId(1)), None);
+        assert_eq!(masks.total_dropped(), 8);
+        assert_eq!(masks.iter().count(), 1);
+        assert!(!masks.is_empty());
+        assert_eq!(masks.len(), 5);
+    }
+}

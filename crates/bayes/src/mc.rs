@@ -1,0 +1,272 @@
+use crate::mask::DropoutMasks;
+use crate::{metrics, BayesianNetwork, SampleRun};
+use fbcnn_tensor::{stats, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// The Monte-Carlo-dropout runner: `T` stochastic forward passes over the
+/// same input (paper §II-B).
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_bayes::{BayesianNetwork, McDropout};
+/// use fbcnn_nn::models;
+/// use fbcnn_tensor::Tensor;
+///
+/// let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+/// let pred = McDropout::new(4, 0).run(&bnet, &Tensor::zeros(bnet.network().input_shape()));
+/// assert_eq!(pred.sample_probs.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct McDropout {
+    t: usize,
+    seed: u64,
+}
+
+/// The outcome of a complete MC-dropout inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Per-sample softmax probabilities (`T` rows).
+    pub sample_probs: Vec<Vec<f32>>,
+    /// The predictive mean `ȳ = (1/T) Σ yₜ` (paper Eq. 4), over softmax
+    /// outputs.
+    pub mean: Vec<f32>,
+    /// The predicted class (argmax of the mean).
+    pub class: usize,
+    /// Predictive entropy of the mean distribution (total uncertainty).
+    pub predictive_entropy: f32,
+    /// Mutual information between prediction and posterior (epistemic
+    /// uncertainty, a.k.a. BALD).
+    pub mutual_information: f32,
+}
+
+/// Everything a complete MC-dropout run produced — the raw material for
+/// the characterization, prediction and accelerator experiments.
+///
+/// Holding the full trace (pre-inference plus every sample's masks and
+/// activations) lets each hardware configuration be evaluated without
+/// re-running the functional network.
+#[derive(Debug, Clone)]
+pub struct McTrace {
+    /// The dropout-free pre-inference.
+    pub pre: SampleRun,
+    /// Per-sample `(masks, run)` pairs, `T` of them.
+    pub samples: Vec<(DropoutMasks, SampleRun)>,
+}
+
+impl McDropout {
+    /// Creates a runner performing `t` sample inferences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn new(t: usize, seed: u64) -> Self {
+        assert!(t > 0, "MC dropout needs at least one sample");
+        Self { t, seed }
+    }
+
+    /// Number of sample inferences `T`.
+    pub fn samples(&self) -> usize {
+        self.t
+    }
+
+    /// The mask seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Runs `T` stochastic passes and summarizes them.
+    pub fn run(&self, bnet: &BayesianNetwork, input: &Tensor) -> Prediction {
+        let sample_probs: Vec<Vec<f32>> = (0..self.t)
+            .map(|t| {
+                let masks = bnet.generate_masks(self.seed, t);
+                let run = bnet.forward_sample(input, &masks);
+                stats::softmax(run.logits())
+            })
+            .collect();
+        Self::summarize(sample_probs)
+    }
+
+    /// Like [`McDropout::run`], but distributes the `T` independent
+    /// sample inferences over `threads` worker threads (crossbeam scoped
+    /// threads; the samples share nothing but the read-only network).
+    ///
+    /// The result is bit-identical to the sequential [`McDropout::run`]:
+    /// sample `t` always uses the masks `generate_masks(seed, t)` and the
+    /// rows are reassembled in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel(
+        &self,
+        bnet: &BayesianNetwork,
+        input: &Tensor,
+        threads: usize,
+    ) -> Prediction {
+        assert!(threads > 0, "need at least one worker thread");
+        let threads = threads.min(self.t);
+        let mut sample_probs: Vec<Vec<f32>> = vec![Vec::new(); self.t];
+        crossbeam::thread::scope(|scope| {
+            for (worker, chunk) in sample_probs
+                .chunks_mut(self.t.div_ceil(threads))
+                .enumerate()
+            {
+                let base = worker * self.t.div_ceil(threads);
+                scope.spawn(move |_| {
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let t = base + offset;
+                        let masks = bnet.generate_masks(self.seed, t);
+                        let run = bnet.forward_sample(input, &masks);
+                        *slot = stats::softmax(run.logits());
+                    }
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        Self::summarize(sample_probs)
+    }
+
+    /// Runs `T` stochastic passes plus the pre-inference, keeping the full
+    /// trace.
+    pub fn run_trace(&self, bnet: &BayesianNetwork, input: &Tensor) -> McTrace {
+        let pre = bnet.forward_deterministic(input);
+        let samples = (0..self.t)
+            .map(|t| {
+                let masks = bnet.generate_masks(self.seed, t);
+                let run = bnet.forward_sample(input, &masks);
+                (masks, run)
+            })
+            .collect();
+        McTrace { pre, samples }
+    }
+
+    /// Builds a [`Prediction`] from per-sample probability rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_probs` is empty or rows have differing lengths.
+    pub fn summarize(sample_probs: Vec<Vec<f32>>) -> Prediction {
+        assert!(!sample_probs.is_empty(), "no samples to summarize");
+        let classes = sample_probs[0].len();
+        assert!(
+            sample_probs.iter().all(|p| p.len() == classes),
+            "inconsistent class counts across samples"
+        );
+        let mut mean = vec![0.0f32; classes];
+        for probs in &sample_probs {
+            for (m, p) in mean.iter_mut().zip(probs) {
+                *m += p;
+            }
+        }
+        for m in &mut mean {
+            *m /= sample_probs.len() as f32;
+        }
+        let class = stats::argmax(&mean);
+        let predictive_entropy = stats::entropy(&mean);
+        let mutual_information = metrics::mutual_information(&sample_probs);
+        Prediction {
+            sample_probs,
+            mean,
+            class,
+            predictive_entropy,
+            mutual_information,
+        }
+    }
+}
+
+impl McTrace {
+    /// Summarizes the trace's samples into a [`Prediction`].
+    pub fn prediction(&self) -> Prediction {
+        McDropout::summarize(
+            self.samples
+                .iter()
+                .map(|(_, run)| stats::softmax(run.logits()))
+                .collect(),
+        )
+    }
+
+    /// Number of samples `T`.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_nn::models;
+
+    fn setup() -> (BayesianNetwork, Tensor) {
+        let bnet = BayesianNetwork::new(models::lenet5(3), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r * 5 + c) % 7) as f32 / 7.0
+        });
+        (bnet, input)
+    }
+
+    #[test]
+    fn mean_is_average_of_samples() {
+        let (bnet, input) = setup();
+        let pred = McDropout::new(6, 1).run(&bnet, &input);
+        let classes = pred.mean.len();
+        for k in 0..classes {
+            let avg: f32 = pred.sample_probs.iter().map(|p| p[k]).sum::<f32>()
+                / pred.sample_probs.len() as f32;
+            assert!((pred.mean[k] - avg).abs() < 1e-6);
+        }
+        assert!((pred.mean.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let (bnet, input) = setup();
+        let a = McDropout::new(3, 9).run(&bnet, &input);
+        let b = McDropout::new(3, 9).run(&bnet, &input);
+        assert_eq!(a, b);
+        let c = McDropout::new(3, 10).run(&bnet, &input);
+        assert_ne!(a.sample_probs, c.sample_probs);
+    }
+
+    #[test]
+    fn trace_prediction_matches_direct_run() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(4, 2);
+        let direct = runner.run(&bnet, &input);
+        let trace = runner.run_trace(&bnet, &input);
+        assert_eq!(trace.len(), 4);
+        assert!(!trace.is_empty());
+        assert_eq!(trace.prediction(), direct);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_sequential() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(7, 13);
+        let seq = runner.run(&bnet, &input);
+        for threads in [1, 2, 3, 16] {
+            let par = runner.run_parallel(&bnet, &input, threads);
+            assert_eq!(seq, par, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn uncertainty_is_nonnegative_and_bounded() {
+        let (bnet, input) = setup();
+        let pred = McDropout::new(8, 3).run(&bnet, &input);
+        assert!(pred.predictive_entropy >= 0.0);
+        assert!(pred.mutual_information >= -1e-5);
+        assert!(pred.mutual_information <= pred.predictive_entropy + 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = McDropout::new(0, 0);
+    }
+}

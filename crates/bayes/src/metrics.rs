@@ -1,0 +1,199 @@
+//! Uncertainty metrics over MC-dropout sample distributions.
+//!
+//! These are the quantities BCNN applications gate decisions on (paper
+//! §I: rejecting uncertain predictions avoided ~80 % of mistakes in
+//! Kendall et al.'s scene-understanding work and enabled Leibig et al.'s
+//! referral pipeline).
+
+use fbcnn_tensor::stats;
+
+/// Predictive entropy `H[ȳ]` of the mean distribution — total
+/// (aleatoric + epistemic) uncertainty, in nats.
+///
+/// # Panics
+///
+/// Panics if `mean` is empty or sums to zero.
+pub fn predictive_entropy(mean: &[f32]) -> f32 {
+    stats::entropy(mean)
+}
+
+/// Mutual information `I[y; w] = H[ȳ] − (1/T) Σ H[yₜ]` (BALD) —
+/// epistemic uncertainty only.
+///
+/// # Panics
+///
+/// Panics if `sample_probs` is empty or rows have differing lengths.
+pub fn mutual_information(sample_probs: &[Vec<f32>]) -> f32 {
+    assert!(!sample_probs.is_empty(), "no samples");
+    let classes = sample_probs[0].len();
+    let mut mean = vec![0.0f32; classes];
+    let mut avg_entropy = 0.0f32;
+    for p in sample_probs {
+        assert_eq!(p.len(), classes, "inconsistent class counts");
+        for (m, &v) in mean.iter_mut().zip(p) {
+            *m += v;
+        }
+        avg_entropy += stats::entropy(p);
+    }
+    for m in &mut mean {
+        *m /= sample_probs.len() as f32;
+    }
+    avg_entropy /= sample_probs.len() as f32;
+    (stats::entropy(&mean) - avg_entropy).max(0.0)
+}
+
+/// An uncertainty-based referral gate — the decision rule behind the
+/// paper's motivating applications (Leibig et al.'s diagnostic referral,
+/// Kendall et al.'s low-tolerance scene understanding, §I).
+///
+/// The gate refers a prediction to a human when its uncertainty exceeds
+/// a threshold, typically calibrated as a quantile of in-distribution
+/// uncertainties.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_bayes::metrics::ReferralGate;
+///
+/// let gate = ReferralGate::from_quantile(&[0.1, 0.2, 0.3, 0.9], 0.75);
+/// assert!(!gate.should_refer(0.25));
+/// assert!(gate.should_refer(1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReferralGate {
+    threshold: f32,
+}
+
+impl ReferralGate {
+    /// A gate with an explicit uncertainty threshold (nats).
+    pub fn new(threshold: f32) -> Self {
+        Self { threshold }
+    }
+
+    /// Calibrates the threshold as the `q`-quantile of a set of reference
+    /// (in-distribution) uncertainties.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is empty or `q` is outside `[0, 1]`.
+    pub fn from_quantile(reference: &[f32], q: f64) -> Self {
+        assert!(!reference.is_empty(), "empty reference set");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        let mut sorted = reference.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite uncertainties"));
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        Self {
+            threshold: sorted[idx],
+        }
+    }
+
+    /// The gate threshold.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Whether a prediction with this uncertainty should be referred.
+    pub fn should_refer(&self, uncertainty: f32) -> bool {
+        uncertainty > self.threshold
+    }
+
+    /// Splits `(uncertainty, payload)` cases into `(retained, referred)`.
+    pub fn partition<T>(&self, cases: Vec<(f32, T)>) -> (Vec<T>, Vec<T>) {
+        let mut retained = Vec::new();
+        let mut referred = Vec::new();
+        for (u, payload) in cases {
+            if self.should_refer(u) {
+                referred.push(payload);
+            } else {
+                retained.push(payload);
+            }
+        }
+        (retained, referred)
+    }
+}
+
+/// Per-class variance of the sample probabilities — the "output
+/// distribution" spread the paper's Fig. 1 illustrates.
+///
+/// # Panics
+///
+/// Panics if `sample_probs` is empty or rows have differing lengths.
+pub fn class_variance(sample_probs: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!sample_probs.is_empty(), "no samples");
+    let classes = sample_probs[0].len();
+    (0..classes)
+        .map(|k| {
+            let col: Vec<f32> = sample_probs
+                .iter()
+                .map(|p| {
+                    assert_eq!(p.len(), classes, "inconsistent class counts");
+                    p[k]
+                })
+                .collect();
+            stats::variance(&col)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_mutual_information() {
+        let probs = vec![vec![0.7, 0.2, 0.1]; 5];
+        assert!(mutual_information(&probs) < 1e-6);
+        assert!(class_variance(&probs).iter().all(|&v| v < 1e-9));
+    }
+
+    #[test]
+    fn disagreeing_samples_have_positive_mutual_information() {
+        let probs = vec![vec![0.9, 0.1], vec![0.1, 0.9]];
+        let mi = mutual_information(&probs);
+        assert!(mi > 0.2, "expected high epistemic uncertainty, got {mi}");
+        let var = class_variance(&probs);
+        assert!(var[0] > 0.1);
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_entropy() {
+        let probs = vec![
+            vec![0.6, 0.3, 0.1],
+            vec![0.2, 0.5, 0.3],
+            vec![0.4, 0.4, 0.2],
+        ];
+        let mean: Vec<f32> = (0..3)
+            .map(|k| probs.iter().map(|p| p[k]).sum::<f32>() / 3.0)
+            .collect();
+        assert!(mutual_information(&probs) <= predictive_entropy(&mean) + 1e-6);
+    }
+
+    #[test]
+    fn uniform_mean_maximizes_entropy() {
+        let e_uniform = predictive_entropy(&[0.25; 4]);
+        let e_peaked = predictive_entropy(&[0.97, 0.01, 0.01, 0.01]);
+        assert!(e_uniform > e_peaked);
+    }
+
+    #[test]
+    fn referral_gate_partitions_cases() {
+        let gate = ReferralGate::new(0.5);
+        let (kept, referred) = gate.partition(vec![(0.1, "a"), (0.9, "b"), (0.4, "c"), (0.6, "d")]);
+        assert_eq!(kept, vec!["a", "c"]);
+        assert_eq!(referred, vec!["b", "d"]);
+    }
+
+    #[test]
+    fn quantile_calibration_brackets_the_reference() {
+        let gate = ReferralGate::from_quantile(&[0.3, 0.1, 0.2, 0.4], 0.0);
+        assert_eq!(gate.threshold(), 0.1);
+        let gate = ReferralGate::from_quantile(&[0.3, 0.1, 0.2, 0.4], 1.0);
+        assert_eq!(gate.threshold(), 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty reference")]
+    fn quantile_needs_data() {
+        let _ = ReferralGate::from_quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the Bayesian machinery.
+
+use fbcnn_bayes::mask::pool_mask;
+use fbcnn_bayes::{measured_drop_rate, Brng, Lfsr32, McDropout};
+use fbcnn_nn::{Pool2d, PoolKind};
+use fbcnn_tensor::{BitMask, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lfsr_never_dies(seed in any::<u32>()) {
+        let mut l = Lfsr32::new(seed);
+        for _ in 0..2048 {
+            l.step();
+            prop_assert_ne!(l.state(), 0);
+        }
+    }
+
+    #[test]
+    fn brng_rate_tracks_nominal(p in 0.05f64..0.95, seed in any::<u64>()) {
+        let mut brng = Brng::new(p, seed);
+        let rate = measured_drop_rate(|| brng.next_bit(), 4096);
+        // Quantization to t = round(256 p) plus sampling noise.
+        prop_assert!((rate - p).abs() < 0.06, "rate {rate} vs nominal {p}");
+    }
+
+    #[test]
+    fn brng_is_monotone_in_drop_rate(seed in any::<u64>(), p in 0.1f64..0.8) {
+        // Same seed => same uniform stream; a higher threshold can only
+        // turn more bits on.
+        let mut lo = Brng::new(p, seed);
+        let mut hi = Brng::new((p + 0.15).min(1.0), seed);
+        for _ in 0..512 {
+            let (a, b) = (lo.next_bit(), hi.next_bit());
+            prop_assert!(!a || b, "lower rate dropped where higher kept");
+        }
+    }
+
+    #[test]
+    fn mask_pooling_never_creates_drops(
+        seed in any::<u64>(),
+        density in 0.0f64..1.0,
+    ) {
+        let shape = Shape::new(2, 8, 8);
+        let mut state = seed;
+        let mask = BitMask::from_fn(shape, |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / u32::MAX as f64) < density
+        });
+        let pool = Pool2d::new(PoolKind::Max, 2, 2);
+        let pooled = pool_mask(&mask, &pool);
+        // A pooled drop requires all four window bits dropped, so the
+        // pooled density can never exceed the raw density (for density<1
+        // strictly fewer unless degenerate).
+        prop_assert!(pooled.density() <= mask.density() + 1e-12);
+        // And every pooled drop is witnessed by a fully-dropped window.
+        for i in pooled.iter_set() {
+            let (c, r, col) = pooled.shape().unravel(i);
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    prop_assert!(mask.get_at(c, 2 * r + dy, 2 * col + dx));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_mean_is_convex_combination(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0.01f32..1.0, 5),
+            1..6,
+        )
+    ) {
+        // Normalize rows into distributions.
+        let probs: Vec<Vec<f32>> = rows
+            .into_iter()
+            .map(|r| {
+                let s: f32 = r.iter().sum();
+                r.into_iter().map(|v| v / s).collect()
+            })
+            .collect();
+        let pred = McDropout::summarize(probs.clone());
+        prop_assert!((pred.mean.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        for k in 0..5 {
+            let lo = probs.iter().map(|p| p[k]).fold(f32::INFINITY, f32::min);
+            let hi = probs.iter().map(|p| p[k]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(pred.mean[k] >= lo - 1e-6 && pred.mean[k] <= hi + 1e-6);
+        }
+        prop_assert!(pred.mutual_information >= 0.0);
+        prop_assert!(pred.mutual_information <= pred.predictive_entropy + 1e-5);
+    }
+}

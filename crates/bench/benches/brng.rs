@@ -1,0 +1,58 @@
+//! Criterion benches for Bernoulli bit generation (Table III's two
+//! generators) and the prediction unit's binary-convolution counting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_bcnn::{Brng, SoftwareBernoulli};
+use fbcnn_nn::Conv2d;
+use fbcnn_predictor::{count_dropped_nw_inputs, PolarityIndicators};
+use fbcnn_tensor::{BitMask, Shape};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bernoulli_4096_bits");
+    group.bench_function("lfsr_brng", |b| {
+        b.iter(|| {
+            let mut brng = Brng::new(0.3, 7);
+            let mut ones = 0u32;
+            for _ in 0..4096 {
+                ones += u32::from(brng.next_bit());
+            }
+            black_box(ones)
+        });
+    });
+    group.bench_function("software", |b| {
+        b.iter(|| {
+            let mut rng = SoftwareBernoulli::new(0.3, 7);
+            let mut ones = 0u32;
+            for _ in 0..4096 {
+                ones += u32::from(rng.next_bit());
+            }
+            black_box(ones)
+        });
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    // A conv2-of-LeNet-sized counting job.
+    let mut conv = Conv2d::new(6, 16, 5, 1, 0, true);
+    let mut state = 3u64;
+    for w in conv.weights_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *w = ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0;
+    }
+    let indicators = PolarityIndicators::profile_conv(&conv);
+    let mask = BitMask::from_fn(Shape::new(6, 14, 14), |i| i % 3 == 0);
+    c.bench_function("count_dropped_nw_inputs_lenet_conv2", |b| {
+        b.iter(|| {
+            black_box(count_dropped_nw_inputs(
+                &conv,
+                &indicators,
+                black_box(&mask),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_counting);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the functional inference paths: one dense
+//! MC-dropout sample vs one skipping sample.
+//!
+//! Expect near-parity, not the cycle-model speedups: the skipping path
+//! must also run the prediction unit's nw-input counting, which the
+//! hardware performs on parallel AND-gate lanes for free but software
+//! pays serially — roughly one binary op per MAC of the following
+//! layer. The performance result of the paper lives in the cycle-level
+//! simulators (see the `simulators` bench and the figure harnesses);
+//! this bench documents that the *functional* skipping path is not
+//! paying an unreasonable software premium for its bit-exactness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_bcnn::{synth_input, Engine, EngineConfig, PredictiveInference};
+use fbcnn_nn::models::ModelKind;
+use std::hint::black_box;
+
+fn bench_sample_inference(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig {
+        samples: 8,
+        calibration_samples: 4,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    });
+    let input = synth_input(engine.network().input_shape(), 3);
+    let bnet = engine.bayesian_network();
+    let masks = bnet.generate_masks(5, 0);
+
+    let mut group = c.benchmark_group("lenet_sample_inference");
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(bnet.forward_sample(black_box(&input), &masks)));
+    });
+    let pe = PredictiveInference::new(bnet, &input, engine.thresholds().clone());
+    group.bench_function("skipping", |b| {
+        b.iter(|| black_box(pe.run_sample(black_box(&masks))));
+    });
+    group.finish();
+}
+
+fn bench_pre_inference(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig {
+        samples: 4,
+        calibration_samples: 2,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    });
+    let input = synth_input(engine.network().input_shape(), 9);
+    c.bench_function("lenet_pre_inference", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .bayesian_network()
+                    .forward_deterministic(black_box(&input)),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_sample_inference, bench_pre_inference);
+criterion_main!(benches);

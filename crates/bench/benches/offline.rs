@@ -1,0 +1,66 @@
+//! Criterion benches for the offline stage: Algorithm 1 threshold
+//! optimization, workload extraction, and LeNet-5 training epochs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_bcnn::{synth_input, BayesianNetwork, ThresholdOptimizer, Workload};
+use fbcnn_nn::data::SynthDigits;
+use fbcnn_nn::models::ModelKind;
+use fbcnn_nn::train::{self, TrainConfig};
+use std::hint::black_box;
+
+fn bench_threshold_optimization(c: &mut Criterion) {
+    let bnet = BayesianNetwork::new(ModelKind::LeNet5.build(1), 0.3);
+    let input = synth_input(bnet.network().input_shape(), 7);
+    c.bench_function("algorithm1_lenet_t4", |b| {
+        let opt = ThresholdOptimizer {
+            samples: 4,
+            ..ThresholdOptimizer::default()
+        };
+        b.iter(|| black_box(opt.optimize(&bnet, black_box(&input), 3)));
+    });
+}
+
+fn bench_workload_build(c: &mut Criterion) {
+    let bnet = BayesianNetwork::new(ModelKind::LeNet5.build(1), 0.3);
+    let input = synth_input(bnet.network().input_shape(), 7);
+    let thresholds = ThresholdOptimizer {
+        samples: 2,
+        ..ThresholdOptimizer::default()
+    }
+    .optimize(&bnet, &input, 3);
+    c.bench_function("workload_build_lenet_t8", |b| {
+        b.iter(|| black_box(Workload::build(&bnet, &input, &thresholds, 8, 3)));
+    });
+}
+
+fn bench_training_epoch(c: &mut Criterion) {
+    let data = SynthDigits::new(1).batch(0, 64);
+    c.bench_function("lenet_train_epoch_64_images", |b| {
+        b.iter_batched(
+            || {
+                let mut net = ModelKind::LeNet5.build(1);
+                fbcnn_nn::init::he_uniform(&mut net, 1);
+                net
+            },
+            |mut net| {
+                train::train(
+                    &mut net,
+                    &data,
+                    &TrainConfig {
+                        epochs: 1,
+                        ..TrainConfig::default()
+                    },
+                );
+                black_box(net)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_threshold_optimization, bench_workload_build, bench_training_epoch
+}
+criterion_main!(benches);

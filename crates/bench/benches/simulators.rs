@@ -1,0 +1,58 @@
+//! Criterion benches for the cycle-model simulators: how fast each
+//! hardware model replays a prebuilt workload (the figure harnesses call
+//! these models hundreds of times across sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fast_bcnn::{
+    synth_input, BaselineSim, CnvlutinSim, Engine, EngineConfig, FastBcnnSim, HwConfig, IdealSim,
+    SkipMode, Workload,
+};
+use fbcnn_nn::models::ModelKind;
+use std::hint::black_box;
+
+fn lenet_workload() -> Workload {
+    let engine = Engine::new(EngineConfig {
+        samples: 16,
+        calibration_samples: 4,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    });
+    let input = synth_input(engine.network().input_shape(), 7);
+    engine.workload(&input)
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let w = lenet_workload();
+    let mut group = c.benchmark_group("simulators_lenet_t16");
+    group.bench_function("baseline", |b| {
+        let sim = BaselineSim::new(HwConfig::baseline());
+        b.iter(|| black_box(sim.run(black_box(&w))));
+    });
+    group.bench_function("fast_bcnn_64", |b| {
+        let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both);
+        b.iter(|| black_box(sim.run(black_box(&w))));
+    });
+    group.bench_function("cnvlutin", |b| {
+        let sim = CnvlutinSim::new();
+        b.iter(|| black_box(sim.run(black_box(&w))));
+    });
+    group.bench_function("ideal", |b| {
+        let sim = IdealSim::new(HwConfig::fast_bcnn(64));
+        b.iter(|| black_box(sim.run(black_box(&w))));
+    });
+    group.finish();
+}
+
+fn bench_design_space_sweep(c: &mut Criterion) {
+    let w = lenet_workload();
+    c.bench_function("design_space_sweep_lenet", |b| {
+        b.iter(|| {
+            for tm in [8, 16, 32, 64] {
+                let sim = FastBcnnSim::new(HwConfig::fast_bcnn(tm), SkipMode::Both);
+                black_box(sim.run(black_box(&w)));
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_simulators, bench_design_space_sweep);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Prints the two-unit pipeline schedule (convolution vs prediction) for
+//! the first samples of a Fast-BCNN run — the Eq. 8 overlap made
+//! visible.
+
+use fast_bcnn::{synth_input, Engine, EngineConfig, FastBcnnSim, HwConfig, SkipMode};
+use fbcnn_nn::models::ModelKind;
+
+fn main() {
+    let args = fbcnn_bench::parse_args();
+    let engine = Engine::new(EngineConfig {
+        model: ModelKind::LeNet5,
+        samples: args.cfg.t.min(8),
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    });
+    let input = synth_input(engine.network().input_shape(), args.cfg.seed);
+    let w = engine.workload(&input);
+    let sim = FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::Both);
+    let tl = sim.timeline(&w);
+    println!(
+        "B-LeNet-5 on FB-64 — pre-inference {} cycles, total {} cycles",
+        tl.pre_inference_cycles, tl.total_cycles
+    );
+    print!("{}", tl.render_text(2, 72));
+    println!(
+        "\n('#' spans are busy intervals; a conv row starting after its pred row\n ends is the prediction-unit dependency; gaps are stalls)"
+    );
+    fbcnn_bench::maybe_dump(&args, &tl);
+}

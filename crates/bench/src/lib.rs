@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see `EXPERIMENTS.md` for the mapping) and supports:
+//!
+//! * `--quick` — a shrunken configuration for smoke testing;
+//! * `--t <N>` / `--seed <N>` — override the sample count / master seed;
+//! * `--json <path>` — dump the result record as JSON.
+
+use fast_bcnn::experiments::ExpConfig;
+
+/// Command-line options shared by every harness binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// The experiment configuration (quick or full).
+    pub cfg: ExpConfig,
+    /// Optional JSON output path.
+    pub json: Option<String>,
+}
+
+/// Parses the common flags from `std::env::args`.
+pub fn parse_args() -> HarnessArgs {
+    let args: Vec<String> = std::env::args().collect();
+    from_arg_list(&args[1..])
+}
+
+/// Parses the common flags from a slice (testable form of
+/// [`parse_args`]).
+pub fn from_arg_list(args: &[String]) -> HarnessArgs {
+    let mut cfg = ExpConfig::default();
+    let mut json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--json" => {
+                if let Some(path) = args.get(i + 1) {
+                    json = Some(path.clone());
+                    i += 1;
+                }
+            }
+            "--t" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    cfg.t = v;
+                    i += 1;
+                }
+            }
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                    cfg.seed = v;
+                    i += 1;
+                }
+            }
+            other => eprintln!("ignoring unknown flag: {other}"),
+        }
+        i += 1;
+    }
+    HarnessArgs { cfg, json }
+}
+
+/// Writes the JSON record if `--json` was given.
+pub fn maybe_dump<T: serde::Serialize>(args: &HarnessArgs, value: &T) {
+    if let Some(path) = &args.json {
+        if let Err(e) = fast_bcnn::report::save_json(path, value) {
+            eprintln!("failed to write {path}: {e}");
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_args() {
+        let a = from_arg_list(&[]);
+        assert_eq!(a.cfg, ExpConfig::default());
+        assert!(a.json.is_none());
+    }
+
+    #[test]
+    fn quick_and_json_flags() {
+        let a = from_arg_list(&strings(&["--quick", "--json", "/tmp/x.json"]));
+        assert_eq!(a.cfg, ExpConfig::quick());
+        assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    fn t_override() {
+        let a = from_arg_list(&strings(&["--t", "12"]));
+        assert_eq!(a.cfg.t, 12);
+    }
+
+    #[test]
+    fn seed_override() {
+        let a = from_arg_list(&strings(&["--seed", "99"]));
+        assert_eq!(a.cfg.seed, 99);
+    }
+}

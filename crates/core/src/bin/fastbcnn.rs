@@ -1,0 +1,217 @@
+//! `fastbcnn` — the workspace's command-line front end.
+//!
+//! ```text
+//! fastbcnn demo         [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full]
+//! fastbcnn simulate     [--model ...] [--samples N] [--full]
+//! fastbcnn characterize [--model ...] [--samples N] [--full]
+//! fastbcnn train        [--epochs N] [--train-size N]
+//! ```
+
+use fast_bcnn::report::{format_table, pct, speedup};
+use fast_bcnn::{
+    synth_input, BaselineSim, CnvlutinSim, Engine, EngineConfig, FastBcnnSim, HwConfig, IdealSim,
+    SkipMode,
+};
+use fbcnn_nn::models::{ModelKind, ModelScale};
+
+struct Args {
+    command: String,
+    model: ModelKind,
+    samples: usize,
+    scale: ModelScale,
+    epochs: usize,
+    train_size: usize,
+}
+
+fn parse() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = argv.first().cloned().unwrap_or_else(|| "help".into());
+    let mut args = Args {
+        command,
+        model: ModelKind::LeNet5,
+        samples: 16,
+        scale: ModelScale::BENCH,
+        epochs: 6,
+        train_size: 400,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--model" => {
+                let v = argv.get(i + 1).ok_or("--model needs a value")?;
+                args.model = match v.as_str() {
+                    "lenet" => ModelKind::LeNet5,
+                    "vgg" => ModelKind::Vgg16,
+                    "googlenet" => ModelKind::GoogLeNet,
+                    "alexnet" => ModelKind::AlexNet,
+                    other => return Err(format!("unknown model {other}")),
+                };
+                i += 1;
+            }
+            "--samples" => {
+                args.samples = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--samples needs a number")?;
+                i += 1;
+            }
+            "--epochs" => {
+                args.epochs = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--epochs needs a number")?;
+                i += 1;
+            }
+            "--train-size" => {
+                args.train_size = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--train-size needs a number")?;
+                i += 1;
+            }
+            "--full" => args.scale = ModelScale::FULL,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn engine_for(args: &Args) -> Engine {
+    Engine::new(EngineConfig {
+        model: args.model,
+        scale: args.scale,
+        samples: args.samples,
+        ..EngineConfig::for_model(args.model)
+    })
+}
+
+fn cmd_demo(args: &Args) {
+    let engine = engine_for(args);
+    let input = synth_input(engine.network().input_shape(), 7);
+    let exact = engine.predict_exact(&input);
+    let (fast, stats) = engine.predict_fast(&input);
+    print!("{}", engine.network().summary());
+    println!(
+        "{} | T = {} | {} parameters",
+        args.model.bayesian_name(),
+        args.samples,
+        engine.network().total_params()
+    );
+    println!(
+        "exact:    class {} entropy {:.3}",
+        exact.class, exact.predictive_entropy
+    );
+    println!(
+        "skipping: class {} entropy {:.3} | skipped {} of neuron work",
+        fast.class,
+        fast.predictive_entropy,
+        pct(stats.skip_rate())
+    );
+}
+
+fn cmd_simulate(args: &Args) {
+    let engine = engine_for(args);
+    let input = synth_input(engine.network().input_shape(), 7);
+    let w = engine.workload(&input);
+    let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+    let mut rows = Vec::new();
+    let mut push = |r: &fast_bcnn::RunReport| {
+        rows.push(vec![
+            r.name.clone(),
+            r.total_cycles.to_string(),
+            speedup(r.speedup_over(&base)),
+            pct(r.energy_reduction_vs(&base)),
+        ]);
+    };
+    push(&base);
+    push(&CnvlutinSim::new().run(&w));
+    for tm in [8, 16, 32, 64] {
+        push(&FastBcnnSim::new(HwConfig::fast_bcnn(tm), SkipMode::Both).run(&w));
+    }
+    push(&IdealSim::new(HwConfig::fast_bcnn(64)).run(&w));
+    println!(
+        "{} | T = {} | skip rate {}",
+        args.model.bayesian_name(),
+        w.t(),
+        pct(w.total_skip_stats().skip_rate())
+    );
+    println!(
+        "{}",
+        format_table(&["design", "cycles", "speedup", "energy red."], &rows)
+    );
+}
+
+fn cmd_characterize(args: &Args) {
+    let cfg = fast_bcnn::experiments::ExpConfig {
+        t: args.samples,
+        scale: args.scale,
+        ..Default::default()
+    };
+    let c = fast_bcnn::experiments::characterization::characterize_model(args.model, &cfg);
+    let rows: Vec<Vec<String>> = c
+        .layers
+        .iter()
+        .map(|l| {
+            vec![
+                l.layer.clone(),
+                pct(l.zero_ratio),
+                pct(l.unaffected_ratio),
+                pct(l.unaffected_share_of_zeros),
+            ]
+        })
+        .collect();
+    println!("{} characterization (T = {}):", c.model, args.samples);
+    println!(
+        "{}",
+        format_table(&["layer", "zero", "unaffected", "unaffected/zero"], &rows)
+    );
+}
+
+fn cmd_train(args: &Args) {
+    let cfg = fast_bcnn::experiments::accuracy::TrainedAccuracyConfig {
+        train_size: args.train_size,
+        epochs: args.epochs,
+        samples: args.samples.min(24),
+        ..Default::default()
+    };
+    let results = fast_bcnn::experiments::accuracy::run(&[0.68], &cfg);
+    let r = &results[0];
+    println!(
+        "trained LeNet-5 on SynthDigits ({} images, {} epochs):",
+        args.train_size, args.epochs
+    );
+    println!(
+        "  deterministic accuracy: {}",
+        pct(r.deterministic_accuracy)
+    );
+    println!("  exact BCNN accuracy:    {}", pct(r.exact_bcnn_accuracy));
+    println!(
+        "  skipping BCNN accuracy: {}",
+        pct(r.skipping_bcnn_accuracy)
+    );
+    println!("  accuracy loss:          {}", pct(r.accuracy_loss));
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match args.command.as_str() {
+        "demo" => cmd_demo(&args),
+        "simulate" => cmd_simulate(&args),
+        "characterize" => cmd_characterize(&args),
+        "train" => cmd_train(&args),
+        _ => {
+            println!(
+                "usage: fastbcnn <demo|simulate|characterize|train> \
+                 [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
+                 [--epochs N] [--train-size N]"
+            );
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Fig. 3 / Fig. 4 — characterization of zero, unaffected and affected
+//! neurons per BCNN layer.
+
+use crate::experiments::ExpConfig;
+use crate::{synth_input, BayesianNetwork};
+use fbcnn_nn::models::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer characterization row (one bar group of Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCharacterization {
+    /// Layer label (e.g. `"conv2_1"`, `"a3C1"`).
+    pub layer: String,
+    /// Fraction of neurons that are zero in the dropout-free inference.
+    pub zero_ratio: f64,
+    /// Fraction of neurons that are unaffected (zero without dropout and
+    /// still zero — before their own mask — under dropout), averaged over
+    /// `T` samples.
+    pub unaffected_ratio: f64,
+    /// Fraction of neurons that are affected (zero without dropout but
+    /// non-zero under dropout), averaged over `T` samples.
+    pub affected_ratio: f64,
+    /// Of the zero neurons, the fraction that stayed unaffected — the
+    /// paper's ">90 % of zero neurons belong to unaffected neurons".
+    pub unaffected_share_of_zeros: f64,
+    /// The same share when flips below 25 % of the layer's mean positive
+    /// activation count as unaffected — the calibration tolerance's view
+    /// (our synthetic weights leave more zeros marginal than trained
+    /// checkpoints do; see `ThresholdOptimizer::affected_tolerance`).
+    pub unaffected_share_tolerant: f64,
+}
+
+/// Whole-model characterization (one panel of Fig. 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCharacterization {
+    /// The model's Bayesian name.
+    pub model: String,
+    /// Per-layer rows in execution order.
+    pub layers: Vec<LayerCharacterization>,
+    /// Neuron-weighted mean unaffected ratio across layers.
+    pub mean_unaffected_ratio: f64,
+    /// Neuron-weighted mean share of zero neurons that stay unaffected.
+    pub mean_unaffected_share_of_zeros: f64,
+}
+
+/// Runs the characterization for one model.
+pub fn characterize_model(kind: ModelKind, cfg: &ExpConfig) -> ModelCharacterization {
+    let net = kind.build_scaled(cfg.seed, cfg.scale);
+    let bnet = BayesianNetwork::new(net, cfg.drop_rate);
+    let input = synth_input(bnet.network().input_shape(), cfg.seed ^ 0xF19);
+    let pre = bnet.forward_deterministic(&input);
+    let convs = bnet.network().conv_nodes();
+    let zero_masks: Vec<_> = convs
+        .iter()
+        .map(|&id| pre.activations[id.0].zero_mask())
+        .collect();
+
+    let mut unaffected = vec![0u64; convs.len()];
+    let mut affected = vec![0u64; convs.len()];
+    let mut affected_tolerant = vec![0u64; convs.len()];
+    for t in 0..cfg.t {
+        let masks = bnet.generate_masks(cfg.seed, t);
+        let (_, pre_mask_acts) = bnet.forward_sample_recording(&input, &masks);
+        for (li, &node) in convs.iter().enumerate() {
+            let truth = pre_mask_acts[node.0]
+                .as_ref()
+                .expect("conv nodes record pre-mask values");
+            let mut pos_sum = 0.0f64;
+            let mut pos_n = 0u64;
+            for &v in truth.iter() {
+                if v > 0.0 {
+                    pos_sum += v as f64;
+                    pos_n += 1;
+                }
+            }
+            let tol = if pos_n > 0 {
+                0.25 * (pos_sum / pos_n as f64) as f32
+            } else {
+                0.0
+            };
+            for i in zero_masks[li].iter_set() {
+                let v = truth.at(i);
+                if v == 0.0 {
+                    unaffected[li] += 1;
+                } else {
+                    affected[li] += 1;
+                    if v > tol {
+                        affected_tolerant[li] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut layers = Vec::with_capacity(convs.len());
+    let mut weighted_unaffected = 0.0;
+    let mut weighted_share = 0.0;
+    let mut total_neurons = 0.0;
+    for (li, &node) in convs.iter().enumerate() {
+        let neurons = bnet.network().shape(node).len() as f64;
+        let zeros = zero_masks[li].count_ones() as f64;
+        let t = cfg.t as f64;
+        let unaffected_ratio = unaffected[li] as f64 / (neurons * t);
+        let affected_ratio = affected[li] as f64 / (neurons * t);
+        let share = if zeros > 0.0 {
+            unaffected[li] as f64 / (zeros * t)
+        } else {
+            1.0
+        };
+        let share_tolerant = if zeros > 0.0 {
+            1.0 - affected_tolerant[li] as f64 / (zeros * t)
+        } else {
+            1.0
+        };
+        weighted_unaffected += unaffected_ratio * neurons;
+        weighted_share += share * neurons;
+        total_neurons += neurons;
+        layers.push(LayerCharacterization {
+            layer: bnet.network().node(node).label().to_string(),
+            zero_ratio: zeros / neurons,
+            unaffected_ratio,
+            affected_ratio,
+            unaffected_share_of_zeros: share,
+            unaffected_share_tolerant: share_tolerant,
+        });
+    }
+
+    ModelCharacterization {
+        model: kind.bayesian_name().to_string(),
+        layers,
+        mean_unaffected_ratio: weighted_unaffected / total_neurons,
+        mean_unaffected_share_of_zeros: weighted_share / total_neurons,
+    }
+}
+
+/// Runs the characterization for all three models (the full Fig. 4).
+pub fn run(cfg: &ExpConfig) -> Vec<ModelCharacterization> {
+    ModelKind::ALL
+        .iter()
+        .map(|&k| characterize_model(k, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_consistent() {
+        let c = characterize_model(ModelKind::LeNet5, &ExpConfig::quick());
+        assert_eq!(c.layers.len(), 3);
+        for layer in &c.layers {
+            // unaffected + affected = zero ratio (every pre-zero neuron is
+            // one or the other in each sample).
+            assert!(
+                (layer.unaffected_ratio + layer.affected_ratio - layer.zero_ratio).abs() < 1e-9,
+                "inconsistent ratios in {}",
+                layer.layer
+            );
+            assert!((0.0..=1.0).contains(&layer.unaffected_share_of_zeros));
+        }
+    }
+
+    #[test]
+    fn most_zero_neurons_are_unaffected() {
+        // The paper's headline: >90 % of zero neurons stay zero. Accept a
+        // slightly looser bound for the synthetic-weight substitution.
+        let c = characterize_model(ModelKind::LeNet5, &ExpConfig::quick());
+        assert!(
+            c.mean_unaffected_share_of_zeros > 0.75,
+            "share {}",
+            c.mean_unaffected_share_of_zeros
+        );
+    }
+
+    #[test]
+    fn unaffected_ratio_is_substantial() {
+        let c = characterize_model(ModelKind::LeNet5, &ExpConfig::quick());
+        assert!(
+            c.mean_unaffected_ratio > 0.3,
+            "unaffected ratio {}",
+            c.mean_unaffected_ratio
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Persistence for the expensive artifacts: trained/calibrated networks,
+//! threshold sets and extracted workloads.
+//!
+//! Everything serializes as JSON via serde — human-inspectable and
+//! version-control friendly. The offline stage (training, Algorithm 1)
+//! can therefore run once and be reused across experiment sweeps.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use fast_bcnn::{io, models};
+//!
+//! let net = models::lenet5(1);
+//! io::save_network("lenet.json", &net)?;
+//! let back = io::load_network("lenet.json")?;
+//! assert_eq!(net, back);
+//! # Ok::<(), fast_bcnn::io::IoError>(())
+//! ```
+
+use fbcnn_accel::Workload;
+use fbcnn_nn::Network;
+use fbcnn_predictor::ThresholdSet;
+use serde::{de::DeserializeOwned, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// Errors from saving or loading artifacts.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Malformed or incompatible JSON.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o failure: {e}"),
+            IoError::Serde(e) => write!(f, "serialization failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Serde(e)
+    }
+}
+
+fn save<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), IoError> {
+    let json = serde_json::to_string(value)?;
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, IoError> {
+    let json = std::fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Saves a network (topology + weights) as JSON.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or serialization failure.
+pub fn save_network(path: impl AsRef<Path>, net: &Network) -> Result<(), IoError> {
+    save(path, net)
+}
+
+/// Loads a network saved by [`save_network`].
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or deserialization failure.
+pub fn load_network(path: impl AsRef<Path>) -> Result<Network, IoError> {
+    load(path)
+}
+
+/// Saves a calibrated threshold set.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or serialization failure.
+pub fn save_thresholds(path: impl AsRef<Path>, t: &ThresholdSet) -> Result<(), IoError> {
+    save(path, t)
+}
+
+/// Loads a threshold set saved by [`save_thresholds`].
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or deserialization failure.
+pub fn load_thresholds(path: impl AsRef<Path>) -> Result<ThresholdSet, IoError> {
+    load(path)
+}
+
+/// Saves an extracted workload.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or serialization failure.
+pub fn save_workload(path: impl AsRef<Path>, w: &Workload) -> Result<(), IoError> {
+    save(path, w)
+}
+
+/// Loads a workload saved by [`save_workload`].
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or deserialization failure.
+pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, IoError> {
+    load(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synth_input, Engine, EngineConfig};
+    use fbcnn_nn::models::ModelKind;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("fbcnn_io_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn network_roundtrip_preserves_weights_and_behavior() {
+        let net = fbcnn_nn::models::lenet5(9);
+        let path = tmp("net");
+        save_network(&path, &net).unwrap();
+        let back = load_network(&path).unwrap();
+        assert_eq!(net, back);
+        let input = synth_input(net.input_shape(), 4);
+        assert_eq!(net.forward(&input), back.forward(&input));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn thresholds_and_workload_roundtrip() {
+        let engine = Engine::new(EngineConfig {
+            samples: 3,
+            calibration_samples: 2,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
+        });
+        let tp = tmp("thresholds");
+        save_thresholds(&tp, engine.thresholds()).unwrap();
+        assert_eq!(&load_thresholds(&tp).unwrap(), engine.thresholds());
+
+        let input = synth_input(engine.network().input_shape(), 2);
+        let w = engine.workload(&input);
+        let wp = tmp("workload");
+        save_workload(&wp, &w).unwrap();
+        let back = load_workload(&wp).unwrap();
+        assert_eq!(w, back);
+        // A reloaded workload drives the simulators identically.
+        let a = engine.simulate_fast(&w, 64);
+        let b = engine.simulate_fast(&back, 64);
+        assert_eq!(a, b);
+        let _ = std::fs::remove_file(tp);
+        let _ = std::fs::remove_file(wp);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let p = tmp("garbage");
+        std::fs::write(&p, "{not json").unwrap();
+        assert!(matches!(load_network(&p), Err(IoError::Serde(_))));
+        let _ = std::fs::remove_file(p);
+        assert!(matches!(
+            load_network("/nonexistent/path.json"),
+            Err(IoError::Io(_))
+        ));
+    }
+}

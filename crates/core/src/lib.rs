@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Fast-BCNN — massive neuron skipping in Bayesian convolutional neural
+//! networks.
+//!
+//! This crate is the facade of the reproduction workspace: it ties the
+//! CNN substrate (`fbcnn-nn`), the Bayesian machinery (`fbcnn-bayes`),
+//! the unaffected-neuron predictor (`fbcnn-predictor`) and the
+//! accelerator models (`fbcnn-accel`) into a single [`Engine`] API, and
+//! hosts the [`experiments`] drivers that regenerate every table and
+//! figure of the paper's evaluation (see `EXPERIMENTS.md`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fast_bcnn::{Engine, EngineConfig};
+//! use fbcnn_nn::models::ModelKind;
+//!
+//! let engine = Engine::new(EngineConfig {
+//!     samples: 8,
+//!     ..EngineConfig::for_model(ModelKind::LeNet5)
+//! });
+//! let input = fast_bcnn::synth_input(engine.network().input_shape(), 1);
+//! let (prediction, stats) = engine.predict_fast(&input);
+//! assert_eq!(prediction.mean.len(), 10);
+//! assert!(stats.skip_rate() > 0.0);
+//! ```
+
+mod engine;
+pub mod experiments;
+pub mod io;
+pub mod report;
+
+pub use engine::{synth_input, Engine, EngineConfig};
+
+// Re-export the workspace's main types so downstream users need only one
+// dependency.
+pub use fbcnn_accel::{
+    BaselineSim, CnvlutinSim, EnergyBreakdown, EnergyModel, FastBcnnSim, HwConfig, IdealSim,
+    RunReport, SkipMode, Workload,
+};
+pub use fbcnn_bayes::{BayesianNetwork, Brng, Lfsr32, McDropout, Prediction, SoftwareBernoulli};
+pub use fbcnn_nn::{models, Network};
+pub use fbcnn_predictor::{
+    evaluate_predictions, EvalReport, PredictiveInference, SkipStats, ThresholdOptimizer,
+    ThresholdSet,
+};
+pub use fbcnn_tensor::{BitMask, Shape, Tensor};

@@ -1,0 +1,11 @@
+//! Procedurally generated datasets.
+//!
+//! The paper trains on MNIST and CIFAR-100, which are not available in
+//! this environment; [`SynthDigits`] is the documented substitution (see
+//! DESIGN.md §2): a ten-class digit-recognition task that a LeNet-5 can
+//! actually be trained on, giving the accuracy experiments a real
+//! classification metric.
+
+mod synthdigits;
+
+pub use synthdigits::{SynthDigits, SynthSample};

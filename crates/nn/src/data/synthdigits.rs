@@ -1,0 +1,239 @@
+use fbcnn_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One labelled SynthDigits image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthSample {
+    /// 1×28×28 grayscale image in `[0, 1]`.
+    pub image: Tensor,
+    /// Class label in `0..10`.
+    pub label: usize,
+}
+
+/// A deterministic generator of seven-segment-style digit images.
+///
+/// Each sample renders the digit's segments onto a 28×28 canvas with a
+/// per-sample random offset, stroke intensity, stroke thickness and
+/// additive noise — enough intra-class variation that classification is
+/// non-trivial, while remaining learnable by LeNet-5 in a few epochs on a
+/// single core.
+///
+/// Generation is fully determined by `(seed, index)`, so train/test splits
+/// are reproducible: by convention the test set uses a different seed.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::data::SynthDigits;
+///
+/// let gen = SynthDigits::new(7);
+/// let sample = gen.sample(0);
+/// assert_eq!(sample.image.shape().len(), 28 * 28);
+/// assert!(sample.label < 10);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SynthDigits {
+    seed: u64,
+    shape: Shape,
+}
+
+/// Segment bit layout: A, B, C, D, E, F, G (standard seven-segment).
+const SEGMENTS: [u8; 10] = [
+    0b0111111, // 0: A B C D E F
+    0b0000110, // 1: B C
+    0b1011011, // 2: A B D E G
+    0b1001111, // 3: A B C D G
+    0b1100110, // 4: B C F G
+    0b1101101, // 5: A C D F G
+    0b1111101, // 6: A C D E F G
+    0b0000111, // 7: A B C
+    0b1111111, // 8: all
+    0b1101111, // 9: A B C D F G
+];
+
+const SIZE: usize = 28;
+
+impl SynthDigits {
+    /// Creates a generator with the given seed producing the canonical
+    /// `1×28×28` images.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            shape: Shape::new(1, SIZE, SIZE),
+        }
+    }
+
+    /// Creates a generator producing images of an arbitrary shape: the
+    /// digit is drawn at a size proportional to the canvas and replicated
+    /// across channels with a small per-channel intensity jitter — enough
+    /// to train the CIFAR-shaped models on the same task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the canvas is smaller than 12×12.
+    pub fn with_shape(seed: u64, shape: Shape) -> Self {
+        assert!(
+            shape.height() >= 12 && shape.width() >= 12,
+            "canvas {shape} too small for a digit"
+        );
+        Self { seed, shape }
+    }
+
+    /// The image shape.
+    pub fn image_shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Generates the `index`-th sample (deterministic in `(seed, index)`).
+    pub fn sample(&self, index: usize) -> SynthSample {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(index as u64),
+        );
+        let (canvas_h, canvas_w) = (self.shape.height() as i32, self.shape.width() as i32);
+        let jitter = (canvas_w / 9).max(1);
+        let label = index % 10;
+        let dx = rng.gen_range(-jitter..=jitter);
+        let dy = rng.gen_range(-jitter..=jitter);
+        let intensity = rng.gen_range(0.7f32..1.0);
+        let thickness = rng.gen_range(2usize..=3).min(canvas_w as usize / 8).max(1);
+        let noise = rng.gen_range(0.02f32..0.08);
+        // Italic-style shear: columns shift horizontally with height.
+        let shear = rng.gen_range(-0.15f32..0.15);
+        // Per-channel intensity jitter (for multi-channel canvases).
+        let channel_gain: Vec<f32> = (0..self.shape.channels())
+            .map(|_| rng.gen_range(0.85f32..1.0))
+            .collect();
+
+        let mut img = Tensor::zeros(self.shape);
+        let bits = SEGMENTS[label];
+        // Digit body scales with the canvas (12x20 on a 28-wide one).
+        let (w, h) = (canvas_w * 12 / 28, canvas_h * 20 / 28);
+        let (x0, y0) = ((canvas_w - w) / 2 + dx, (canvas_h - h) / 2 + dy);
+        let t = thickness as i32;
+        let mid_y = canvas_h / 2;
+        let mut draw_rect = |rx: i32, ry: i32, rw: i32, rh: i32| {
+            for y in ry..ry + rh {
+                let slant = (shear * (y - mid_y) as f32).round() as i32;
+                for x in rx + slant..rx + rw + slant {
+                    if (0..canvas_w).contains(&x) && (0..canvas_h).contains(&y) {
+                        for (ch, gain) in channel_gain.iter().enumerate() {
+                            img[(ch, y as usize, x as usize)] = intensity * gain;
+                        }
+                    }
+                }
+            }
+        };
+        if bits & 0b0000001 != 0 {
+            draw_rect(x0, y0, w, t); // A: top
+        }
+        if bits & 0b0000010 != 0 {
+            draw_rect(x0 + w - t, y0, t, h / 2); // B: top right
+        }
+        if bits & 0b0000100 != 0 {
+            draw_rect(x0 + w - t, y0 + h / 2, t, h / 2); // C: bottom right
+        }
+        if bits & 0b0001000 != 0 {
+            draw_rect(x0, y0 + h - t, w, t); // D: bottom
+        }
+        if bits & 0b0010000 != 0 {
+            draw_rect(x0, y0 + h / 2, t, h / 2); // E: bottom left
+        }
+        if bits & 0b0100000 != 0 {
+            draw_rect(x0, y0, t, h / 2); // F: top left
+        }
+        if bits & 0b1000000 != 0 {
+            draw_rect(x0, y0 + h / 2 - t / 2, w, t); // G: middle
+        }
+        // Additive uniform noise, clamped to [0, 1].
+        for v in img.iter_mut() {
+            let n: f32 = rng.gen_range(-noise..noise);
+            *v = (*v + n).clamp(0.0, 1.0);
+        }
+        SynthSample { image: img, label }
+    }
+
+    /// Generates `n` samples (labels cycle 0–9).
+    pub fn batch(&self, start: usize, n: usize) -> Vec<SynthSample> {
+        (start..start + n).map(|i| self.sample(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthDigits::new(3).sample(17);
+        let b = SynthDigits::new(3).sample(17);
+        assert_eq!(a, b);
+        let c = SynthDigits::new(4).sample(17);
+        assert_ne!(a.image, c.image);
+    }
+
+    #[test]
+    fn labels_cycle() {
+        let gen = SynthDigits::new(0);
+        let batch = gen.batch(0, 25);
+        assert_eq!(batch[0].label, 0);
+        assert_eq!(batch[9].label, 9);
+        assert_eq!(batch[10].label, 0);
+        assert_eq!(batch.len(), 25);
+    }
+
+    #[test]
+    fn images_are_normalized_and_nonempty() {
+        let gen = SynthDigits::new(5);
+        for i in 0..20 {
+            let s = gen.sample(i);
+            assert!(s.image.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            // A digit must actually draw something bright.
+            assert!(s.image.iter().filter(|&&v| v > 0.5).count() > 20);
+        }
+    }
+
+    #[test]
+    fn different_digits_differ() {
+        let gen = SynthDigits::new(5);
+        // Same index modulo noise/jitter would be unusual across classes.
+        let one = gen.sample(1);
+        let eight = gen.sample(8);
+        assert!(one.image.max_abs_diff(&eight.image) > 0.5);
+    }
+
+    #[test]
+    fn intra_class_variation_exists() {
+        let gen = SynthDigits::new(5);
+        let a = gen.sample(3);
+        let b = gen.sample(13);
+        assert_eq!(a.label, b.label);
+        assert!(a.image.max_abs_diff(&b.image) > 0.1);
+    }
+
+    #[test]
+    fn arbitrary_shapes_render_digits() {
+        let gen = SynthDigits::with_shape(9, Shape::new(3, 16, 16));
+        let s = gen.sample(7);
+        assert_eq!(s.image.shape(), Shape::new(3, 16, 16));
+        assert_eq!(s.label, 7);
+        // All channels carry the (jittered) digit.
+        for ch in 0..3 {
+            let bright = s.image.channel(ch).iter().filter(|&&v| v > 0.5).count();
+            assert!(bright > 5, "channel {ch} nearly empty ({bright} bright px)");
+        }
+        // Bigger canvases scale the digit up.
+        let big = SynthDigits::with_shape(9, Shape::new(1, 56, 56)).sample(7);
+        let small_bright = s.image.channel(0).iter().filter(|&&v| v > 0.5).count();
+        let big_bright = big.image.channel(0).iter().filter(|&&v| v > 0.5).count();
+        assert!(big_bright > 2 * small_bright);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = SynthDigits::with_shape(0, Shape::new(1, 8, 8));
+    }
+}

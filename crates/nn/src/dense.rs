@@ -1,0 +1,165 @@
+use fbcnn_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer with optional fused ReLU.
+///
+/// Inputs are flattened feature maps (the graph inserts an implicit
+/// flatten: any shape with `in_features` total elements is accepted).
+/// Weight layout is `[out][in]`.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::Dense;
+/// use fbcnn_tensor::{Shape, Tensor};
+///
+/// let mut fc = Dense::new(4, 2, false);
+/// fc.weights_mut()[0] = 1.0; // out 0 reads input 0
+/// let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![3.0, 0.0, 0.0, 0.0]);
+/// let out = fc.forward(&input);
+/// assert_eq!(out.as_slice(), &[3.0, 0.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dense {
+    in_features: usize,
+    out_features: usize,
+    relu: bool,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Dense {
+    /// Creates a zero-initialized fully-connected layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new(in_features: usize, out_features: usize, relu: bool) -> Self {
+        assert!(
+            in_features > 0 && out_features > 0,
+            "dense feature counts must be non-zero"
+        );
+        Self {
+            in_features,
+            out_features,
+            relu,
+            weights: vec![0.0; in_features * out_features],
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Whether ReLU is fused into this layer.
+    pub fn has_relu(&self) -> bool {
+        self.relu
+    }
+
+    /// The shape produced by this layer (always `(out, 1, 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input element count differs from
+    /// [`Dense::in_features`].
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        assert_eq!(
+            input.len(),
+            self.in_features,
+            "dense expects {} input features, got {input}",
+            self.in_features
+        );
+        Shape::flat(self.out_features)
+    }
+
+    /// All weights, laid out `[out][in]`.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutable access to the weights.
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Bias per output feature.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Simultaneous mutable access to `(weights, bias)` — used by the
+    /// trainer's parameter update.
+    pub fn params_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.weights, &mut self.bias)
+    }
+
+    /// Runs the matrix-vector product (and fused ReLU, if enabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input element count is wrong.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let out_shape = self.output_shape(input.shape());
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(out_shape);
+        for (o, out_v) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let mut acc = self.bias[o];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            *out_v = if self.relu && acc < 0.0 { 0.0 } else { acc };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_with_bias() {
+        let mut fc = Dense::new(3, 2, false);
+        fc.weights_mut()
+            .copy_from_slice(&[1.0, 2.0, 3.0, 0.0, -1.0, 1.0]);
+        fc.bias_mut().copy_from_slice(&[0.5, -0.5]);
+        let input = Tensor::from_vec(Shape::flat(3), vec![1.0, 1.0, 1.0]);
+        let out = fc.forward(&input);
+        assert_eq!(out.as_slice(), &[6.5, -0.5]);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let mut fc = Dense::new(1, 1, true);
+        fc.weights_mut()[0] = -1.0;
+        let out = fc.forward(&Tensor::full(Shape::flat(1), 2.0));
+        assert_eq!(out.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn implicit_flatten_accepts_spatial_input() {
+        let fc = Dense::new(8, 2, false);
+        let input = Tensor::zeros(Shape::new(2, 2, 2));
+        assert_eq!(fc.forward(&input).shape(), Shape::flat(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_size_rejected() {
+        let fc = Dense::new(4, 2, false);
+        let _ = fc.forward(&Tensor::zeros(Shape::flat(5)));
+    }
+}

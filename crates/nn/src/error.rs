@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling a [`crate::Network`].
+///
+/// Forward execution itself panics on violated internal invariants (shapes
+/// are fully validated at build time), so only graph construction is
+/// fallible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A node referenced an input id that does not exist yet.
+    UnknownNode(usize),
+    /// A concat node received inputs whose spatial dimensions disagree.
+    ConcatShapeMismatch(String),
+    /// A layer's declared input shape does not match the producing node.
+    ShapeMismatch {
+        /// What the layer expected.
+        expected: String,
+        /// What the upstream node produces.
+        actual: String,
+    },
+    /// The graph has no output node (it is empty).
+    EmptyGraph,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            NnError::ConcatShapeMismatch(msg) => {
+                write!(f, "concat inputs have mismatched spatial shape: {msg}")
+            }
+            NnError::ShapeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "layer expects input {expected} but upstream produces {actual}"
+                )
+            }
+            NnError::EmptyGraph => write!(f, "network graph has no nodes"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::ShapeMismatch {
+            expected: "3x32x32".into(),
+            actual: "3x16x16".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3x32x32") && msg.contains("3x16x16"));
+        assert!(!format!("{:?}", NnError::EmptyGraph).is_empty());
+    }
+}

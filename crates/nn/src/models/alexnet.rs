@@ -1,0 +1,104 @@
+use super::ModelScale;
+use crate::{init, Conv2d, Dense, Network, NetworkBuilder, Pool2d, PoolKind};
+use fbcnn_tensor::Shape;
+
+/// Builds AlexNet adapted to CIFAR-shaped 32×32×3 inputs (the common
+/// CIFAR variant: 3×3 kernels, three pools), 100 classes, optionally
+/// width/resolution scaled.
+///
+/// Not part of the paper's evaluation set — provided as an extension
+/// (Cnvlutin's original evaluation used AlexNet, so the comparison can
+/// be reproduced on it too).
+///
+/// ```text
+/// conv1:  64 @ 3x3 p1, ReLU   pool 2/2
+/// conv2: 192 @ 3x3 p1, ReLU   pool 2/2
+/// conv3: 384 @ 3x3 p1, ReLU
+/// conv4: 256 @ 3x3 p1, ReLU
+/// conv5: 256 @ 3x3 p1, ReLU   pool 2/2
+/// fc1: 256·4·4 -> 512, ReLU
+/// fc2: 512 -> 100
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::models::{alexnet_scaled, ModelScale};
+///
+/// let net = alexnet_scaled(1, ModelScale::TINY);
+/// assert_eq!(net.conv_nodes().len(), 5);
+/// ```
+pub fn alexnet_scaled(seed: u64, scale: ModelScale) -> Network {
+    let dim = scale.dim(32);
+    let mut b = NetworkBuilder::named("alexnet", Shape::new(3, dim, dim));
+    let x = b.input();
+    let c = [
+        scale.channels(64),
+        scale.channels(192),
+        scale.channels(384),
+        scale.channels(256),
+        scale.channels(256),
+    ];
+    let c1 = b
+        .layer(x, Conv2d::new(3, c[0], 3, 1, 1, true), "conv1")
+        .expect("alexnet conv1");
+    let p1 = b
+        .layer(c1, Pool2d::new(PoolKind::Max, 2, 2), "pool1")
+        .expect("alexnet pool1");
+    let c2 = b
+        .layer(p1, Conv2d::new(c[0], c[1], 3, 1, 1, true), "conv2")
+        .expect("alexnet conv2");
+    let p2 = b
+        .layer(c2, Pool2d::new(PoolKind::Max, 2, 2), "pool2")
+        .expect("alexnet pool2");
+    let c3 = b
+        .layer(p2, Conv2d::new(c[1], c[2], 3, 1, 1, true), "conv3")
+        .expect("alexnet conv3");
+    let c4 = b
+        .layer(c3, Conv2d::new(c[2], c[3], 3, 1, 1, true), "conv4")
+        .expect("alexnet conv4");
+    let c5 = b
+        .layer(c4, Conv2d::new(c[3], c[4], 3, 1, 1, true), "conv5")
+        .expect("alexnet conv5");
+    let p3 = b
+        .layer(c5, Pool2d::new(PoolKind::Max, 2, 2), "pool3")
+        .expect("alexnet pool3");
+    let spatial = dim / 8;
+    let feat = c[4] * spatial * spatial;
+    let hidden = scale.channels(512);
+    let f1 = b
+        .layer(p3, Dense::new(feat, hidden, true), "fc1")
+        .expect("alexnet fc1");
+    b.layer(f1, Dense::new(hidden, 100, false), "fc2")
+        .expect("alexnet fc2");
+    let mut net = b.build().expect("alexnet graph");
+    init::calibrated(&mut net, seed);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_tensor::Tensor;
+
+    #[test]
+    fn full_size_shape_plan() {
+        let net = alexnet_scaled(0, ModelScale::FULL);
+        assert_eq!(net.input_shape(), Shape::new(3, 32, 32));
+        assert_eq!(net.conv_nodes().len(), 5);
+        assert_eq!(net.output_shape().len(), 100);
+        let last_conv = *net.conv_nodes().last().unwrap();
+        assert_eq!(net.shape(last_conv), Shape::new(256, 8, 8));
+    }
+
+    #[test]
+    fn tiny_variant_runs_forward() {
+        let net = alexnet_scaled(4, ModelScale::TINY);
+        let input = Tensor::from_fn(net.input_shape(), |ch, r, c| {
+            ((ch + r * 2 + c) % 5) as f32 / 5.0
+        });
+        let logits = net.forward(&input);
+        assert_eq!(logits.len(), 100);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+}

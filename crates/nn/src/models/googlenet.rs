@@ -1,0 +1,212 @@
+use super::ModelScale;
+use crate::{init, Conv2d, Dense, Network, NetworkBuilder, NodeId, Pool2d, PoolKind};
+use fbcnn_tensor::Shape;
+
+/// Channel plan of one Inception module:
+/// `(b1, b3_reduce, b3, b5_reduce, b5, pool_proj)`.
+type InceptionPlan = (usize, usize, usize, usize, usize, usize);
+
+/// The Inception v1 channel plan (GoogLeNet table 1), modules 3a–5b.
+const INCEPTIONS: [(&str, InceptionPlan); 9] = [
+    ("a3", (64, 96, 128, 16, 32, 32)),
+    ("b3", (128, 128, 192, 32, 96, 64)),
+    ("a4", (192, 96, 208, 16, 48, 64)),
+    ("b4", (160, 112, 224, 24, 64, 64)),
+    ("c4", (128, 128, 256, 24, 64, 64)),
+    ("d4", (112, 144, 288, 32, 64, 64)),
+    ("e4", (256, 160, 320, 32, 128, 128)),
+    ("a5", (256, 160, 320, 32, 128, 128)),
+    ("b5", (384, 192, 384, 48, 128, 128)),
+];
+
+fn inception(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    in_ch: usize,
+    name: &str,
+    plan: InceptionPlan,
+    scale: ModelScale,
+) -> (NodeId, usize) {
+    let (b1, r3, b3, r5, b5, pp) = plan;
+    let (b1, r3, b3, r5, b5, pp) = (
+        scale.channels(b1),
+        scale.channels(r3),
+        scale.channels(b3),
+        scale.channels(r5),
+        scale.channels(b5),
+        scale.channels(pp),
+    );
+    // Branch 1: 1x1. Label convention matches the paper's "a3C1".
+    let n1 = b
+        .layer(
+            input,
+            Conv2d::new(in_ch, b1, 1, 1, 0, true),
+            format!("{name}C1"),
+        )
+        .expect("inception 1x1");
+    // Branch 2: 1x1 reduce then 3x3. The paper's "b5R3" is the 3x3 reduce.
+    let n3r = b
+        .layer(
+            input,
+            Conv2d::new(in_ch, r3, 1, 1, 0, true),
+            format!("{name}R3"),
+        )
+        .expect("inception 3x3 reduce");
+    let n3 = b
+        .layer(n3r, Conv2d::new(r3, b3, 3, 1, 1, true), format!("{name}C3"))
+        .expect("inception 3x3");
+    // Branch 3: 1x1 reduce then 5x5.
+    let n5r = b
+        .layer(
+            input,
+            Conv2d::new(in_ch, r5, 1, 1, 0, true),
+            format!("{name}R5"),
+        )
+        .expect("inception 5x5 reduce");
+    let n5 = b
+        .layer(n5r, Conv2d::new(r5, b5, 5, 1, 2, true), format!("{name}C5"))
+        .expect("inception 5x5");
+    // Branch 4: 3x3/1 same-size max pool then 1x1 projection.
+    let np = b
+        .layer(
+            input,
+            Pool2d::new(PoolKind::Max, 3, 1).with_pad(1),
+            format!("{name}P"),
+        )
+        .expect("inception pool");
+    let npp = b
+        .layer(
+            np,
+            Conv2d::new(in_ch, pp, 1, 1, 0, true),
+            format!("{name}PP"),
+        )
+        .expect("inception pool proj");
+    let out = b
+        .concat(&[n1, n3, n5, npp], format!("{name}cat"))
+        .expect("inception concat");
+    (out, b1 + b3 + b5 + pp)
+}
+
+/// Builds GoogLeNet (Inception v1) adapted to CIFAR-shaped 32×32×3
+/// inputs, 100 classes, optionally width/resolution scaled.
+///
+/// The 224×224 stem (7×7/2 conv and two early pools) is replaced by the
+/// standard CIFAR stem — two 3×3/pad-1 convolutions — so Inception 3
+/// operates at 32×32, Inception 4 at 16×16 and Inception 5 at 8×8,
+/// followed by a global average pool and the 100-way classifier. All nine
+/// Inception modules keep the published channel plan.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::models::{googlenet_scaled, ModelScale};
+///
+/// let net = googlenet_scaled(1, ModelScale::TINY);
+/// // 2 stem convs + 9 modules x 6 convs
+/// assert_eq!(net.conv_nodes().len(), 2 + 9 * 6);
+/// ```
+pub fn googlenet_scaled(seed: u64, scale: ModelScale) -> Network {
+    let dim = scale.dim(32);
+    let mut b = NetworkBuilder::named("googlenet", Shape::new(3, dim, dim));
+    let x = b.input();
+    let stem1_ch = scale.channels(64);
+    let stem2_ch = scale.channels(192);
+    let s1 = b
+        .layer(x, Conv2d::new(3, stem1_ch, 3, 1, 1, true), "conv1")
+        .expect("stem conv1");
+    let s2 = b
+        .layer(s1, Conv2d::new(stem1_ch, stem2_ch, 3, 1, 1, true), "conv2")
+        .expect("stem conv2");
+
+    let mut cursor = s2;
+    let mut in_ch = stem2_ch;
+    let mut spatial = dim;
+    for (name, plan) in INCEPTIONS {
+        let (out, out_ch) = inception(&mut b, cursor, in_ch, name, plan, scale);
+        cursor = out;
+        in_ch = out_ch;
+        // Downsample after 3b and 4e (the paper's grouping into the
+        // consecutive-layer blocks a3–b3, a4–e4, a5–b5).
+        if (name == "b3" || name == "e4") && spatial >= 2 {
+            cursor = b
+                .layer(
+                    cursor,
+                    Pool2d::new(PoolKind::Max, 2, 2),
+                    format!("pool_{name}"),
+                )
+                .expect("googlenet pool");
+            spatial /= 2;
+        }
+    }
+    let gap = b
+        .layer(cursor, Pool2d::new(PoolKind::Avg, spatial, spatial), "gap")
+        .expect("global average pool");
+    b.layer(gap, Dense::new(in_ch, 100, false), "fc")
+        .expect("classifier");
+    let mut net = b.build().expect("googlenet graph");
+    init::calibrated(&mut net, seed);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::googlenet;
+    use fbcnn_tensor::Tensor;
+
+    #[test]
+    fn full_size_channel_plan() {
+        let net = googlenet(0);
+        assert_eq!(net.conv_nodes().len(), 56);
+        assert_eq!(net.output_shape().len(), 100);
+        // Find the a3 concat output: 64+128+32+32 = 256 channels at 32x32.
+        let a3cat = net
+            .nodes()
+            .iter()
+            .find(|n| n.label() == "a3cat")
+            .expect("a3cat node");
+        assert_eq!(net.shape(a3cat.id()), Shape::new(256, 32, 32));
+        // b5 concat: 384+384+128+128 = 1024 channels at 8x8.
+        let b5cat = net
+            .nodes()
+            .iter()
+            .find(|n| n.label() == "b5cat")
+            .expect("b5cat node");
+        assert_eq!(net.shape(b5cat.id()), Shape::new(1024, 8, 8));
+    }
+
+    #[test]
+    fn paper_layer_names_exist() {
+        // The paper cites "a3C1" (1x1 conv in Inception 3a) and "b5R3"
+        // (3x3 reduce in Inception 5b).
+        let net = googlenet(0);
+        for label in ["a3C1", "b5R3", "e4C5", "a4PP"] {
+            assert!(
+                net.nodes().iter().any(|n| n.label() == label),
+                "missing layer {label}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_variant_forward_is_finite() {
+        let net = googlenet_scaled(2, ModelScale::TINY);
+        let input = Tensor::from_fn(net.input_shape(), |ch, r, c| {
+            ((ch * 5 + r * 3 + c) % 11) as f32 / 11.0
+        });
+        let logits = net.forward(&input);
+        assert_eq!(logits.len(), 100);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn downsampling_happens_twice() {
+        let net = googlenet(0);
+        let gap = net
+            .nodes()
+            .iter()
+            .find(|n| n.label() == "gap")
+            .expect("gap node");
+        assert_eq!(net.shape(gap.id()), Shape::new(1024, 1, 1));
+    }
+}

@@ -1,0 +1,98 @@
+use crate::{init, Conv2d, Dense, Network, NetworkBuilder, Pool2d, PoolKind};
+use fbcnn_tensor::Shape;
+
+/// Builds LeNet-5 for 28×28×1 inputs, 10 classes.
+///
+/// Topology (the classic LeCun variant with a third 5×5 convolution acting
+/// as the first fully-connected stage):
+///
+/// ```text
+/// input 1x28x28
+/// conv1: 6 @ 5x5, pad 2, ReLU   -> 6x28x28
+/// maxpool 2/2                   -> 6x14x14
+/// conv2: 16 @ 5x5, ReLU         -> 16x10x10
+/// maxpool 2/2                   -> 16x5x5
+/// conv3: 120 @ 5x5, ReLU        -> 120x1x1
+/// fc1: 120 -> 84, ReLU
+/// fc2: 84 -> 10
+/// ```
+///
+/// Weights are filled with the calibrated initialization; for the accuracy
+/// experiments the network is re-trained on SynthDigits (see
+/// [`crate::train`]).
+///
+/// # Examples
+///
+/// ```
+/// let net = fbcnn_nn::models::lenet5(1);
+/// assert_eq!(net.conv_nodes().len(), 3);
+/// assert_eq!(net.output_shape().len(), 10);
+/// ```
+pub fn lenet5(seed: u64) -> Network {
+    let mut b = NetworkBuilder::named("lenet5", Shape::new(1, 28, 28));
+    let x = b.input();
+    let c1 = b
+        .layer(x, Conv2d::new(1, 6, 5, 1, 2, true), "conv1")
+        .expect("lenet conv1");
+    let p1 = b
+        .layer(c1, Pool2d::new(PoolKind::Max, 2, 2), "pool1")
+        .expect("lenet pool1");
+    let c2 = b
+        .layer(p1, Conv2d::new(6, 16, 5, 1, 0, true), "conv2")
+        .expect("lenet conv2");
+    let p2 = b
+        .layer(c2, Pool2d::new(PoolKind::Max, 2, 2), "pool2")
+        .expect("lenet pool2");
+    let c3 = b
+        .layer(p2, Conv2d::new(16, 120, 5, 1, 0, true), "conv3")
+        .expect("lenet conv3");
+    let f1 = b
+        .layer(c3, Dense::new(120, 84, true), "fc1")
+        .expect("lenet fc1");
+    b.layer(f1, Dense::new(84, 10, false), "fc2")
+        .expect("lenet fc2");
+    let mut net = b.build().expect("lenet graph");
+    init::calibrated(&mut net, seed);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_tensor::Tensor;
+
+    #[test]
+    fn shapes_follow_the_classic_plan() {
+        let net = lenet5(0);
+        let shapes: Vec<String> = net
+            .nodes()
+            .iter()
+            .map(|n| net.shape(n.id()).to_string())
+            .collect();
+        assert_eq!(
+            shapes,
+            vec![
+                "1x28x28", "6x28x28", "6x14x14", "16x10x10", "16x5x5", "120x1x1", "84x1x1",
+                "10x1x1"
+            ]
+        );
+    }
+
+    #[test]
+    fn forward_produces_ten_logits() {
+        let net = lenet5(3);
+        let input = Tensor::from_fn(net.input_shape(), |_, r, c| ((r + c) % 5) as f32 / 5.0);
+        let logits = net.forward(&input);
+        assert_eq!(logits.len(), 10);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn macs_match_hand_count() {
+        let net = lenet5(0);
+        // conv1: 6*28*28*25*1; conv2: 16*10*10*25*6; conv3: 120*1*1*25*16
+        // fc1: 120*84; fc2: 84*10
+        let expect = 6 * 28 * 28 * 25 + 16 * 100 * 25 * 6 + 120 * 25 * 16 + 120 * 84 + 840;
+        assert_eq!(net.total_macs(), expect as u64);
+    }
+}

@@ -1,0 +1,189 @@
+//! The three network topologies the paper evaluates.
+//!
+//! * [`lenet5`] — LeNet-5 on 28×28×1 (MNIST-shaped) inputs;
+//! * [`vgg16`] — VGG16 adapted to 32×32×3 (CIFAR-shaped) inputs, 100
+//!   classes;
+//! * [`googlenet`] — GoogLeNet (full Inception v1 channel plan) adapted
+//!   to 32×32×3 inputs, 100 classes.
+//!
+//! Each builder takes a seed and returns a fully initialized network
+//! (calibrated initialization, see [`crate::init`]).
+//!
+//! # Scaled variants
+//!
+//! The reproduction runs on a single CPU core, so the experiment harness
+//! uses width/resolution-scaled variants by default
+//! ([`ModelKind::build_scaled`] with [`ModelScale::BENCH`]). The full-size
+//! topologies are always available via [`ModelScale::FULL`]; scaling
+//! multiplies channel counts by `width` and divides spatial resolution by
+//! `resolution_div`, which leaves every *relative* quantity the
+//! experiments report (skip rates, speedups, energy ratios) governed by
+//! the same mechanisms.
+
+mod alexnet;
+mod googlenet;
+mod lenet;
+mod vgg;
+
+pub use alexnet::alexnet_scaled;
+pub use googlenet::googlenet_scaled;
+pub use lenet::lenet5;
+pub use vgg::vgg16_scaled;
+
+use crate::Network;
+
+/// Width/resolution scaling applied to a model topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelScale {
+    /// Channel-count multiplier in `(0, 1]`.
+    pub width: f32,
+    /// Input resolution divisor (`1` = native resolution).
+    pub resolution_div: usize,
+}
+
+impl ModelScale {
+    /// The paper's native sizes.
+    pub const FULL: ModelScale = ModelScale {
+        width: 1.0,
+        resolution_div: 1,
+    };
+
+    /// Default harness scale for single-core runs: quarter width at
+    /// *native* resolution for the two big models (LeNet-5 always runs
+    /// full size — it is small enough). Width-only scaling preserves the
+    /// paper's feature-map plane sizes, which govern per-channel skip
+    /// balance and the counting-lane overlap (Eq. 8/9); channel counts
+    /// stay large enough for the `<Tm, Tn>` design space to behave as at
+    /// full width.
+    pub const BENCH: ModelScale = ModelScale {
+        width: 0.5,
+        resolution_div: 1,
+    };
+
+    /// An even smaller scale for unit/integration tests.
+    pub const TINY: ModelScale = ModelScale {
+        width: 0.125,
+        resolution_div: 2,
+    };
+
+    /// Width-only test scale with native planes (for balance-sensitive
+    /// tests).
+    pub const TINY_WIDE: ModelScale = ModelScale {
+        width: 0.125,
+        resolution_div: 1,
+    };
+
+    /// Scales a channel count (minimum 4, rounded to a multiple of 4 so
+    /// `Tn = 4` lanes stay aligned).
+    pub fn channels(&self, c: usize) -> usize {
+        let scaled = (c as f32 * self.width).round() as usize;
+        scaled.max(4).div_ceil(4) * 4
+    }
+
+    /// Scales a spatial dimension (minimum 8 pixels).
+    pub fn dim(&self, d: usize) -> usize {
+        (d / self.resolution_div).max(8)
+    }
+}
+
+impl Default for ModelScale {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+/// The evaluated models (paper §VI-A) plus the AlexNet extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// B-LeNet-5 (MNIST).
+    LeNet5,
+    /// B-VGG16 (CIFAR-100).
+    Vgg16,
+    /// B-GoogLeNet (CIFAR-100).
+    GoogLeNet,
+    /// B-AlexNet (CIFAR-shaped) — an extension beyond the paper's set.
+    AlexNet,
+}
+
+impl ModelKind {
+    /// The paper's three models, in its presentation order.
+    pub const ALL: [ModelKind; 3] = [ModelKind::LeNet5, ModelKind::Vgg16, ModelKind::GoogLeNet];
+
+    /// The paper's models plus the AlexNet extension.
+    pub const EXTENDED: [ModelKind; 4] = [
+        ModelKind::LeNet5,
+        ModelKind::Vgg16,
+        ModelKind::GoogLeNet,
+        ModelKind::AlexNet,
+    ];
+
+    /// The paper's name for the Bayesian variant ("B-LeNet-5", …).
+    pub fn bayesian_name(&self) -> &'static str {
+        match self {
+            ModelKind::LeNet5 => "B-LeNet-5",
+            ModelKind::Vgg16 => "B-VGG16",
+            ModelKind::GoogLeNet => "B-GoogLeNet",
+            ModelKind::AlexNet => "B-AlexNet",
+        }
+    }
+
+    /// Builds the full-size model.
+    pub fn build(&self, seed: u64) -> Network {
+        self.build_scaled(seed, ModelScale::FULL)
+    }
+
+    /// Builds a scaled model (LeNet-5 ignores the scale; it is already
+    /// small).
+    pub fn build_scaled(&self, seed: u64, scale: ModelScale) -> Network {
+        match self {
+            ModelKind::LeNet5 => lenet5(seed),
+            ModelKind::Vgg16 => vgg16_scaled(seed, scale),
+            ModelKind::GoogLeNet => googlenet_scaled(seed, scale),
+            ModelKind::AlexNet => alexnet_scaled(seed, scale),
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.bayesian_name())
+    }
+}
+
+/// Builds the full-size VGG16 (CIFAR-shaped).
+pub fn vgg16(seed: u64) -> Network {
+    vgg16_scaled(seed, ModelScale::FULL)
+}
+
+/// Builds the full-size GoogLeNet (CIFAR-shaped).
+pub fn googlenet(seed: u64) -> Network {
+    googlenet_scaled(seed, ModelScale::FULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_channel_rounding() {
+        let s = ModelScale::BENCH;
+        assert_eq!(s.channels(64), 32);
+        assert_eq!(s.channels(3), 4);
+        assert_eq!(s.channels(100), 52); // 50 -> next multiple of 4
+        assert_eq!(s.dim(32), 32);
+        assert_eq!(s.dim(8), 8); // floor at 8
+    }
+
+    #[test]
+    fn full_scale_is_identity_for_multiples_of_four() {
+        let s = ModelScale::FULL;
+        assert_eq!(s.channels(64), 64);
+        assert_eq!(s.dim(32), 32);
+    }
+
+    #[test]
+    fn model_kind_display() {
+        assert_eq!(ModelKind::Vgg16.to_string(), "B-VGG16");
+        assert_eq!(ModelKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,118 @@
+use super::ModelScale;
+use crate::{init, Conv2d, Dense, Network, NetworkBuilder, NodeId, Pool2d, PoolKind};
+use fbcnn_tensor::Shape;
+
+/// The VGG16 channel plan: five blocks of 3×3/pad-1 convolutions, each
+/// followed by a 2×2/2 max pool.
+const BLOCKS: [(usize, usize); 5] = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)];
+
+/// Builds VGG16 adapted to CIFAR-shaped 32×32×3 inputs, 100 classes,
+/// optionally width/resolution scaled.
+///
+/// The classifier is the common CIFAR adaptation: after the fifth pool the
+/// feature map is 1×1, so a single hidden FC layer (512) precedes the
+/// 100-way output.
+///
+/// Layer labels follow the `convB_I` convention (`conv1_1` … `conv5_3`),
+/// matching how the paper refers to e.g. "the 2nd layer of
+/// Bayesian-VGG16".
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::models::{vgg16_scaled, ModelScale};
+///
+/// let net = vgg16_scaled(1, ModelScale::TINY);
+/// assert_eq!(net.conv_nodes().len(), 13);
+/// ```
+pub fn vgg16_scaled(seed: u64, scale: ModelScale) -> Network {
+    let dim = scale.dim(32);
+    let mut b = NetworkBuilder::named("vgg16", Shape::new(3, dim, dim));
+    let mut cursor: NodeId = b.input();
+    let mut in_ch = 3;
+    let mut spatial = dim;
+    for (block, &(channels, reps)) in BLOCKS.iter().enumerate() {
+        let out_ch = scale.channels(channels);
+        for rep in 0..reps {
+            let label = format!("conv{}_{}", block + 1, rep + 1);
+            cursor = b
+                .layer(cursor, Conv2d::new(in_ch, out_ch, 3, 1, 1, true), label)
+                .expect("vgg conv");
+            in_ch = out_ch;
+        }
+        // Only pool while the spatial size can halve; scaled-resolution
+        // variants run out of pixels before the fifth block.
+        if spatial >= 2 {
+            cursor = b
+                .layer(
+                    cursor,
+                    Pool2d::new(PoolKind::Max, 2, 2),
+                    format!("pool{}", block + 1),
+                )
+                .expect("vgg pool");
+            spatial /= 2;
+        }
+    }
+    let feat = in_ch * spatial * spatial;
+    let hidden = scale.channels(512);
+    let f1 = b
+        .layer(cursor, Dense::new(feat, hidden, true), "fc1")
+        .expect("vgg fc1");
+    b.layer(f1, Dense::new(hidden, 100, false), "fc2")
+        .expect("vgg fc2");
+    let mut net = b.build().expect("vgg graph");
+    init::calibrated(&mut net, seed);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::vgg16;
+    use fbcnn_tensor::Tensor;
+
+    #[test]
+    fn full_size_shape_plan() {
+        let net = vgg16(0);
+        assert_eq!(net.input_shape(), Shape::new(3, 32, 32));
+        assert_eq!(net.conv_nodes().len(), 13);
+        assert_eq!(net.output_shape().len(), 100);
+        // After five pools: 512x1x1.
+        let last_conv = *net.conv_nodes().last().unwrap();
+        assert_eq!(net.shape(last_conv), Shape::new(512, 2, 2));
+    }
+
+    #[test]
+    fn labels_follow_paper_convention() {
+        let net = vgg16(0);
+        let labels: Vec<&str> = net
+            .conv_nodes()
+            .iter()
+            .map(|&id| net.node(id).label())
+            .collect();
+        assert_eq!(labels[0], "conv1_1");
+        assert_eq!(labels[1], "conv1_2");
+        assert_eq!(labels[12], "conv5_3");
+    }
+
+    #[test]
+    fn scaled_variant_runs_forward() {
+        let net = vgg16_scaled(5, ModelScale::TINY);
+        let input = Tensor::from_fn(net.input_shape(), |ch, r, c| {
+            ((ch + r + c) % 7) as f32 / 7.0
+        });
+        let logits = net.forward(&input);
+        assert_eq!(logits.len(), 100);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn scaling_reduces_macs() {
+        let full = vgg16(0);
+        // Half width ≈ quarter MACs; TINY is far smaller still.
+        let bench = vgg16_scaled(0, ModelScale::BENCH);
+        assert!(bench.total_macs() * 3 < full.total_macs());
+        let tiny = vgg16_scaled(0, ModelScale::TINY);
+        assert!(tiny.total_macs() * 10 < full.total_macs());
+    }
+}

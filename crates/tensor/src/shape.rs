@@ -1,0 +1,229 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The shape of a `(channels, height, width)` feature map.
+///
+/// All feature maps, dropout masks and zero-neuron indexes in the workspace
+/// are addressed through a `Shape`. The linear layout is row-major within a
+/// channel and channel-major overall: index `(c, r, col)` maps to
+/// `c * h * w + r * w + col`.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_tensor::Shape;
+///
+/// let s = Shape::new(16, 8, 8);
+/// assert_eq!(s.len(), 1024);
+/// assert_eq!(s.index(1, 0, 3), 67);
+/// assert_eq!(s.unravel(67), (1, 0, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    channels: usize,
+    height: usize,
+    width: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero: a degenerate feature map is always a
+    /// bug in the caller.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        assert!(
+            channels > 0 && height > 0 && width > 0,
+            "shape dimensions must be non-zero, got ({channels}, {height}, {width})"
+        );
+        Self {
+            channels,
+            height,
+            width,
+        }
+    }
+
+    /// A flat shape with `n` elements laid out as `(n, 1, 1)`.
+    ///
+    /// Used for fully-connected layer activations.
+    pub fn flat(n: usize) -> Self {
+        Self::new(n, 1, 1)
+    }
+
+    /// Number of channels (`C`).
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Feature-map height (`H` / paper's `R` for outputs).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Feature-map width (`W` / paper's `C` for outputs).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Elements in one channel plane (`H × W`).
+    pub fn plane(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Total number of elements (`C × H × W`).
+    pub fn len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+
+    /// Whether the shape holds zero elements. Always `false` (dimensions are
+    /// validated non-zero) but provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(c, r, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, c: usize, r: usize, col: usize) -> usize {
+        debug_assert!(
+            c < self.channels && r < self.height && col < self.width,
+            "index ({c}, {r}, {col}) out of bounds for shape {self}"
+        );
+        (c * self.height + r) * self.width + col
+    }
+
+    /// Inverse of [`Shape::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `i >= self.len()`.
+    #[inline]
+    pub fn unravel(&self, i: usize) -> (usize, usize, usize) {
+        debug_assert!(i < self.len(), "linear index {i} out of bounds for {self}");
+        let plane = self.plane();
+        let c = i / plane;
+        let rem = i % plane;
+        (c, rem / self.width, rem % self.width)
+    }
+
+    /// Iterates over all `(c, r, col)` coordinates in linear order.
+    pub fn coords(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.len()).map(move |i| self.unravel(i))
+    }
+
+    /// The output shape of a `k×k` convolution with the given stride and
+    /// symmetric zero padding, producing `out_channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel (after padding) does not fit in the input or the
+    /// stride is zero.
+    pub fn conv_output(&self, out_channels: usize, k: usize, stride: usize, pad: usize) -> Shape {
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(k > 0, "kernel size must be non-zero");
+        let padded_h = self.height + 2 * pad;
+        let padded_w = self.width + 2 * pad;
+        assert!(
+            padded_h >= k && padded_w >= k,
+            "kernel {k} does not fit input {self} with pad {pad}"
+        );
+        Shape::new(
+            out_channels,
+            (padded_h - k) / stride + 1,
+            (padded_w - k) / stride + 1,
+        )
+    }
+
+    /// The output shape of a `k×k` pooling window with the given stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit or the stride is zero.
+    pub fn pool_output(&self, k: usize, stride: usize) -> Shape {
+        assert!(stride > 0, "stride must be non-zero");
+        assert!(
+            self.height >= k && self.width >= k,
+            "pool window {k} does not fit input {self}"
+        );
+        Shape::new(
+            self.channels,
+            (self.height - k) / stride + 1,
+            (self.width - k) / stride + 1,
+        )
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.channels, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let s = Shape::new(3, 4, 5);
+        for i in 0..s.len() {
+            let (c, r, col) = s.unravel(i);
+            assert_eq!(s.index(c, r, col), i);
+        }
+    }
+
+    #[test]
+    fn conv_output_shapes() {
+        let s = Shape::new(3, 32, 32);
+        assert_eq!(s.conv_output(64, 3, 1, 1), Shape::new(64, 32, 32));
+        assert_eq!(s.conv_output(64, 3, 1, 0), Shape::new(64, 30, 30));
+        assert_eq!(s.conv_output(6, 5, 1, 2), Shape::new(6, 32, 32));
+        assert_eq!(s.conv_output(8, 1, 1, 0), Shape::new(8, 32, 32));
+        assert_eq!(s.conv_output(8, 3, 2, 1), Shape::new(8, 16, 16));
+    }
+
+    #[test]
+    fn pool_output_shapes() {
+        let s = Shape::new(16, 32, 32);
+        assert_eq!(s.pool_output(2, 2), Shape::new(16, 16, 16));
+        assert_eq!(s.pool_output(3, 1), Shape::new(16, 30, 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dim_rejected() {
+        let _ = Shape::new(0, 2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_rejected() {
+        let _ = Shape::new(1, 2, 2).conv_output(1, 5, 1, 0);
+    }
+
+    #[test]
+    fn flat_shape() {
+        let s = Shape::flat(10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.channels(), 10);
+        assert_eq!(s.plane(), 1);
+    }
+
+    #[test]
+    fn coords_cover_everything_in_order() {
+        let s = Shape::new(2, 2, 2);
+        let coords: Vec<_> = s.coords().collect();
+        assert_eq!(coords.len(), 8);
+        assert_eq!(coords[0], (0, 0, 0));
+        assert_eq!(coords[7], (1, 1, 1));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(3, 32, 31).to_string(), "3x32x31");
+    }
+}

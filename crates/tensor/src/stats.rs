@@ -1,0 +1,151 @@
+//! Small numeric helpers shared across the workspace.
+//!
+//! These operate on plain slices so they can be used on [`crate::Tensor`]
+//! buffers, logits vectors and metric accumulators alike.
+
+/// Index of the maximum element (first occurrence on ties).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fbcnn_tensor::stats::argmax(&[0.1, 0.7, 0.2]), 1);
+/// ```
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of an empty slice");
+    let mut best = 0;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn mean(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "mean of an empty slice");
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance (`E[x²] − E[x]²`, clamped at zero).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+pub fn variance(xs: &[f32]) -> f32 {
+    let m = mean(xs);
+    let v = xs.iter().map(|&x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32;
+    v.max(0.0)
+}
+
+/// Numerically stable softmax.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty.
+///
+/// # Examples
+///
+/// ```
+/// let p = fbcnn_tensor::stats::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax(xs: &[f32]) -> Vec<f32> {
+    assert!(!xs.is_empty(), "softmax of an empty slice");
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = xs.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Shannon entropy of a probability vector, in nats.
+///
+/// Zero-probability entries contribute zero. The input is assumed to be a
+/// (possibly unnormalized) non-negative vector; it is normalized first.
+///
+/// # Panics
+///
+/// Panics if `p` is empty or sums to zero.
+pub fn entropy(p: &[f32]) -> f32 {
+    assert!(!p.is_empty(), "entropy of an empty slice");
+    let sum: f32 = p.iter().sum();
+    assert!(sum > 0.0, "entropy of a zero vector");
+    p.iter()
+        .map(|&x| {
+            let q = x / sum;
+            if q > 0.0 {
+                -q * q.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// `⌈a / b⌉` for positive integers — the paper's `[N/Tn]` tiling count.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+pub fn ceil_div(a: usize, b: usize) -> usize {
+    assert!(b > 0, "ceil_div by zero");
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_ties_go_first() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((variance(&xs) - 1.25).abs() < 1e-6);
+        assert_eq!(variance(&[2.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let a = softmax(&[1.0, 2.0, 3.0]);
+        let b = softmax(&[101.0, 102.0, 103.0]);
+        assert!((a.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_inputs() {
+        let p = softmax(&[1000.0, 0.0]);
+        assert!(p[0] > 0.999 && p[1] < 1e-3);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ceil_div_matches_definition() {
+        assert_eq!(ceil_div(10, 4), 3);
+        assert_eq!(ceil_div(8, 4), 2);
+        assert_eq!(ceil_div(0, 4), 0);
+        assert_eq!(ceil_div(1, 1), 1);
+    }
+}

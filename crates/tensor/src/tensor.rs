@@ -1,0 +1,323 @@
+use crate::{BitMask, Shape};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// An owned, dense, row-major `f32` tensor over a [`Shape`].
+///
+/// This is the workhorse container of the workspace: feature maps,
+/// convolution kernels (one `Tensor` per output channel) and
+/// fully-connected activations are all `Tensor`s.
+///
+/// # Examples
+///
+/// ```
+/// use fbcnn_tensor::{Shape, Tensor};
+///
+/// let mut t = Tensor::zeros(Shape::new(1, 2, 2));
+/// t[(0, 0, 1)] = 3.0;
+/// assert_eq!(t.iter().sum::<f32>(), 3.0);
+/// assert_eq!(t.count_zero(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of the given shape filled with zeros.
+    pub fn zeros(shape: Shape) -> Self {
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// A tensor of the given shape filled with `value`.
+    pub fn full(shape: Shape, value: f32) -> Self {
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+
+    /// Builds a tensor from an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "buffer length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Builds a tensor by evaluating `f` at every coordinate.
+    pub fn from_fn(shape: Shape, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for (c, r, col) in shape.coords() {
+            data.push(f(c, r, col));
+        }
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements. Always `false` for validated
+    /// shapes, provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying buffer in linear layout.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a linear index.
+    #[inline]
+    pub fn at(&self, i: usize) -> f32 {
+        self.data[i]
+    }
+
+    /// Sets the element at a linear index.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: f32) {
+        self.data[i] = value;
+    }
+
+    /// One channel plane as a slice (`height × width` values).
+    pub fn channel(&self, c: usize) -> &[f32] {
+        let plane = self.shape.plane();
+        &self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// One channel plane as a mutable slice.
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f32] {
+        let plane = self.shape.plane();
+        &mut self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Iterates over elements in linear order.
+    pub fn iter(&self) -> std::slice::Iter<'_, f32> {
+        self.data.iter()
+    }
+
+    /// Mutable iteration over elements in linear order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, f32> {
+        self.data.iter_mut()
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place elementwise ReLU (`max(0, x)`).
+    pub fn relu_inplace(&mut self) {
+        self.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+    }
+
+    /// Adds `other` elementwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|v| v * s);
+    }
+
+    /// Zeroes out every element whose mask bit is set (the paper's
+    /// `O ⊙ (1 − M)` dropout application, where a set bit means *dropped*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask shape differs from the tensor shape.
+    pub fn apply_drop_mask(&mut self, mask: &BitMask) {
+        assert_eq!(self.shape, mask.shape(), "mask shape mismatch");
+        for i in mask.iter_set() {
+            self.data[i] = 0.0;
+        }
+    }
+
+    /// Number of exactly-zero elements.
+    pub fn count_zero(&self) -> usize {
+        self.data.iter().filter(|&&v| v == 0.0).count()
+    }
+
+    /// A [`BitMask`] with a bit set for every exactly-zero element — the
+    /// paper's *zero-neuron index* recorded during the pre-inference.
+    pub fn zero_mask(&self) -> BitMask {
+        let mut m = BitMask::zeros(self.shape);
+        for (i, &v) in self.data.iter().enumerate() {
+            if v == 0.0 {
+                m.set(i, true);
+            }
+        }
+        m
+    }
+
+    /// Maximum absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch in max_abs_diff");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+impl Index<(usize, usize, usize)> for Tensor {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (c, r, col): (usize, usize, usize)) -> &f32 {
+        &self.data[self.shape.index(c, r, col)]
+    }
+}
+
+impl IndexMut<(usize, usize, usize)> for Tensor {
+    #[inline]
+    fn index_mut(&mut self, (c, r, col): (usize, usize, usize)) -> &mut f32 {
+        &mut self.data[self.shape.index(c, r, col)]
+    }
+}
+
+impl<'a> IntoIterator for &'a Tensor {
+    type Item = &'a f32;
+    type IntoIter = std::slice::Iter<'a, f32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.data.iter()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor({})", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tensor {
+        Tensor::from_fn(Shape::new(2, 2, 2), |c, r, col| {
+            (c * 4 + r * 2 + col) as f32 - 3.0
+        })
+    }
+
+    #[test]
+    fn from_fn_layout_matches_indexing() {
+        let t = sample();
+        assert_eq!(t[(0, 0, 0)], -3.0);
+        assert_eq!(t[(1, 1, 1)], 4.0);
+        assert_eq!(t.at(7), 4.0);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut t = sample();
+        t.relu_inplace();
+        assert!(t.iter().all(|&v| v >= 0.0));
+        assert_eq!(t.count_zero(), 4); // -3, -2, -1 and the original 0
+    }
+
+    #[test]
+    fn zero_mask_matches_count() {
+        let mut t = sample();
+        t.relu_inplace();
+        let m = t.zero_mask();
+        assert_eq!(m.count_ones(), t.count_zero());
+        for i in m.iter_set() {
+            assert_eq!(t.at(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn apply_drop_mask_zeroes_selected() {
+        let mut t = Tensor::full(Shape::new(1, 2, 2), 5.0);
+        let mut m = BitMask::zeros(t.shape());
+        m.set(0, true);
+        m.set(3, true);
+        t.apply_drop_mask(&m);
+        assert_eq!(t.as_slice(), &[0.0, 5.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = Tensor::full(Shape::new(1, 1, 3), 1.0);
+        let b = Tensor::from_vec(Shape::new(1, 1, 3), vec![1.0, 2.0, 3.0]);
+        a.add_assign(&b);
+        a.scale_inplace(0.5);
+        assert_eq!(a.as_slice(), &[1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_length_checked() {
+        let _ = Tensor::from_vec(Shape::new(1, 2, 2), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn channel_slices() {
+        let t = sample();
+        assert_eq!(t.channel(0), &[-3.0, -2.0, -1.0, 0.0]);
+        assert_eq!(t.channel(1), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_is_symmetric() {
+        let a = sample();
+        let b = a.map(|v| v + 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert_eq!(b.max_abs_diff(&a), 0.25);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for shapes, tensors and bit masks.
+
+use fbcnn_tensor::{BitMask, Shape, Tensor};
+use proptest::prelude::*;
+
+fn arb_shape() -> impl Strategy<Value = Shape> {
+    (1usize..6, 1usize..12, 1usize..12).prop_map(|(c, h, w)| Shape::new(c, h, w))
+}
+
+fn arb_tensor() -> impl Strategy<Value = Tensor> {
+    arb_shape().prop_flat_map(|s| {
+        proptest::collection::vec(-10.0f32..10.0, s.len())
+            .prop_map(move |data| Tensor::from_vec(s, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn shape_index_unravel_roundtrip(s in arb_shape(), frac in 0.0f64..1.0) {
+        let i = ((s.len() - 1) as f64 * frac) as usize;
+        let (c, r, col) = s.unravel(i);
+        prop_assert_eq!(s.index(c, r, col), i);
+        prop_assert!(c < s.channels() && r < s.height() && col < s.width());
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(mut t in arb_tensor()) {
+        t.relu_inplace();
+        let once = t.clone();
+        t.relu_inplace();
+        prop_assert_eq!(&once, &t);
+        prop_assert!(t.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn zero_mask_is_exact(mut t in arb_tensor()) {
+        t.relu_inplace();
+        let m = t.zero_mask();
+        prop_assert_eq!(m.count_ones(), t.count_zero());
+        let from_mask: Vec<usize> = m.iter_set().collect();
+        let direct: Vec<usize> = t
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v == 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(from_mask, direct);
+    }
+
+    #[test]
+    fn drop_mask_application_matches_elementwise_product(
+        t in arb_tensor(),
+        seed in any::<u64>(),
+    ) {
+        // A dropped bit corresponds to multiplying by zero; kept bits by one.
+        let s = t.shape();
+        let mask = BitMask::from_fn(s, |i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64)).count_ones() % 2 == 0);
+        let mut dropped = t.clone();
+        dropped.apply_drop_mask(&mask);
+        for i in 0..s.len() {
+            let expect = if mask.get(i) { 0.0 } else { t.at(i) };
+            prop_assert_eq!(dropped.at(i), expect);
+        }
+    }
+
+    #[test]
+    fn mask_algebra_counts(s in arb_shape(), a_seed in any::<u64>(), b_seed in any::<u64>()) {
+        let a = BitMask::from_fn(s, |i| (a_seed >> (i % 64)) & 1 == 1);
+        let b = BitMask::from_fn(s, |i| (b_seed >> (i % 64)) & 1 == 1);
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        prop_assert_eq!(
+            a.or(&b).count_ones() + a.and(&b).count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+        // A \ B and A ∩ B partition A
+        prop_assert_eq!(
+            a.and_not(&b).count_ones() + a.and(&b).count_ones(),
+            a.count_ones()
+        );
+        prop_assert_eq!(a.count_and(&b), a.and(&b).count_ones());
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in proptest::collection::vec(-30.0f32..30.0, 1..20)) {
+        let p = fbcnn_tensor::stats::softmax(&xs);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        prop_assert_eq!(
+            fbcnn_tensor::stats::argmax(&p),
+            fbcnn_tensor::stats::argmax(&xs)
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Accelerator design-space walk-through: build one workload and replay
+//! it on every hardware model in the crate — the baseline, the four
+//! Fast-BCNN design points, the FB-d / FB-u ablations, Cnvlutin and the
+//! ideal skipper.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use fast_bcnn::report::format_table;
+use fast_bcnn::{
+    synth_input, BaselineSim, CnvlutinSim, Engine, EngineConfig, FastBcnnSim, HwConfig, IdealSim,
+    SkipMode,
+};
+use fbcnn_nn::models::ModelKind;
+
+fn main() {
+    let engine = Engine::new(EngineConfig {
+        samples: 25,
+        ..EngineConfig::for_model(ModelKind::Vgg16)
+    });
+    let input = synth_input(engine.network().input_shape(), 3);
+
+    // The workload (pre-inference + T passes + skip maps) is extracted
+    // once; every hardware model replays it.
+    let w = engine.workload(&input);
+    println!(
+        "workload: {} | T = {} | overall skip rate {:.1}%\n",
+        w.model_name,
+        w.t(),
+        100.0 * w.total_skip_stats().skip_rate()
+    );
+
+    let base = BaselineSim::new(HwConfig::baseline()).run(&w);
+    let mut rows = Vec::new();
+    let mut push = |r: &fast_bcnn::RunReport| {
+        rows.push(vec![
+            r.name.clone(),
+            r.total_cycles.to_string(),
+            format!("{:.2}x", r.speedup_over(&base)),
+            format!("{:.1}%", 100.0 * r.energy_reduction_vs(&base)),
+            format!("{:.0}us", 1e6 * r.seconds_at(100)),
+        ]);
+    };
+    push(&base);
+    push(&CnvlutinSim::new().run(&w));
+    for tm in [8, 16, 32, 64] {
+        push(&FastBcnnSim::new(HwConfig::fast_bcnn(tm), SkipMode::Both).run(&w));
+    }
+    push(&FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::DroppedOnly).run(&w));
+    push(&FastBcnnSim::new(HwConfig::fast_bcnn(64), SkipMode::UnaffectedOnly).run(&w));
+    push(&IdealSim::new(HwConfig::fast_bcnn(64)).run(&w));
+
+    println!(
+        "{}",
+        format_table(
+            &[
+                "design",
+                "total cycles",
+                "speedup",
+                "energy red.",
+                "time @100MHz"
+            ],
+            &rows
+        )
+    );
+
+    // Resource story (Table II).
+    let res = fbcnn_accel::resources::estimate(&HwConfig::fast_bcnn(64));
+    println!(
+        "FB-64 prediction machinery overhead: {} LUTs + {} LUTs on top of {} (≈{:.1}%)",
+        res.prediction_units.luts,
+        res.central_predictor.luts,
+        res.convolution_units.luts,
+        100.0 * (res.prediction_units.luts + res.central_predictor.luts) as f64
+            / res.convolution_units.luts as f64
+    );
+}

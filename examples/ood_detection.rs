@@ -1,0 +1,93 @@
+//! Out-of-distribution detection (paper §I's driving motivation: an
+//! unfamiliar input should *raise uncertainty*, not produce a confident
+//! wrong answer).
+//!
+//! A trained LeNet-5 sees (a) in-distribution digits and (b) structured
+//! junk it was never trained on. The Bayesian ensemble's predictive
+//! entropy separates the two; a plain CNN gives one overconfident softmax
+//! either way.
+//!
+//! ```sh
+//! cargo run --release --example ood_detection
+//! ```
+
+use fast_bcnn::{Engine, EngineConfig, McDropout, PredictiveInference};
+use fbcnn_nn::data::SynthDigits;
+use fbcnn_nn::models::{ModelKind, ModelScale};
+use fbcnn_nn::train::{self, TrainConfig};
+use fbcnn_tensor::{stats, Shape, Tensor};
+
+/// Structured junk: smooth random blobs — bright like digits, shaped like
+/// nothing the network was trained on.
+fn ood_input(seed: u64) -> Tensor {
+    fast_bcnn::synth_input(Shape::new(1, 28, 28), 0xBAD_0000 + seed)
+}
+
+fn main() {
+    let mut net = ModelKind::LeNet5.build(1);
+    fbcnn_nn::init::he_uniform(&mut net, 1);
+    let train_set = SynthDigits::new(1).batch(0, 400);
+    train::train(
+        &mut net,
+        &train_set,
+        &TrainConfig {
+            epochs: 7,
+            ..TrainConfig::default()
+        },
+    );
+
+    let samples = 16;
+    let engine = Engine::with_network(
+        net,
+        EngineConfig {
+            model: ModelKind::LeNet5,
+            scale: ModelScale::FULL,
+            drop_rate: 0.3,
+            samples,
+            confidence: 0.68,
+            calibration_samples: 6,
+            seed: 7,
+        },
+    );
+
+    let mc = |image: &Tensor| {
+        let pe = PredictiveInference::new(
+            engine.bayesian_network(),
+            image,
+            engine.thresholds().clone(),
+        );
+        let probs = (0..samples)
+            .map(|t| {
+                let masks = engine.bayesian_network().generate_masks(7, t);
+                stats::softmax(pe.run_sample(&masks).logits())
+            })
+            .collect();
+        McDropout::summarize(probs)
+    };
+
+    let n = 30;
+    let test = SynthDigits::new(555).batch(0, n);
+    let mut id_mi = Vec::new();
+    let mut ood_mi = Vec::new();
+    for (i, s) in test.iter().enumerate() {
+        id_mi.push(mc(&s.image).predictive_entropy);
+        ood_mi.push(mc(&ood_input(i as u64)).predictive_entropy);
+    }
+
+    let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+    println!("predictive entropy (nats), {n} cases each:");
+    println!("  in-distribution digits: mean {:.4}", mean(&id_mi));
+    println!("  out-of-distribution:    mean {:.4}", mean(&ood_mi));
+
+    // A simple detector: flag inputs above an ID-derived threshold.
+    let mut sorted = id_mi.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let threshold = sorted[(0.9 * n as f32) as usize]; // 90th percentile of ID
+    let caught = ood_mi.iter().filter(|&&m| m > threshold).count();
+    let false_alarms = id_mi.iter().filter(|&&m| m > threshold).count();
+    println!(
+        "\ndetector at the 90th ID percentile ({threshold:.4}):\n  flags {caught}/{n} OOD inputs, {false_alarms}/{n} false alarms"
+    );
+    println!("\nthe skipping inference preserves the uncertainty signal the");
+    println!("detector rests on, at a fraction of the per-sample compute.");
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build a Bayesian LeNet-5, run MC-dropout inference with
+//! neuron skipping, and compare against the exact run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fast_bcnn::{synth_input, Engine, EngineConfig};
+use fbcnn_nn::models::ModelKind;
+
+fn main() {
+    // An engine bundles: the network, the dropout machinery, and the
+    // offline Algorithm-1 threshold calibration.
+    let engine = Engine::new(EngineConfig {
+        samples: 24,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    });
+    println!(
+        "model: {} ({} conv layers, {} MACs/pass)",
+        engine.network().name(),
+        engine.network().conv_nodes().len(),
+        engine.network().total_macs()
+    );
+
+    let input = synth_input(engine.network().input_shape(), 7);
+
+    // Exact MC dropout: T dense stochastic passes.
+    let exact = engine.predict_exact(&input);
+    // Fast-BCNN: pre-inference + T skipping passes.
+    let (fast, stats) = engine.predict_fast(&input);
+
+    println!(
+        "\nexact    class {} entropy {:.3} nats",
+        exact.class, exact.predictive_entropy
+    );
+    println!(
+        "skipping class {} entropy {:.3} nats",
+        fast.class, fast.predictive_entropy
+    );
+    println!(
+        "skipped {} of {} neuron computations ({:.1}%)",
+        stats.skipped,
+        stats.total,
+        100.0 * stats.skip_rate()
+    );
+    println!(
+        "  dropped neurons:   {:>8} ({:.1}%)",
+        stats.dropped,
+        100.0 * stats.dropped as f64 / stats.total as f64
+    );
+    println!(
+        "  predicted zeros:   {:>8} ({:.1}%)",
+        stats.predicted,
+        100.0 * stats.predicted as f64 / stats.total as f64
+    );
+
+    let shift: f32 = exact
+        .mean
+        .iter()
+        .zip(&fast.mean)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    println!("\ntotal probability mass moved by skipping: {shift:.4}");
+
+    // And what the hardware would make of it.
+    let workload = engine.workload(&input);
+    let base = engine.simulate_baseline(&workload);
+    let fb = engine.simulate_fast(&workload, 64);
+    println!(
+        "\nsimulated FB-64: {:.2}x speedup, {:.1}% energy reduction over the baseline accelerator",
+        fb.speedup_over(&base),
+        100.0 * fb.energy_reduction_vs(&base)
+    );
+}

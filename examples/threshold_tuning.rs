@@ -1,0 +1,58 @@
+//! Algorithm 1 walk-through: optimize per-kernel thresholds at several
+//! confidence levels and watch the precision/recall/skip-rate trade-off
+//! move.
+//!
+//! ```sh
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use fast_bcnn::report::format_table;
+use fast_bcnn::{evaluate_predictions, synth_input, BayesianNetwork, ThresholdOptimizer};
+use fbcnn_nn::models::ModelKind;
+
+fn main() {
+    let bnet = BayesianNetwork::new(ModelKind::LeNet5.build(5), 0.3);
+    let input = synth_input(bnet.network().input_shape(), 5);
+
+    println!("Algorithm 1 on B-LeNet-5 (drop rate 0.3):\n");
+    let mut rows = Vec::new();
+    for pcf in [0.55, 0.68, 0.80, 0.90, 0.97] {
+        let optimizer = ThresholdOptimizer::with_confidence(pcf);
+        let thresholds = optimizer.optimize(&bnet, &input, 11);
+        let report = evaluate_predictions(&bnet, &input, &thresholds, 8, 23);
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * pcf),
+            format!("{:.1}", thresholds.mean()),
+            format!("{:.1}%", 100.0 * report.precision),
+            format!("{:.1}%", 100.0 * report.recall),
+            format!("{:.1}%", 100.0 * report.skip_rate),
+            format!("{:.2}%", 100.0 * (1.0 - report.neuron_agreement)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "p_cf",
+                "mean alpha",
+                "precision",
+                "recall",
+                "skip rate",
+                "neurons changed"
+            ],
+            &rows
+        )
+    );
+    println!("higher confidence -> smaller thresholds -> fewer (but safer) skips —");
+    println!("exactly the Fig. 12(a) trade-off the paper tunes with p_cf.");
+
+    // Show a few per-kernel thresholds for flavor.
+    let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 11);
+    let node = bnet.network().conv_nodes()[1];
+    let alphas = thresholds.get(node).expect("layer 2 has thresholds");
+    println!(
+        "\nper-kernel alpha for {} (first 8 kernels): {:?}",
+        bnet.network().node(node).label(),
+        &alphas[..8.min(alphas.len())]
+    );
+}

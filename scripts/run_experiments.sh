@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper's evaluation into
+# results/ (text + JSON). Full scale, T = 50 — expect ~30-60 minutes on
+# one core. Pass --quick through to every harness for a fast smoke run:
+#
+#   scripts/run_experiments.sh          # full protocol
+#   scripts/run_experiments.sh --quick  # minutes, tiny models
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+EXPERIMENTS=(table01 table02 table03 motivation fig03 fig04 accuracy breakdown \
+             sync_audit ablation fig10 fig12b fig12a fig11 timeline)
+
+for exp in "${EXPERIMENTS[@]}"; do
+  echo "=== $exp $(date +%T) ==="
+  cargo run -q -p fbcnn-bench --release --bin "$exp" -- \
+    "$@" --json "results/$exp.json" | tee "results/$exp.txt"
+done
+echo "all experiments written to results/"

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Root meta-crate of the Fast-BCNN reproduction workspace.
+//!
+//! This crate exists to host the top-level `examples/` and `tests/`
+//! directories; the library surface lives in the member crates
+//! (`fast-bcnn` and the `fbcnn-*` substrates). Downstream users should
+//! depend on [`fast_bcnn`] directly.
+
+pub use fast_bcnn as fastbcnn;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_is_reachable() {
+        // The re-export wires the workspace together for examples/tests.
+        let cfg = crate::fastbcnn::EngineConfig::default();
+        assert_eq!(cfg.drop_rate, 0.3);
+    }
+}
