@@ -1,6 +1,6 @@
 use crate::mask::DropoutMasks;
 use crate::Brng;
-use fbcnn_nn::{Network, NodeId};
+use fbcnn_nn::{Network, NodeId, Workspace};
 use fbcnn_tensor::{BitMask, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -108,6 +108,32 @@ impl BayesianNetwork {
     pub fn forward_sample(&self, input: &Tensor, masks: &DropoutMasks) -> SampleRun {
         let activations = self.net.forward_with(input, |net, node, ins| {
             let mut out = net.eval_node(node, ins);
+            if let Some(mask) = masks.get(node.id()) {
+                out.apply_drop_mask(mask);
+            }
+            out
+        });
+        SampleRun { activations }
+    }
+
+    /// Like [`BayesianNetwork::forward_sample`], but convolutions run
+    /// through the im2col fast path, reusing the scratch buffers in `ws`
+    /// across layers — and, when the caller holds the workspace across
+    /// samples, across all `T` passes of an MC-dropout run.
+    ///
+    /// Output equals [`BayesianNetwork::forward_sample`] under `==`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the network.
+    pub fn forward_sample_ws(
+        &self,
+        input: &Tensor,
+        masks: &DropoutMasks,
+        ws: &mut Workspace,
+    ) -> SampleRun {
+        let activations = self.net.forward_with(input, |net, node, ins| {
+            let mut out = net.eval_node_ws(node, ins, ws);
             if let Some(mask) = masks.get(node.id()) {
                 out.apply_drop_mask(mask);
             }
@@ -249,6 +275,21 @@ mod tests {
         }
         // Non-conv nodes record nothing.
         assert!(pre[0].is_none());
+    }
+
+    #[test]
+    fn workspace_sample_matches_plain_sample() {
+        let bnet = BayesianNetwork::new(models::lenet5(2), 0.4);
+        let input = input_for(bnet.network());
+        let mut ws = Workspace::new();
+        for t in 0..3 {
+            let masks = bnet.generate_masks(21, t);
+            assert_eq!(
+                bnet.forward_sample_ws(&input, &masks, &mut ws),
+                bnet.forward_sample(&input, &masks),
+                "sample {t} diverged"
+            );
+        }
     }
 
     #[test]

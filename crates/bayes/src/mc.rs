@@ -1,5 +1,6 @@
 use crate::mask::DropoutMasks;
 use crate::{metrics, BayesianNetwork, SampleRun};
+use fbcnn_nn::Workspace;
 use fbcnn_tensor::{stats, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -76,11 +77,15 @@ impl McDropout {
     }
 
     /// Runs `T` stochastic passes and summarizes them.
+    ///
+    /// All `T` passes share one [`Workspace`], so the im2col scratch
+    /// buffer is allocated once and reused for every sample.
     pub fn run(&self, bnet: &BayesianNetwork, input: &Tensor) -> Prediction {
+        let mut ws = Workspace::new();
         let sample_probs: Vec<Vec<f32>> = (0..self.t)
             .map(|t| {
                 let masks = bnet.generate_masks(self.seed, t);
-                let run = bnet.forward_sample(input, &masks);
+                let run = bnet.forward_sample_ws(input, &masks, &mut ws);
                 stats::softmax(run.logits())
             })
             .collect();
@@ -89,7 +94,8 @@ impl McDropout {
 
     /// Like [`McDropout::run`], but distributes the `T` independent
     /// sample inferences over `threads` worker threads (crossbeam scoped
-    /// threads; the samples share nothing but the read-only network).
+    /// threads; the samples share nothing but the read-only network, and
+    /// each worker reuses its own [`Workspace`] across its samples).
     ///
     /// The result is bit-identical to the sequential [`McDropout::run`]:
     /// sample `t` always uses the masks `generate_masks(seed, t)` and the
@@ -114,10 +120,11 @@ impl McDropout {
             {
                 let base = worker * self.t.div_ceil(threads);
                 scope.spawn(move |_| {
+                    let mut ws = Workspace::new();
                     for (offset, slot) in chunk.iter_mut().enumerate() {
                         let t = base + offset;
                         let masks = bnet.generate_masks(self.seed, t);
-                        let run = bnet.forward_sample(input, &masks);
+                        let run = bnet.forward_sample_ws(input, &masks, &mut ws);
                         *slot = stats::softmax(run.logits());
                     }
                 });
@@ -127,14 +134,33 @@ impl McDropout {
         Self::summarize(sample_probs)
     }
 
+    /// Dispatches to [`McDropout::run`] (when `threads <= 1`) or
+    /// [`McDropout::run_parallel`] — the convenience form call sites use
+    /// when the thread count comes from configuration. The result does
+    /// not depend on `threads`.
+    pub fn run_with_threads(
+        &self,
+        bnet: &BayesianNetwork,
+        input: &Tensor,
+        threads: usize,
+    ) -> Prediction {
+        if threads > 1 {
+            self.run_parallel(bnet, input, threads)
+        } else {
+            self.run(bnet, input)
+        }
+    }
+
     /// Runs `T` stochastic passes plus the pre-inference, keeping the full
-    /// trace.
+    /// trace. Shares one [`Workspace`] across the sample passes, like
+    /// [`McDropout::run`].
     pub fn run_trace(&self, bnet: &BayesianNetwork, input: &Tensor) -> McTrace {
         let pre = bnet.forward_deterministic(input);
+        let mut ws = Workspace::new();
         let samples = (0..self.t)
             .map(|t| {
                 let masks = bnet.generate_masks(self.seed, t);
-                let run = bnet.forward_sample(input, &masks);
+                let run = bnet.forward_sample_ws(input, &masks, &mut ws);
                 (masks, run)
             })
             .collect();

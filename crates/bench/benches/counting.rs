@@ -1,0 +1,58 @@
+//! Criterion benches for the prediction unit's dropped-nw-input counting:
+//! the word-parallel packed kernel against the scalar per-bit reference,
+//! on LeNet-5-sized and larger geometries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fbcnn_nn::Conv2d;
+use fbcnn_predictor::{
+    count_dropped_nw_inputs, count_dropped_nw_inputs_scalar, PolarityIndicators,
+};
+use fbcnn_tensor::{BitMask, Shape};
+use std::hint::black_box;
+
+fn seeded_conv(in_c: usize, out_c: usize, k: usize) -> Conv2d {
+    let mut conv = Conv2d::new(in_c, out_c, k, 1, 0, true);
+    let mut state = 3u64;
+    for w in conv.weights_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *w = ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0;
+    }
+    conv
+}
+
+fn bench_geometry(c: &mut Criterion, label: &str, conv: Conv2d, in_dim: usize) {
+    let indicators = PolarityIndicators::profile_conv(&conv);
+    let mask = BitMask::from_fn(Shape::new(conv.in_channels(), in_dim, in_dim), |i| {
+        i % 3 == 0
+    });
+    let mut group = c.benchmark_group(label);
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            black_box(count_dropped_nw_inputs(
+                &conv,
+                &indicators,
+                black_box(&mask),
+            ))
+        });
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            black_box(count_dropped_nw_inputs_scalar(
+                &conv,
+                &indicators,
+                black_box(&mask),
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    // conv2 of LeNet-5: the paper's running example.
+    bench_geometry(c, "counting_lenet_conv2", seeded_conv(6, 16, 5), 14);
+    // A wider mid-network layer, VGG-ish channel counts.
+    bench_geometry(c, "counting_wide_3x3", seeded_conv(32, 32, 3), 16);
+}
+
+criterion_group!(benches, bench_counting);
+criterion_main!(benches);

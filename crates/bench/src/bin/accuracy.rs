@@ -13,10 +13,14 @@ fn main() {
             test_size: 40,
             epochs: 3,
             samples: 6,
+            threads: args.cfg.threads,
             ..Default::default()
         }
     } else {
-        TrainedAccuracyConfig::default()
+        TrainedAccuracyConfig {
+            threads: args.cfg.threads,
+            ..Default::default()
+        }
     };
     let results = accuracy::run(&[0.60, 0.68, 0.80, 0.90], &cfg);
     let rows: Vec<Vec<String>> = results

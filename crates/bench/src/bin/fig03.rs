@@ -9,7 +9,9 @@ use fast_bcnn::{synth_input, BayesianNetwork, Tensor};
 use fbcnn_nn::models::{ModelKind, ModelScale};
 
 fn render(grid: &[Vec<char>]) -> String {
-    grid.iter().map(|row| row.iter().collect::<String>() + "\n").collect()
+    grid.iter()
+        .map(|row| row.iter().collect::<String>() + "\n")
+        .collect()
 }
 
 fn zero_map(t: &Tensor, ch: usize) -> Vec<Vec<char>> {

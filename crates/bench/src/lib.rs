@@ -7,7 +7,11 @@
 //!
 //! * `--quick` — a shrunken configuration for smoke testing;
 //! * `--t <N>` / `--seed <N>` — override the sample count / master seed;
+//! * `--threads <N>` — worker threads for exact MC-dropout passes;
 //! * `--json <path>` — dump the result record as JSON.
+//!
+//! Unknown flags and malformed values are hard errors: [`parse_args`]
+//! prints the problem and exits with status 2.
 
 use fast_bcnn::experiments::ExpConfig;
 
@@ -20,15 +24,39 @@ pub struct HarnessArgs {
     pub json: Option<String>,
 }
 
-/// Parses the common flags from `std::env::args`.
+/// Parses the common flags from `std::env::args`, exiting with status 2
+/// on any unknown flag or malformed value.
 pub fn parse_args() -> HarnessArgs {
     let args: Vec<String> = std::env::args().collect();
-    from_arg_list(&args[1..])
+    match from_arg_list(&args[1..]) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: [--quick] [--t <N>] [--seed <N>] [--threads <N>] [--json <path>]");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Parses the common flags from a slice (testable form of
 /// [`parse_args`]).
-pub fn from_arg_list(args: &[String]) -> HarnessArgs {
+///
+/// # Errors
+///
+/// Returns a message for an unknown flag, a flag missing its value, or a
+/// value that does not parse (including `--threads 0`).
+pub fn from_arg_list(args: &[String]) -> Result<HarnessArgs, String> {
+    fn value<'a>(args: &'a [String], i: usize, flag: &str) -> Result<&'a str, String> {
+        args.get(i + 1)
+            .map(String::as_str)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn number<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+        let raw = value(args, i, flag)?;
+        raw.parse()
+            .map_err(|_| format!("{flag} needs a number, got `{raw}`"))
+    }
+
     let mut cfg = ExpConfig::default();
     let mut json = None;
     let mut i = 0;
@@ -36,28 +64,29 @@ pub fn from_arg_list(args: &[String]) -> HarnessArgs {
         match args[i].as_str() {
             "--quick" => cfg = ExpConfig::quick(),
             "--json" => {
-                if let Some(path) = args.get(i + 1) {
-                    json = Some(path.clone());
-                    i += 1;
-                }
+                json = Some(value(args, i, "--json")?.to_string());
+                i += 1;
             }
             "--t" => {
-                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                    cfg.t = v;
-                    i += 1;
-                }
+                cfg.t = number(args, i, "--t")?;
+                i += 1;
             }
             "--seed" => {
-                if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
-                    cfg.seed = v;
-                    i += 1;
-                }
+                cfg.seed = number(args, i, "--seed")?;
+                i += 1;
             }
-            other => eprintln!("ignoring unknown flag: {other}"),
+            "--threads" => {
+                cfg.threads = number(args, i, "--threads")?;
+                if cfg.threads == 0 {
+                    return Err("--threads needs a value >= 1".to_string());
+                }
+                i += 1;
+            }
+            other => return Err(format!("unknown flag: {other}")),
         }
         i += 1;
     }
-    HarnessArgs { cfg, json }
+    Ok(HarnessArgs { cfg, json })
 }
 
 /// Writes the JSON record if `--json` was given.
@@ -81,27 +110,51 @@ mod tests {
 
     #[test]
     fn default_args() {
-        let a = from_arg_list(&[]);
+        let a = from_arg_list(&[]).unwrap();
         assert_eq!(a.cfg, ExpConfig::default());
+        assert_eq!(a.cfg.threads, 1);
         assert!(a.json.is_none());
     }
 
     #[test]
     fn quick_and_json_flags() {
-        let a = from_arg_list(&strings(&["--quick", "--json", "/tmp/x.json"]));
+        let a = from_arg_list(&strings(&["--quick", "--json", "/tmp/x.json"])).unwrap();
         assert_eq!(a.cfg, ExpConfig::quick());
         assert_eq!(a.json.as_deref(), Some("/tmp/x.json"));
     }
 
     #[test]
     fn t_override() {
-        let a = from_arg_list(&strings(&["--t", "12"]));
+        let a = from_arg_list(&strings(&["--t", "12"])).unwrap();
         assert_eq!(a.cfg.t, 12);
     }
 
     #[test]
     fn seed_override() {
-        let a = from_arg_list(&strings(&["--seed", "99"]));
+        let a = from_arg_list(&strings(&["--seed", "99"])).unwrap();
         assert_eq!(a.cfg.seed, 99);
+    }
+
+    #[test]
+    fn threads_override() {
+        let a = from_arg_list(&strings(&["--threads", "4"])).unwrap();
+        assert_eq!(a.cfg.threads, 4);
+        // --quick resets the config; order matters, last writer wins.
+        let b = from_arg_list(&strings(&["--threads", "4", "--quick"])).unwrap();
+        assert_eq!(b.cfg.threads, 1);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let e = from_arg_list(&strings(&["--bogus"])).unwrap_err();
+        assert!(e.contains("--bogus"), "unhelpful message: {e}");
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        assert!(from_arg_list(&strings(&["--t"])).is_err());
+        assert!(from_arg_list(&strings(&["--t", "many"])).is_err());
+        assert!(from_arg_list(&strings(&["--threads", "0"])).is_err());
+        assert!(from_arg_list(&strings(&["--json"])).is_err());
     }
 }

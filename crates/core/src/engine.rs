@@ -23,6 +23,9 @@ pub struct EngineConfig {
     pub calibration_samples: usize,
     /// Master seed for weights, masks and calibration.
     pub seed: u64,
+    /// Worker threads for exact MC-dropout passes (1 = sequential;
+    /// results are identical either way).
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -37,6 +40,7 @@ impl EngineConfig {
             confidence: 0.68,
             calibration_samples: 8,
             seed: 0xFB_C0DE,
+            threads: 1,
         }
     }
 }
@@ -114,9 +118,14 @@ impl Engine {
         &self.thresholds
     }
 
-    /// Exact MC-dropout inference (`T` dense stochastic passes).
+    /// Exact MC-dropout inference (`T` dense stochastic passes),
+    /// parallelized over `EngineConfig::threads` workers when > 1.
     pub fn predict_exact(&self, input: &Tensor) -> Prediction {
-        McDropout::new(self.cfg.samples, self.cfg.seed).run(&self.bnet, input)
+        McDropout::new(self.cfg.samples, self.cfg.seed).run_with_threads(
+            &self.bnet,
+            input,
+            self.cfg.threads,
+        )
     }
 
     /// Skipping MC-dropout inference: one pre-inference plus `T` skipping

@@ -45,6 +45,8 @@ pub struct TrainedAccuracyConfig {
     pub drop_rate: f64,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for the exact MC-dropout passes (1 = sequential).
+    pub threads: usize,
 }
 
 impl Default for TrainedAccuracyConfig {
@@ -56,6 +58,7 @@ impl Default for TrainedAccuracyConfig {
             samples: 12,
             drop_rate: 0.3,
             seed: 0x7EA1,
+            threads: 1,
         }
     }
 }
@@ -97,13 +100,18 @@ pub fn run_with_network(
             confidence,
             calibration_samples: 6,
             seed: cfg.seed,
+            threads: cfg.threads,
         },
     );
 
     let mut exact_correct = 0usize;
     let mut skip_correct = 0usize;
     for s in &test {
-        let exact = McDropout::new(cfg.samples, cfg.seed).run(engine.bayesian_network(), &s.image);
+        let exact = McDropout::new(cfg.samples, cfg.seed).run_with_threads(
+            engine.bayesian_network(),
+            &s.image,
+            cfg.threads,
+        );
         if exact.class == s.label {
             exact_correct += 1;
         }

@@ -84,7 +84,11 @@ pub fn accuracy_loss(engine: &Engine, cfg: &ExpConfig) -> (f64, f64) {
 }
 
 fn exact_prediction(engine: &Engine, input: &Tensor, t: usize) -> crate::Prediction {
-    crate::McDropout::new(t, engine.config().seed).run(engine.bayesian_network(), input)
+    crate::McDropout::new(t, engine.config().seed).run_with_threads(
+        engine.bayesian_network(),
+        input,
+        engine.config().threads,
+    )
 }
 
 fn fast_prediction(engine: &Engine, input: &Tensor, t: usize) -> crate::Prediction {
@@ -106,6 +110,7 @@ pub fn run_model(kind: ModelKind, cfg: &ExpConfig) -> DesignSpaceResult {
         samples: cfg.t,
         confidence: cfg.confidence,
         seed: cfg.seed,
+        threads: cfg.threads,
         ..EngineConfig::for_model(kind)
     });
     let input = synth_input(engine.network().input_shape(), cfg.seed ^ 0x10AD);

@@ -51,6 +51,10 @@ pub struct ExpConfig {
     pub accuracy_samples: usize,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for exact MC-dropout passes (1 = sequential;
+    /// results are identical either way, see
+    /// `fbcnn_bayes::McDropout::run_parallel`).
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -63,6 +67,7 @@ impl Default for ExpConfig {
             accuracy_inputs: 4,
             accuracy_samples: 8,
             seed: 0xFB_C0DE,
+            threads: 1,
         }
     }
 }

@@ -1,5 +1,11 @@
+use crate::workspace::Workspace;
 use fbcnn_tensor::{Shape, Tensor};
 use serde::{Deserialize, Serialize};
+
+/// Column-block width (in output positions) for the blocked im2col kernel.
+/// 256 f32 columns keep one output block plus one patch row well inside L1
+/// while amortizing the per-block loop overhead.
+const COL_BLOCK: usize = 256;
 
 /// A 2-D convolution layer with optional fused ReLU.
 ///
@@ -254,6 +260,160 @@ impl Conv2d {
         }
     }
 
+    /// Runs the convolution through the im2col + cache-blocked kernel,
+    /// reusing the patch buffer in `ws` across calls.
+    ///
+    /// Produces output equal (`==`, i.e. up to the sign of zero) to
+    /// [`Conv2d::forward`]: the patch matrix zero-fills out-of-bounds
+    /// positions, so padding contributes `w * 0.0` terms that leave every
+    /// accumulator unchanged, and all nonzero terms are accumulated in the
+    /// same `(n, i, j)`-ascending order as the naive loop, bias first and
+    /// ReLU last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible (see
+    /// [`Conv2d::output_shape`]).
+    pub fn forward_ws(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        let out_shape = self.output_shape(input.shape());
+        let plane = out_shape.plane();
+        let patches = ws.im2col(self.macs_per_neuron() * plane);
+        self.fill_im2col(input, out_shape, patches);
+        let mut out = Tensor::zeros(out_shape);
+        for m in 0..self.out_channels {
+            self.blocked_channel(patches, m, out.channel_mut(m), self.relu);
+        }
+        out
+    }
+
+    /// Runs the convolution with output channels fanned out over `threads`
+    /// worker threads (capped at [`Conv2d::out_channels`]).
+    ///
+    /// The im2col patch matrix is built once in `ws` and shared read-only
+    /// by all workers; each worker owns a disjoint chunk of output planes,
+    /// so the result is identical to [`Conv2d::forward_ws`] regardless of
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, if a worker thread panics, or if the
+    /// input shape is incompatible (see [`Conv2d::output_shape`]).
+    pub fn forward_parallel(&self, input: &Tensor, threads: usize, ws: &mut Workspace) -> Tensor {
+        assert!(threads > 0, "thread count must be non-zero");
+        let out_shape = self.output_shape(input.shape());
+        let plane = out_shape.plane();
+        let patches = ws.im2col(self.macs_per_neuron() * plane);
+        self.fill_im2col(input, out_shape, patches);
+        let mut out = Tensor::zeros(out_shape);
+        let threads = threads.min(self.out_channels);
+        if threads == 1 {
+            for m in 0..self.out_channels {
+                self.blocked_channel(patches, m, out.channel_mut(m), self.relu);
+            }
+            return out;
+        }
+        let chunk = self.out_channels.div_ceil(threads);
+        let patches = &*patches;
+        crossbeam::thread::scope(|scope| {
+            for (worker, planes) in out.as_mut_slice().chunks_mut(chunk * plane).enumerate() {
+                let first_m = worker * chunk;
+                scope.spawn(move |_| {
+                    for (dm, out_plane) in planes.chunks_mut(plane).enumerate() {
+                        self.blocked_channel(patches, first_m + dm, out_plane, self.relu);
+                    }
+                });
+            }
+        })
+        .expect("conv worker thread panicked");
+        out
+    }
+
+    /// Lowers `input` into the patch matrix: row `kk = (n·K + i)·K + j`
+    /// holds, for each output position `(r, c)`, the input value that
+    /// weight `kk` multiplies — `0.0` where the window hangs over the
+    /// border. Row layout matches [`Conv2d::kernel`], column layout matches
+    /// the output plane.
+    fn fill_im2col(&self, input: &Tensor, out_shape: Shape, patches: &mut [f32]) {
+        let in_shape = input.shape();
+        let (in_h, in_w) = (in_shape.height(), in_shape.width());
+        let (out_h, out_w) = (out_shape.height(), out_shape.width());
+        let plane = out_shape.plane();
+        let pad = self.pad as isize;
+        for n in 0..self.in_channels {
+            let in_plane = input.channel(n);
+            for i in 0..self.k {
+                for j in 0..self.k {
+                    let kk = (n * self.k + i) * self.k + j;
+                    let row = &mut patches[kk * plane..(kk + 1) * plane];
+                    for r in 0..out_h {
+                        let in_r = (r * self.stride + i) as isize - pad;
+                        let dst = &mut row[r * out_w..(r + 1) * out_w];
+                        if in_r < 0 || in_r as usize >= in_h {
+                            dst.fill(0.0);
+                            continue;
+                        }
+                        let in_row = &in_plane[in_r as usize * in_w..(in_r as usize + 1) * in_w];
+                        if self.stride == 1 {
+                            // in_c = c + j - pad is valid for
+                            // c ∈ [pad - j, in_w + pad - j) ∩ [0, out_w).
+                            let lo = ((pad - j as isize).max(0) as usize).min(out_w);
+                            let hi = ((in_w as isize + pad - j as isize).max(lo as isize) as usize)
+                                .min(out_w);
+                            dst[..lo].fill(0.0);
+                            dst[hi..].fill(0.0);
+                            let src = (lo + j) - self.pad;
+                            dst[lo..hi].copy_from_slice(&in_row[src..src + (hi - lo)]);
+                        } else {
+                            for (c, v) in dst.iter_mut().enumerate() {
+                                let in_c = (c * self.stride + j) as isize - pad;
+                                *v = if in_c < 0 || in_c as usize >= in_w {
+                                    0.0
+                                } else {
+                                    in_row[in_c as usize]
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes output channel `m` from the patch matrix, walking the
+    /// output plane in [`COL_BLOCK`]-column tiles so the accumulator block
+    /// stays cache-resident while the kernel's rows stream through it.
+    /// Per output element the accumulation order is identical to
+    /// [`Conv2d::forward`]: bias, then weights in `kk`-ascending order
+    /// (zeros skipped), then ReLU.
+    fn blocked_channel(&self, patches: &[f32], m: usize, plane: &mut [f32], relu: bool) {
+        let kernel = self.kernel(m);
+        let cols = plane.len();
+        debug_assert_eq!(patches.len(), kernel.len() * cols);
+        plane.fill(self.bias[m]);
+        let mut start = 0;
+        while start < cols {
+            let end = (start + COL_BLOCK).min(cols);
+            let out_block = &mut plane[start..end];
+            for (kk, &w) in kernel.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                let patch_row = &patches[kk * cols + start..kk * cols + end];
+                for (acc, &x) in out_block.iter_mut().zip(patch_row) {
+                    *acc += w * x;
+                }
+            }
+            start = end;
+        }
+        if relu {
+            for v in plane.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
     /// Computes a single output neuron `(m, r, c)` with the same
     /// arithmetic as [`Conv2d::forward`] — the reference the skipping
     /// inference must reproduce bit-for-bit.
@@ -374,6 +534,108 @@ mod tests {
         for (m, r, c) in out_shape.coords() {
             assert_eq!(conv.forward_neuron(&input, m, r, c), full[(m, r, c)]);
         }
+    }
+
+    fn seeded_conv(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        relu: bool,
+        seed: u64,
+    ) -> Conv2d {
+        let mut conv = Conv2d::new(in_c, out_c, k, stride, pad, relu);
+        let mut state = seed;
+        for v in conv.weights_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // ~25% exact zeros to exercise the w == 0.0 skip.
+            *v = if state >> 62 == 0 {
+                0.0
+            } else {
+                ((state >> 33) as f32 / u32::MAX as f32 * 2.0 - 1.0) * 0.5
+            };
+        }
+        for b in conv.bias_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 33) as f32 / u32::MAX as f32 - 0.5;
+        }
+        conv
+    }
+
+    #[test]
+    fn forward_ws_matches_forward_across_geometries() {
+        // (in_c, out_c, k, stride, pad, dim) covering LeNet-ish shapes,
+        // stride > 1, pad larger than needed, and 1x1 kernels.
+        let cases = [
+            (1, 1, 1, 1, 0, 4),
+            (1, 6, 5, 1, 2, 14),
+            (3, 4, 3, 1, 1, 6),
+            (2, 3, 5, 2, 2, 9),
+            (6, 16, 5, 1, 0, 14),
+            (4, 2, 3, 3, 1, 10),
+        ];
+        let mut ws = Workspace::new();
+        for (idx, &(in_c, out_c, k, stride, pad, dim)) in cases.iter().enumerate() {
+            let conv = seeded_conv(
+                in_c,
+                out_c,
+                k,
+                stride,
+                pad,
+                idx.is_multiple_of(2),
+                idx as u64 + 3,
+            );
+            let input = Tensor::from_fn(Shape::new(in_c, dim, dim), |ch, r, c| {
+                ((ch * 31 + r * 7 + c * 3) % 11) as f32 / 5.0 - 1.0
+            });
+            assert_eq!(
+                conv.forward_ws(&input, &mut ws),
+                conv.forward(&input),
+                "geometry {:?} diverged",
+                (in_c, out_c, k, stride, pad, dim)
+            );
+        }
+        assert!(ws.im2col_capacity() > 0);
+    }
+
+    #[test]
+    fn forward_parallel_matches_forward_for_any_thread_count() {
+        let conv = seeded_conv(3, 8, 3, 1, 1, true, 42);
+        let input = Tensor::from_fn(Shape::new(3, 9, 9), |ch, r, c| {
+            ((ch * 13 + r * 5 + c) % 7) as f32 / 3.0 - 1.0
+        });
+        let reference = conv.forward(&input);
+        let mut ws = Workspace::new();
+        for threads in [1, 2, 3, 8, 16] {
+            assert_eq!(
+                conv.forward_parallel(&input, threads, &mut ws),
+                reference,
+                "threads={threads} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_is_reused_across_layers() {
+        let big = seeded_conv(2, 2, 3, 1, 1, false, 7);
+        let small = seeded_conv(1, 1, 1, 1, 0, false, 8);
+        let mut ws = Workspace::new();
+        let _ = big.forward_ws(&Tensor::full(Shape::new(2, 8, 8), 1.0), &mut ws);
+        let cap = ws.im2col_capacity();
+        let _ = small.forward_ws(&Tensor::full(Shape::new(1, 4, 4), 1.0), &mut ws);
+        assert_eq!(ws.im2col_capacity(), cap, "smaller layer must not shrink");
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count must be non-zero")]
+    fn zero_threads_rejected() {
+        let conv = Conv2d::new(1, 1, 1, 1, 0, false);
+        let _ = conv.forward_parallel(
+            &Tensor::zeros(Shape::new(1, 2, 2)),
+            0,
+            &mut Workspace::new(),
+        );
     }
 
     #[test]

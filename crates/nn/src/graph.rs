@@ -340,6 +340,28 @@ impl Network {
         }
     }
 
+    /// Like [`Network::eval_node`], but layer nodes run through the fast
+    /// path ([`Layer::forward_ws`]), reusing the scratch buffers in `ws`.
+    /// Output equals [`Network::eval_node`] under `==`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of inputs does not match the node's arity.
+    pub fn eval_node_ws(
+        &self,
+        node: &Node,
+        inputs: &[&Tensor],
+        ws: &mut crate::Workspace,
+    ) -> Tensor {
+        match &node.op {
+            Op::Layer(l) => {
+                assert_eq!(inputs.len(), 1, "layer node takes exactly one tensor");
+                l.forward_ws(inputs[0], ws)
+            }
+            _ => self.eval_node(node, inputs),
+        }
+    }
+
     /// Runs the network and returns every node's output tensor, indexed by
     /// node id.
     ///

@@ -44,6 +44,21 @@ impl Layer {
         }
     }
 
+    /// Runs the layer through the fast path: convolutions take the
+    /// im2col + blocked kernel via [`Conv2d::forward_ws`] (reusing the
+    /// scratch buffers in `ws`), other layers fall through to
+    /// [`Layer::forward`]. Output equals [`Layer::forward`] under `==`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape is incompatible with the layer.
+    pub fn forward_ws(&self, input: &Tensor, ws: &mut crate::Workspace) -> Tensor {
+        match self {
+            Layer::Conv(c) => c.forward_ws(input, ws),
+            other => other.forward(input),
+        }
+    }
+
     /// Whether this is a convolution layer.
     pub fn is_conv(&self) -> bool {
         matches!(self, Layer::Conv(_))

@@ -41,6 +41,7 @@ pub mod models;
 mod pool;
 pub mod quant;
 pub mod train;
+mod workspace;
 
 pub use conv::Conv2d;
 pub use dense::Dense;
@@ -48,3 +49,4 @@ pub use error::NnError;
 pub use graph::{Network, NetworkBuilder, Node, NodeId, Op};
 pub use layer::Layer;
 pub use pool::{Pool2d, PoolKind};
+pub use workspace::Workspace;

@@ -1,6 +1,6 @@
 //! Property-based tests for the CNN substrate.
 
-use fbcnn_nn::{Conv2d, Dense, Pool2d, PoolKind};
+use fbcnn_nn::{Conv2d, Dense, Pool2d, PoolKind, Workspace};
 use fbcnn_tensor::{Shape, Tensor};
 use proptest::prelude::*;
 
@@ -25,8 +25,59 @@ fn arb_conv() -> impl Strategy<Value = (Conv2d, Tensor)> {
     )
 }
 
+/// Like [`arb_conv`], but additionally varies stride, fused ReLU and the
+/// bias — the dimensions the fast conv paths must reproduce exactly.
+fn arb_conv_fast() -> impl Strategy<Value = (Conv2d, Tensor)> {
+    (
+        (1usize..4, 1usize..6, 0usize..3),
+        (0usize..3, 1usize..3, 4usize..9, any::<bool>()),
+    )
+        .prop_flat_map(|((n, m, k_idx), (pad, stride, dim, relu))| {
+            let k = [1usize, 3, 5][k_idx % 3].min(dim);
+            let pad = pad.min(k.saturating_sub(1));
+            let wlen = m * n * k * k;
+            (
+                proptest::collection::vec(-1.0f32..1.0, wlen),
+                proptest::collection::vec(-1.0f32..1.0, m),
+                proptest::collection::vec(-1.0f32..1.0, n * dim * dim),
+                Just((n, m, k, pad, stride, dim, relu)),
+            )
+                .prop_map(
+                    |(weights, bias, data, (n, m, k, pad, stride, dim, relu))| {
+                        let mut conv = Conv2d::new(n, m, k, stride, pad, relu);
+                        conv.weights_mut().copy_from_slice(&weights);
+                        conv.bias_mut().copy_from_slice(&bias);
+                        let input = Tensor::from_vec(Shape::new(n, dim, dim), data);
+                        (conv, input)
+                    },
+                )
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_ws_matches_naive_forward((conv, input) in arb_conv_fast()) {
+        // The im2col + blocked kernel must agree with the naive reference
+        // loop exactly (same accumulation order, so same rounding).
+        let mut ws = Workspace::new();
+        prop_assert_eq!(conv.forward_ws(&input, &mut ws), conv.forward(&input));
+    }
+
+    #[test]
+    fn forward_parallel_matches_naive_forward(
+        (conv, input) in arb_conv_fast(),
+        threads in 1usize..5,
+    ) {
+        // Workers own disjoint output channels, so thread count must not
+        // change a single bit of the result.
+        let mut ws = Workspace::new();
+        prop_assert_eq!(
+            conv.forward_parallel(&input, threads, &mut ws),
+            conv.forward(&input)
+        );
+    }
 
     #[test]
     fn convolution_is_linear_in_the_input((conv, input) in arb_conv(), scale in -2.0f32..2.0) {

@@ -100,11 +100,115 @@ fn resolve(net: &Network, masks: &DropoutMasks, id: NodeId) -> Option<BitMask> {
 /// simultaneously dropped and multiply a non-positive weight — the binary
 /// convolution of dropout bits with indicator bits (paper Fig. 9a).
 ///
+/// This is the word-parallel kernel: for each output row it packs every
+/// window's mask bits into `u64` lanes laid out like the indicator masks
+/// (bit `(n·k + i)·k + j`), then reduces each `(kernel, window)` pair with
+/// a word-wide AND + popcount — the software analogue of the prediction
+/// unit's AND-gate/counting lanes. No per-call byte unpacking, and the one
+/// scratch buffer lives outside the loops.
+///
+/// Falls back to [`count_dropped_nw_inputs_scalar`] (the bit-exact
+/// reference) for kernels wider than 64 columns, where a row no longer
+/// fits one word.
+///
 /// # Panics
 ///
 /// Panics if `input_mask` does not match the convolution's input shape or
 /// `indicators` does not hold one mask per output channel.
 pub fn count_dropped_nw_inputs(
+    conv: &Conv2d,
+    indicators: &[BitMask],
+    input_mask: &BitMask,
+) -> NdCounts {
+    let k = conv.kernel_size();
+    if k > 64 {
+        return count_dropped_nw_inputs_scalar(conv, indicators, input_mask);
+    }
+    assert_eq!(
+        indicators.len(),
+        conv.out_channels(),
+        "one indicator mask per kernel required"
+    );
+    let in_shape = input_mask.shape();
+    assert_eq!(
+        in_shape.channels(),
+        conv.in_channels(),
+        "input mask channel count mismatch"
+    );
+    let out_shape = conv.output_shape(in_shape);
+    let stride = conv.stride();
+    let pad = conv.pad() as isize;
+    let (in_h, in_w) = (in_shape.height(), in_shape.width());
+    let (out_h, out_w) = (out_shape.height(), out_shape.width());
+    let kernel_shape = Shape::new(conv.in_channels(), k, k);
+    for (m, indicator) in indicators.iter().enumerate() {
+        assert_eq!(
+            indicator.shape(),
+            kernel_shape,
+            "indicator shape mismatch for kernel {m}"
+        );
+    }
+
+    // Words per packed window: one bit per kernel position, same linear
+    // layout as the indicator masks, so the reduction is a straight
+    // word-lane AND + popcount.
+    let wpw = kernel_shape.len().div_ceil(64);
+    let in_plane = in_shape.plane();
+    let out_plane = out_shape.plane();
+    let mut counts = vec![0u16; out_shape.len()];
+    let mut windows = vec![0u64; out_w * wpw];
+    for r in 0..out_h {
+        windows.fill(0);
+        for n in 0..conv.in_channels() {
+            for i in 0..k {
+                let ri = (r * stride + i) as isize - pad;
+                if ri < 0 || ri as usize >= in_h {
+                    continue;
+                }
+                let row_base = n * in_plane + ri as usize * in_w;
+                let kbit = (n * k + i) * k;
+                for (c, win) in windows.chunks_exact_mut(wpw).enumerate() {
+                    // Clip the window row ci ∈ [ci0, ci0 + k) to the image.
+                    let ci0 = (c * stride) as isize - pad;
+                    let lo = ci0.max(0) as usize;
+                    let hi = ((ci0 + k as isize).min(in_w as isize)) as usize;
+                    if lo >= hi {
+                        continue;
+                    }
+                    let bits = input_mask.load_bits(row_base + lo, hi - lo);
+                    let dst = kbit + (lo as isize - ci0) as usize;
+                    let (w, b) = (dst / 64, dst % 64);
+                    win[w] |= bits << b;
+                    if b != 0 && w + 1 < wpw {
+                        win[w + 1] |= bits >> (64 - b);
+                    }
+                }
+            }
+        }
+        for (m, indicator) in indicators.iter().enumerate() {
+            let iw = indicator.words();
+            let row = &mut counts[m * out_plane + r * out_w..][..out_w];
+            for (slot, win) in row.iter_mut().zip(windows.chunks_exact(wpw)) {
+                *slot = BitMask::and_popcount(iw, win) as u16;
+            }
+        }
+    }
+    NdCounts {
+        shape: out_shape,
+        counts,
+    }
+}
+
+/// Scalar reference implementation of [`count_dropped_nw_inputs`]: unpacks
+/// the mask to bytes and accumulates per kernel position. Retained as the
+/// bit-exact baseline for property tests and the `counting` bench's
+/// before/after comparison.
+///
+/// # Panics
+///
+/// Panics if `input_mask` does not match the convolution's input shape or
+/// `indicators` does not hold one mask per output channel.
+pub fn count_dropped_nw_inputs_scalar(
     conv: &Conv2d,
     indicators: &[BitMask],
     input_mask: &BitMask,
@@ -253,6 +357,37 @@ mod tests {
                 reference_count(&conv, &mask, m, r, c),
                 "mismatch at ({m},{r},{c})"
             );
+        }
+    }
+
+    #[test]
+    fn packed_matches_scalar_across_geometries() {
+        // stride/pad/kernel combinations that exercise clipping on every
+        // side, plus channel counts pushing windows past one word.
+        for (in_c, out_c, k, stride, pad, dim) in [
+            (1, 1, 1, 1, 0, 4),
+            (3, 4, 3, 1, 1, 6),
+            (2, 3, 5, 2, 2, 9),
+            (6, 16, 5, 1, 0, 14), // LeNet conv2 geometry: 150-bit windows
+            (4, 2, 3, 3, 1, 10),
+        ] {
+            let mut conv = Conv2d::new(in_c, out_c, k, stride, pad, true);
+            let mut state = (in_c * 31 + k) as u64;
+            for w in conv.weights_mut() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                *w = ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0;
+            }
+            let in_shape = Shape::new(in_c, dim, dim);
+            let mask = BitMask::from_fn(in_shape, |i| {
+                (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .count_ones()
+                    .is_multiple_of(2)
+            });
+            let indicators = PolarityIndicators::profile_conv(&conv);
+            let fast = count_dropped_nw_inputs(&conv, &indicators, &mask);
+            let scalar = count_dropped_nw_inputs_scalar(&conv, &indicators, &mask);
+            assert_eq!(fast, scalar, "divergence at k={k} s={stride} p={pad}");
         }
     }
 

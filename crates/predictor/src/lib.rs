@@ -49,7 +49,9 @@ mod predictive;
 mod skipmap;
 mod threshold;
 
-pub use counting::{count_dropped_nw_inputs, input_drop_mask, NdCounts};
+pub use counting::{
+    count_dropped_nw_inputs, count_dropped_nw_inputs_scalar, input_drop_mask, NdCounts,
+};
 pub use evaluate::{evaluate_predictions, EvalReport};
 pub use indicator::PolarityIndicators;
 pub use predictive::{PredictiveInference, SkippingRun};

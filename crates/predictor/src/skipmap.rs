@@ -246,7 +246,7 @@ mod tests {
     #[test]
     fn stats_overlap_identity() {
         let s = Shape::flat(100);
-        let dropped = BitMask::from_fn(s, |i| i % 2 == 0);
+        let dropped = BitMask::from_fn(s, |i| i.is_multiple_of(2));
         let predicted = BitMask::from_fn(s, |i| i % 3 == 0);
         let map = SkipMap::new(dropped, predicted);
         let stats = map.stats();

@@ -3,7 +3,8 @@
 use fbcnn_bayes::BayesianNetwork;
 use fbcnn_nn::{models, Conv2d};
 use fbcnn_predictor::{
-    build_skip_maps, count_dropped_nw_inputs, PolarityIndicators, ThresholdOptimizer, ThresholdSet,
+    build_skip_maps, count_dropped_nw_inputs, count_dropped_nw_inputs_scalar, PolarityIndicators,
+    ThresholdOptimizer, ThresholdSet,
 };
 use fbcnn_tensor::{BitMask, Shape, Tensor};
 use proptest::prelude::*;
@@ -29,8 +30,48 @@ fn arb_conv_and_mask() -> impl Strategy<Value = (Conv2d, BitMask)> {
     })
 }
 
+/// Like [`arb_conv_and_mask`], but varying kernel size, stride and
+/// padding — including kernels whose bit count crosses the 64-bit word
+/// boundary of the packed counting lanes.
+fn arb_counting_case() -> impl Strategy<Value = (Conv2d, BitMask)> {
+    (
+        (1usize..4, 1usize..4, 0usize..3),
+        (0usize..3, 1usize..3, 5usize..10),
+    )
+        .prop_flat_map(|((n, m, k_idx), (pad, stride, dim))| {
+            let k = [1usize, 3, 5][k_idx % 3].min(dim);
+            let pad = pad.min(k.saturating_sub(1));
+            let wlen = m * n * k * k;
+            (
+                proptest::collection::vec(-1.0f32..1.0, wlen),
+                proptest::collection::vec(any::<bool>(), n * dim * dim),
+                Just((n, m, k, pad, stride, dim)),
+            )
+                .prop_map(|(weights, bits, (n, m, k, pad, stride, dim))| {
+                    let mut conv = Conv2d::new(n, m, k, stride, pad, true);
+                    conv.weights_mut().copy_from_slice(&weights);
+                    let mut mask = BitMask::zeros(Shape::new(n, dim, dim));
+                    for (i, b) in bits.into_iter().enumerate() {
+                        mask.set(i, b);
+                    }
+                    (conv, mask)
+                })
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn packed_counting_matches_scalar_reference((conv, mask) in arb_counting_case()) {
+        // The word-parallel lanes must agree with the per-bit reference
+        // on every count, for every geometry.
+        let indicators = PolarityIndicators::profile_conv(&conv);
+        prop_assert_eq!(
+            count_dropped_nw_inputs(&conv, &indicators, &mask),
+            count_dropped_nw_inputs_scalar(&conv, &indicators, &mask)
+        );
+    }
 
     #[test]
     fn counting_is_monotone_in_the_mask((conv, mask) in arb_conv_and_mask()) {

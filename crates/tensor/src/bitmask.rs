@@ -42,11 +42,15 @@ impl BitMask {
 
     /// An all-one mask over `shape`.
     pub fn ones(shape: Shape) -> Self {
-        let mut m = Self::zeros(shape);
-        for i in 0..shape.len() {
-            m.set(i, true);
+        let len = shape.len();
+        let mut words = vec![!0u64; len.div_ceil(WORD_BITS)];
+        // Padding bits past `len` must stay clear (count_ones and iter_set
+        // rely on it), so mask the tail word.
+        let tail = len % WORD_BITS;
+        if tail != 0 {
+            *words.last_mut().unwrap() = (1u64 << tail) - 1;
         }
-        m
+        Self { shape, words }
     }
 
     /// Builds a mask by evaluating a predicate at every linear index.
@@ -196,10 +200,59 @@ impl BitMask {
     /// Panics if shapes differ.
     pub fn count_and(&self, other: &BitMask) -> usize {
         assert_eq!(self.shape, other.shape, "mask shape mismatch in count_and");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
+        Self::and_popcount(&self.words, &other.words)
+    }
+
+    /// The raw packed words, little-endian within each `u64` (bit `i` of
+    /// the mask is bit `i % 64` of word `i / 64`). Padding bits past
+    /// [`BitMask::len`] are always zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reads `len ≤ 64` consecutive bits starting at linear index `start`
+    /// into the low bits of a `u64` (an unaligned packed-row extraction —
+    /// the shifted mask-row load of the word-parallel counting kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or `start + len` exceeds the mask length.
+    #[inline]
+    pub fn load_bits(&self, start: usize, len: usize) -> u64 {
+        assert!(len <= WORD_BITS, "cannot load {len} bits into a u64");
+        assert!(
+            start + len <= self.len(),
+            "bit range {start}..{} out of bounds",
+            start + len
+        );
+        if len == 0 {
+            return 0;
+        }
+        let w = start / WORD_BITS;
+        let b = start % WORD_BITS;
+        let lo = self.words[w] >> b;
+        let hi = if b == 0 || w + 1 == self.words.len() {
+            0
+        } else {
+            self.words[w + 1] << (WORD_BITS - b)
+        };
+        let v = lo | hi;
+        if len == WORD_BITS {
+            v
+        } else {
+            v & ((1u64 << len) - 1)
+        }
+    }
+
+    /// Popcount of the pairwise AND of two packed-word slices (zipped to
+    /// the shorter length) — the AND-gate + popcount reduction of the
+    /// paper's prediction unit, one word lane at a time.
+    #[inline]
+    pub fn and_popcount(a: &[u64], b: &[u64]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as usize)
             .sum()
     }
 }
@@ -274,7 +327,7 @@ mod tests {
     #[test]
     fn boolean_algebra() {
         let s = Shape::flat(130);
-        let a = BitMask::from_fn(s, |i| i % 2 == 0);
+        let a = BitMask::from_fn(s, |i| i.is_multiple_of(2));
         let b = BitMask::from_fn(s, |i| i % 3 == 0);
         let and = a.and(&b);
         let or = a.or(&b);
@@ -297,6 +350,64 @@ mod tests {
         let m = BitMask::ones(Shape::flat(77));
         assert_eq!(m.count_ones(), 77);
         assert!((m.density() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ones_keeps_padding_bits_clear() {
+        for n in [1, 63, 64, 65, 128, 129] {
+            let m = BitMask::ones(Shape::flat(n));
+            assert_eq!(m.count_ones(), n, "wrong popcount at len {n}");
+            assert_eq!(m.iter_set().count(), n, "padding bit set at len {n}");
+            assert_eq!(m, BitMask::from_fn(Shape::flat(n), |_| true));
+        }
+    }
+
+    #[test]
+    fn load_bits_matches_per_bit_reads() {
+        let m = BitMask::from_fn(Shape::flat(200), |i| {
+            (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .count_ones()
+                .is_multiple_of(2)
+        });
+        for start in [0, 1, 37, 63, 64, 65, 127, 130, 136] {
+            for len in [0, 1, 5, 63, 64] {
+                if start + len > m.len() {
+                    continue;
+                }
+                let got = m.load_bits(start, len);
+                for bit in 0..len {
+                    assert_eq!(
+                        (got >> bit) & 1 == 1,
+                        m.get(start + bit),
+                        "bit {bit} of load_bits({start}, {len})"
+                    );
+                }
+                if len < WORD_BITS {
+                    assert_eq!(
+                        got >> len,
+                        0,
+                        "stray high bits in load_bits({start}, {len})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn load_bits_at_mask_end() {
+        let m = BitMask::ones(Shape::flat(70));
+        assert_eq!(m.load_bits(64, 6), 0b11_1111);
+        assert_eq!(m.load_bits(6, 64), !0u64);
+    }
+
+    #[test]
+    fn and_popcount_matches_count_and() {
+        let s = Shape::flat(150);
+        let a = BitMask::from_fn(s, |i| i.is_multiple_of(2));
+        let b = BitMask::from_fn(s, |i| i % 3 == 0);
+        assert_eq!(BitMask::and_popcount(a.words(), b.words()), a.count_and(&b));
+        assert_eq!(BitMask::and_popcount(&[], b.words()), 0);
     }
 
     #[test]

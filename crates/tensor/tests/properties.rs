@@ -54,7 +54,7 @@ proptest! {
     ) {
         // A dropped bit corresponds to multiplying by zero; kept bits by one.
         let s = t.shape();
-        let mask = BitMask::from_fn(s, |i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64)).count_ones() % 2 == 0);
+        let mask = BitMask::from_fn(s, |i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64)).count_ones().is_multiple_of(2));
         let mut dropped = t.clone();
         dropped.apply_drop_mask(&mask);
         for i in 0..s.len() {

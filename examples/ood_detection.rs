@@ -47,6 +47,7 @@ fn main() {
             confidence: 0.68,
             calibration_samples: 6,
             seed: 7,
+            threads: 1,
         },
     );
 

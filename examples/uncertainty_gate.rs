@@ -52,6 +52,7 @@ fn main() {
             confidence: 0.68,
             calibration_samples: 6,
             seed: 42,
+            threads: 1,
         },
     );
 

@@ -17,6 +17,7 @@ fn quick_engine(kind: ModelKind) -> Engine {
         confidence: 0.68,
         calibration_samples: 3,
         seed: 99,
+        threads: 1,
     })
 }
 

@@ -26,6 +26,7 @@ fn quantized_alexnet_pipeline_end_to_end() {
             confidence: 0.68,
             calibration_samples: 2,
             seed: 3,
+            threads: 1,
         },
     );
     let input = synth_input(engine.network().input_shape(), 5);

@@ -38,6 +38,7 @@ fn trained_bcnn_keeps_its_accuracy_under_skipping() {
             confidence: 0.68,
             calibration_samples: 4,
             seed: 33,
+            threads: 1,
         },
     );
 
@@ -129,6 +130,7 @@ fn bayesian_uncertainty_separates_in_and_out_of_distribution() {
             confidence: 0.68,
             calibration_samples: 4,
             seed: 5,
+            threads: 1,
         },
     );
     let runner = McDropout::new(8, 5);

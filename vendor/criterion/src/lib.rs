@@ -1,0 +1,270 @@
+//! Offline vendor shim for the subset of `criterion` 0.5 this workspace
+//! uses: `Criterion`, `benchmark_group`/`bench_function`, `Bencher::iter` /
+//! `iter_batched`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is a deliberately small wall-clock harness: a short warm-up
+//! estimates the per-iteration cost, then `sample_size` samples are timed
+//! and the minimum / median / mean per-iteration times are printed. No
+//! statistical analysis, plots or baselines — enough to compare kernels by
+//! eye and to keep `cargo bench` working offline.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+/// Wall-clock budget for the warm-up/calibration loop.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// shim always sets up one input per timed iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Many small inputs per batch.
+    SmallInput,
+    /// Few large inputs per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real crate samples 100 times; 20 keeps offline runs quick.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as the benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => r.print(id),
+            None => println!("{id:<50} (no measurement recorded)"),
+        }
+        self
+    }
+
+    /// Starts a named group; benchmark ids are `group/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group
+    /// (the group borrows the driver, so this configures it directly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (a no-op in this shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Per-iteration timing summary.
+struct Report {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+impl Report {
+    fn print(&self, id: &str) {
+        println!(
+            "{id:<50} time: [{} {} {}]  (min median mean)",
+            fmt_duration(self.min),
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times one routine; handed to the closure of `bench_function`.
+pub struct Bencher {
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` (timed in auto-sized batches).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
+        let iters_per_sample =
+            (SAMPLE_TARGET.as_nanos() / per_iter.max(1)).clamp(1, u128::from(u32::MAX)) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+        self.record(samples);
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only `routine`
+    /// is timed. `BatchSize` is accepted for compatibility and ignored
+    /// (every iteration gets its own input).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate: one warm-up pass.
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let per_iter = start.elapsed();
+        let iters_per_sample =
+            (SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000) as usize;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let mut elapsed = Duration::ZERO;
+            for input in inputs {
+                let start = Instant::now();
+                let out = routine(input);
+                elapsed += start.elapsed();
+                drop(std::hint::black_box(out));
+            }
+            samples.push(elapsed / iters_per_sample as u32);
+        }
+        self.record(samples);
+    }
+
+    fn record(&mut self, mut samples: Vec<Duration>) {
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        self.report = Some(Report { min, median, mean });
+    }
+}
+
+/// Declares a benchmark group function, as in criterion 0.5 (both the
+/// plain and the `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; nothing to parse
+            // in this shim.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u32).sum::<u32>()))
+        });
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u32; 64],
+                |v| v.iter().sum::<u32>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn formats_scale_with_magnitude() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline vendor shim for the subset of `crossbeam` this workspace uses:
+//! `crossbeam::thread::scope` with `Scope::spawn`, layered over
+//! `std::thread::scope` (stable since 1.63).
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Result of a scope: `Err` carries the payload of a panicked thread.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle; spawned threads may borrow from the enclosing stack
+    /// frame and are all joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope; every spawned thread is joined before this
+    /// returns. Returns `Err` if `f` or any spawned thread panicked —
+    /// unlike `std::thread::scope`, which resumes the panic.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_borrow_and_write_disjoint_chunks() {
+        let mut data = vec![0u32; 8];
+        crate::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(2).enumerate() {
+                scope.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 2 + j) as u32;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn panicked_worker_yields_err() {
+        let r = crate::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| 41 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

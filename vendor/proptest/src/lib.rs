@@ -1,0 +1,400 @@
+//! Offline vendor shim for the subset of `proptest` this workspace uses.
+//!
+//! Generate-only property testing: strategies produce deterministic
+//! pseudo-random values (seeded per test case, stable across runs) and
+//! `prop_assert*` maps onto the std `assert*` macros. There is no
+//! shrinking — a failing case panics with the generated values visible in
+//! the assertion message. The surface covered:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] ... }`
+//!   with `pat in strategy` arguments;
+//! * range strategies (`-1.0f32..1.0`, `1usize..6`), `any::<T>()`, `Just`,
+//!   tuple strategies up to arity 6, `proptest::collection::vec`;
+//! * `prop_map` / `prop_flat_map` combinators;
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f`.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! float_strategy {
+        ($($t:ty, $bits:expr);*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let frac = (rng.next_u64() >> (64 - $bits)) as $t
+                        / (1u64 << $bits) as $t;
+                    let x = self.start + frac * (self.end - self.start);
+                    if x < self.end { x } else { self.start }
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let frac = (rng.next_u64() >> (64 - $bits)) as $t
+                        / ((1u64 << $bits) - 1) as $t;
+                    lo + frac * (hi - lo)
+                }
+            }
+        )*};
+    }
+
+    float_strategy!(f32, 24; f64, 53);
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: ::std::marker::PhantomData<T>,
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// `any::<T>()` — the full-range strategy for primitive `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: crate::strategy::Strategy<Value = T>,
+    {
+        Any {
+            _marker: ::std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An (inclusive-lo, exclusive-hi) element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-run configuration (only the case count is honoured).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real crate runs 256; 64 keeps offline test time modest
+            // while still exploring the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// The deterministic splitmix64 source strategies draw from.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for test case number `case` (stable across runs).
+        pub fn for_case(case: u64) -> Self {
+            TestRng {
+                state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xFB_C0DE,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::test_runner::TestRng::for_case(case);
+                let ($($pat,)+) = ($(
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng),
+                )+);
+                $body
+            }
+        }
+    )*};
+}
+
+/// `prop_assert!` — panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `prop_assert_eq!` — panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `prop_assert_ne!` — panics (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! The glob-import surface: traits, `any`, `Just`, config and macros.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, f32)> {
+        (1usize..10, -1.0f32..1.0)
+            .prop_flat_map(|(n, x)| (Just(n), Just(x), 0usize..10))
+            .prop_map(|(n, x, k)| (n + k, x))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_combinators_stay_in_bounds(
+            (n, x) in arb_pair(),
+            v in crate::collection::vec(-2.0f32..2.0, 1..8),
+            b in any::<bool>(),
+            mut acc in 0usize..3,
+        ) {
+            prop_assert!((1..20).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|y| (-2.0..2.0).contains(y)));
+            acc += usize::from(b);
+            prop_assert!(acc <= 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_case(5);
+        let mut b = crate::test_runner::TestRng::for_case(5);
+        let s = crate::collection::vec(0u32..1000, 4usize);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+}

@@ -1,0 +1,446 @@
+//! Offline vendor shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the value-model serde shim in `vendor/serde`, by hand-parsing the item's
+//! token stream (no `syn`/`quote` — the build container has no registry).
+//!
+//! Supported shapes, which cover every derive site in the workspace:
+//!
+//! * non-generic structs with named fields;
+//! * non-generic tuple structs;
+//! * non-generic enums with unit, tuple and struct variants.
+//!
+//! `#[serde(...)]` attributes are not supported (none are used).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one parsed item looks like to the generators.
+enum Item {
+    /// `struct Name { fields }`
+    Struct { name: String, fields: Vec<String> },
+    /// `struct Name(T0, T1, ...);` with the arity recorded.
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { variants }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with the given arity.
+    Tuple(usize),
+    /// Struct variant with named fields.
+    Struct(Vec<String>),
+}
+
+/// Derives the value-model `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        ::serde::Value::Map(vec![{}])
+                    }}
+                }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{
+                        fn to_value(&self) -> ::serde::Value {{
+                            ::serde::Serialize::to_value(&self.0)
+                        }}
+                    }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{
+                        fn to_value(&self) -> ::serde::Value {{
+                            ::serde::Value::Array(vec![{}])
+                        }}
+                    }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(vec![(\
+                                \"{vname}\".to_string(), ::serde::Serialize::to_value(f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\
+                                    \"{vname}\".to_string(), \
+                                    ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                    \"{vname}\".to_string(), \
+                                    ::serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{
+                    fn to_value(&self) -> ::serde::Value {{
+                        match self {{ {} }}
+                    }}
+                }}",
+                arms.join(", ")
+            )
+        }
+    };
+    body.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Derives the value-model `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::map_get(m, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        let m = v.as_map().ok_or_else(|| \
+                            ::serde::Error::custom(\"expected map for {name}\"))?;
+                        Ok({name} {{ {} }})
+                    }}
+                }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            if *arity == 1 {
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                            Ok({name}(::serde::Deserialize::from_value(v)?))
+                        }}
+                    }}"
+                )
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                    .collect();
+                format!(
+                    "impl ::serde::Deserialize for {name} {{
+                        fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                            let a = v.as_array().ok_or_else(|| \
+                                ::serde::Error::custom(\"expected array for {name}\"))?;
+                            if a.len() != {arity} {{
+                                return Err(::serde::Error::custom(\"wrong arity for {name}\"));
+                            }}
+                            Ok({name}({}))
+                        }}
+                    }}",
+                    elems.join(", ")
+                )
+            }
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                                ::serde::Deserialize::from_value(inner)?))"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&a[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{
+                                    let a = inner.as_array().ok_or_else(|| \
+                                        ::serde::Error::custom(\"expected array variant\"))?;
+                                    if a.len() != {n} {{
+                                        return Err(::serde::Error::custom(\"wrong variant arity\"));
+                                    }}
+                                    Ok({name}::{vname}({}))
+                                }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                            ::serde::map_get(fm, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{
+                                    let fm = inner.as_map().ok_or_else(|| \
+                                        ::serde::Error::custom(\"expected map variant\"))?;
+                                    Ok({name}::{vname} {{ {} }})
+                                }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{
+                    fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{
+                        match v {{
+                            ::serde::Value::Str(s) => match s.as_str() {{
+                                {unit}
+                                other => Err(::serde::Error::custom(format!(
+                                    \"unknown variant {{other}} of {name}\"))),
+                            }},
+                            ::serde::Value::Map(m) if m.len() == 1 => {{
+                                let (tag, inner) = &m[0];
+                                let _ = inner;
+                                match tag.as_str() {{
+                                    {data}
+                                    other => Err(::serde::Error::custom(format!(
+                                        \"unknown variant {{other}} of {name}\"))),
+                                }}
+                            }}
+                            other => Err(::serde::Error::custom(format!(
+                                \"expected variant encoding for {name}, got {{other:?}}\"))),
+                        }}
+                    }}
+                }}",
+                unit = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                data = if data_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", data_arms.join(", "))
+                },
+            )
+        }
+    };
+    body.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic types ({name})");
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_top_level_items(g.stream()),
+                }
+            }
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma. Generic angle
+        // brackets are punctuation, not groups, so track their depth.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of comma-separated items at the top level of a token stream.
+fn count_top_level_items(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(id)) = toks.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip optional discriminant `= expr` and the separating comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
