@@ -1,6 +1,6 @@
 use crate::mask::DropoutMasks;
-use crate::Brng;
-use fbcnn_nn::{Network, NodeId, Workspace};
+use crate::{BayesError, Brng};
+use fbcnn_nn::{ActivationGuard, Network, NodeId, Workspace};
 use fbcnn_tensor::{BitMask, Tensor};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +70,16 @@ impl BayesianNetwork {
     /// The wrapped network.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// Mutable access to the wrapped network's parameters — the injection
+    /// point for fault harnesses and weight substitution.
+    ///
+    /// The graph *structure* must not change through this handle: the
+    /// dropout attachment points were resolved at construction and are
+    /// not re-derived.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
     }
 
     /// The Bernoulli drop rate `p`.
@@ -171,6 +181,69 @@ impl BayesianNetwork {
         SampleRun {
             activations: self.net.forward_full(input),
         }
+    }
+
+    /// Validates a mask set against this network: every dropout-carrying
+    /// node must have a mask of its output shape.
+    ///
+    /// The panics that malformed masks would otherwise cause deep inside
+    /// a forward pass (or inside a worker thread) become typed errors
+    /// here, so callers can reject a corrupted set up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::MissingMask`] or [`BayesError::MaskShape`]
+    /// for the first offending node.
+    pub fn validate_masks(&self, masks: &DropoutMasks) -> Result<(), BayesError> {
+        for &node in &self.dropout_nodes {
+            let Some(mask) = masks.get(node) else {
+                return Err(BayesError::MissingMask { node: node.0 });
+            };
+            let expected = self.net.shape(node);
+            if mask.shape() != expected {
+                return Err(BayesError::MaskShape {
+                    node: node.0,
+                    expected: expected.to_string(),
+                    actual: mask.shape().to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The guarded stochastic forward pass: like
+    /// [`BayesianNetwork::forward_sample_ws`], but masks are validated
+    /// first, shape violations surface as typed errors instead of
+    /// panics, and every node output runs through `guard`.
+    ///
+    /// Returns the sample run plus the number of values the guard
+    /// repaired (non-zero only under
+    /// [`fbcnn_nn::GuardPolicy::Saturate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::MissingMask`] / [`BayesError::MaskShape`]
+    /// for malformed masks, [`BayesError::Graph`] for shape violations,
+    /// and [`BayesError::Numeric`] when the guard's policy reports a
+    /// fault instead of repairing it.
+    pub fn forward_sample_checked(
+        &self,
+        input: &Tensor,
+        masks: &DropoutMasks,
+        ws: &mut Workspace,
+        guard: &ActivationGuard,
+    ) -> Result<(SampleRun, usize), BayesError> {
+        self.validate_masks(masks)?;
+        let mut repaired = 0usize;
+        let activations = self.net.try_forward_with(input, |net, node, ins| {
+            let mut out = net.eval_node_ws(node, ins, ws);
+            if let Some(mask) = masks.get(node.id()) {
+                out.apply_drop_mask(mask);
+            }
+            repaired += guard.screen(node.id().0, &mut out)?;
+            Ok::<Tensor, BayesError>(out)
+        })?;
+        Ok((SampleRun { activations }, repaired))
     }
 }
 
@@ -290,6 +363,78 @@ mod tests {
                 "sample {t} diverged"
             );
         }
+    }
+
+    #[test]
+    fn validate_masks_accepts_generated_sets() {
+        let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+        assert_eq!(bnet.validate_masks(&bnet.generate_masks(3, 0)), Ok(()));
+    }
+
+    #[test]
+    fn validate_masks_rejects_missing_and_misshapen() {
+        let bnet = BayesianNetwork::new(models::lenet5(1), 0.3);
+        let empty = DropoutMasks::empty(bnet.network().len());
+        assert!(matches!(
+            bnet.validate_masks(&empty),
+            Err(BayesError::MissingMask { .. })
+        ));
+        let mut bad = bnet.generate_masks(3, 0);
+        let node = bnet.dropout_nodes()[1];
+        bad.insert(node, BitMask::ones(Shape::new(1, 2, 2)));
+        assert!(matches!(
+            bnet.validate_masks(&bad),
+            Err(BayesError::MaskShape { .. })
+        ));
+    }
+
+    #[test]
+    fn checked_forward_matches_plain_on_healthy_networks() {
+        let bnet = BayesianNetwork::new(models::lenet5(2), 0.4);
+        let input = input_for(bnet.network());
+        let masks = bnet.generate_masks(17, 0);
+        let mut ws = Workspace::new();
+        let (checked, repaired) = bnet
+            .forward_sample_checked(&input, &masks, &mut ws, &ActivationGuard::strict())
+            .expect("healthy pass");
+        assert_eq!(repaired, 0);
+        assert_eq!(checked, bnet.forward_sample(&input, &masks));
+    }
+
+    #[test]
+    fn checked_forward_rejects_bad_input_shape() {
+        let bnet = BayesianNetwork::new(models::lenet5(2), 0.4);
+        let masks = bnet.generate_masks(17, 0);
+        let mut ws = Workspace::new();
+        let err = bnet
+            .forward_sample_checked(
+                &Tensor::zeros(Shape::new(2, 5, 5)),
+                &masks,
+                &mut ws,
+                &ActivationGuard::strict(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BayesError::Graph(_)));
+    }
+
+    #[test]
+    fn checked_forward_detects_poisoned_weights() {
+        use fbcnn_nn::Layer;
+        let mut net = models::lenet5(2);
+        for (_, layer) in net.layers_mut() {
+            if let Layer::Conv(c) = layer {
+                c.weights_mut()[0] = f32::NAN;
+                break;
+            }
+        }
+        let bnet = BayesianNetwork::new(net, 0.3);
+        let input = input_for(bnet.network());
+        let masks = bnet.generate_masks(1, 0);
+        let mut ws = Workspace::new();
+        let err = bnet
+            .forward_sample_checked(&input, &masks, &mut ws, &ActivationGuard::strict())
+            .unwrap_err();
+        assert!(matches!(err, BayesError::Numeric(_)), "got {err:?}");
     }
 
     #[test]

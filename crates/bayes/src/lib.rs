@@ -34,6 +34,7 @@
 
 mod bnet;
 mod brng;
+mod error;
 mod lfsr;
 pub mod mask;
 mod mc;
@@ -41,6 +42,7 @@ pub mod metrics;
 
 pub use bnet::{BayesianNetwork, SampleRun};
 pub use brng::{measured_drop_rate, Brng, SoftwareBernoulli};
+pub use error::BayesError;
 pub use lfsr::Lfsr32;
 pub use mask::DropoutMasks;
-pub use mc::{McDropout, McTrace, Prediction};
+pub use mc::{IsolatedRun, McDropout, McTrace, Prediction};

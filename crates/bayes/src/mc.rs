@@ -1,8 +1,9 @@
 use crate::mask::DropoutMasks;
-use crate::{metrics, BayesianNetwork, SampleRun};
+use crate::{metrics, BayesError, BayesianNetwork, SampleRun};
 use fbcnn_nn::Workspace;
 use fbcnn_tensor::{stats, Tensor};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// The Monte-Carlo-dropout runner: `T` stochastic forward passes over the
 /// same input (paper §II-B).
@@ -39,6 +40,18 @@ pub struct Prediction {
     /// Mutual information between prediction and posterior (epistemic
     /// uncertainty, a.k.a. BALD).
     pub mutual_information: f32,
+}
+
+/// The outcome of a fault-isolated MC-dropout run
+/// ([`McDropout::run_parallel_isolated`]): the summary over surviving
+/// samples plus the indices of samples lost to worker panics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolatedRun {
+    /// Summary over the surviving samples.
+    pub prediction: Prediction,
+    /// Indices of samples whose inference panicked (empty on a clean
+    /// run).
+    pub failed: Vec<usize>,
 }
 
 /// Everything a complete MC-dropout run produced — the raw material for
@@ -111,27 +124,18 @@ impl McDropout {
         threads: usize,
     ) -> Prediction {
         assert!(threads > 0, "need at least one worker thread");
-        let threads = threads.min(self.t);
-        let mut sample_probs: Vec<Vec<f32>> = vec![Vec::new(); self.t];
-        crossbeam::thread::scope(|scope| {
-            for (worker, chunk) in sample_probs
-                .chunks_mut(self.t.div_ceil(threads))
-                .enumerate()
-            {
-                let base = worker * self.t.div_ceil(threads);
-                scope.spawn(move |_| {
-                    let mut ws = Workspace::new();
-                    for (offset, slot) in chunk.iter_mut().enumerate() {
-                        let t = base + offset;
-                        let masks = bnet.generate_masks(self.seed, t);
-                        let run = bnet.forward_sample_ws(input, &masks, &mut ws);
-                        *slot = stats::softmax(run.logits());
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        Self::summarize(sample_probs)
+        // The workers run under catch_unwind isolation; a lost sample
+        // surfaces as a clean panic here instead of an aborted scope.
+        match self.run_parallel_isolated(bnet, input, threads) {
+            Ok(run) if run.failed.is_empty() => run.prediction,
+            Ok(run) => panic!(
+                "{} of {} MC samples panicked (indices {:?})",
+                run.failed.len(),
+                self.t,
+                run.failed
+            ),
+            Err(e) => panic!("MC-dropout run failed: {e}"),
+        }
     }
 
     /// Dispatches to [`McDropout::run`] (when `threads <= 1`) or
@@ -151,6 +155,100 @@ impl McDropout {
         }
     }
 
+    /// Fault-isolated parallel run: like [`McDropout::run_parallel`], but
+    /// every sample inference executes inside `catch_unwind`, so one
+    /// poisoned sample (corrupted mask, malformed tensor, any library
+    /// panic) is dropped from the summary instead of aborting the whole
+    /// batch — soft-error containment for the T-sample loop.
+    ///
+    /// Surviving samples are bit-identical to the sequential
+    /// [`McDropout::run`]; the indices of lost samples are reported in
+    /// [`IsolatedRun::failed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::Graph`] if `input` does not match the
+    /// network (nothing could ever succeed) and
+    /// [`BayesError::AllSamplesFailed`] when no sample survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_parallel_isolated(
+        &self,
+        bnet: &BayesianNetwork,
+        input: &Tensor,
+        threads: usize,
+    ) -> Result<IsolatedRun, BayesError> {
+        self.run_isolated_with_masks(bnet, input, threads, |t| bnet.generate_masks(self.seed, t))
+    }
+
+    /// The general form of [`McDropout::run_parallel_isolated`]: sample
+    /// `t` uses the masks `masks_for(t)` instead of the built-in
+    /// generator. This is the entry point the fault-injection harness
+    /// uses to poison individual samples and prove they are contained.
+    ///
+    /// # Errors
+    ///
+    /// See [`McDropout::run_parallel_isolated`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_isolated_with_masks(
+        &self,
+        bnet: &BayesianNetwork,
+        input: &Tensor,
+        threads: usize,
+        masks_for: impl Fn(usize) -> DropoutMasks + Sync,
+    ) -> Result<IsolatedRun, BayesError> {
+        assert!(threads > 0, "need at least one worker thread");
+        bnet.network().check_input(input)?;
+        let threads = threads.min(self.t);
+        let masks_for = &masks_for;
+        let mut rows: Vec<Option<Vec<f32>>> = vec![None; self.t];
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for (worker, chunk) in rows.chunks_mut(self.t.div_ceil(threads)).enumerate() {
+                let base = worker * self.t.div_ceil(threads);
+                scope.spawn(move |_| {
+                    let mut ws = Workspace::new();
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let t = base + offset;
+                        *slot = catch_unwind(AssertUnwindSafe(|| {
+                            let masks = masks_for(t);
+                            let run = bnet.forward_sample_ws(input, &masks, &mut ws);
+                            stats::softmax(run.logits())
+                        }))
+                        .ok();
+                        if slot.is_none() {
+                            // The panic may have left the scratch buffers
+                            // in a torn state; start the next sample clean.
+                            ws = Workspace::new();
+                        }
+                    }
+                });
+            }
+        });
+        // Workers never unwind past catch_unwind, so the scope itself
+        // cannot fail; keep a typed path anyway instead of unwrapping.
+        if scope_result.is_err() {
+            return Err(BayesError::AllSamplesFailed { requested: self.t });
+        }
+        let failed: Vec<usize> = rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_none().then_some(i))
+            .collect();
+        let surviving: Vec<Vec<f32>> = rows.into_iter().flatten().collect();
+        if surviving.is_empty() {
+            return Err(BayesError::AllSamplesFailed { requested: self.t });
+        }
+        Ok(IsolatedRun {
+            prediction: Self::try_summarize(surviving)?,
+            failed,
+        })
+    }
+
     /// Runs `T` stochastic passes plus the pre-inference, keeping the full
     /// trace. Shares one [`Workspace`] across the sample passes, like
     /// [`McDropout::run`].
@@ -165,6 +263,24 @@ impl McDropout {
             })
             .collect();
         McTrace { pre, samples }
+    }
+
+    /// Builds a [`Prediction`] from per-sample probability rows,
+    /// reporting malformed inputs as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::NoSamples`] for an empty row set and
+    /// [`BayesError::InconsistentClasses`] when rows disagree on length.
+    pub fn try_summarize(sample_probs: Vec<Vec<f32>>) -> Result<Prediction, BayesError> {
+        if sample_probs.is_empty() {
+            return Err(BayesError::NoSamples);
+        }
+        let classes = sample_probs[0].len();
+        if !sample_probs.iter().all(|p| p.len() == classes) {
+            return Err(BayesError::InconsistentClasses);
+        }
+        Ok(Self::summarize(sample_probs))
     }
 
     /// Builds a [`Prediction`] from per-sample probability rows.
@@ -227,6 +343,7 @@ impl McTrace {
 mod tests {
     use super::*;
     use fbcnn_nn::models;
+    use fbcnn_tensor::Shape;
 
     fn setup() -> (BayesianNetwork, Tensor) {
         let bnet = BayesianNetwork::new(models::lenet5(3), 0.3);
@@ -294,5 +411,88 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_samples_rejected() {
         let _ = McDropout::new(0, 0);
+    }
+
+    #[test]
+    fn isolated_run_matches_sequential_when_healthy() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(5, 21);
+        let seq = runner.run(&bnet, &input);
+        for threads in [1, 3] {
+            let iso = runner
+                .run_parallel_isolated(&bnet, &input, threads)
+                .unwrap();
+            assert!(iso.failed.is_empty());
+            assert_eq!(iso.prediction, seq, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn isolated_run_contains_poisoned_samples() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(6, 21);
+        let clean = runner.run(&bnet, &input);
+        // Sample 2 gets a mask set with a wrong-shaped mask: its forward
+        // pass panics inside the worker, the other five survive.
+        let iso = runner
+            .run_isolated_with_masks(&bnet, &input, 2, |t| {
+                let mut masks = bnet.generate_masks(21, t);
+                if t == 2 {
+                    let node = bnet.dropout_nodes()[0];
+                    masks.insert(node, fbcnn_tensor::BitMask::ones(Shape::new(1, 2, 2)));
+                }
+                masks
+            })
+            .expect("five samples survive");
+        assert_eq!(iso.failed, vec![2]);
+        assert_eq!(iso.prediction.sample_probs.len(), 5);
+        // Surviving rows are bit-identical to the clean run's rows.
+        for (i, t) in [0usize, 1, 3, 4, 5].into_iter().enumerate() {
+            assert_eq!(iso.prediction.sample_probs[i], clean.sample_probs[t]);
+        }
+    }
+
+    #[test]
+    fn isolated_run_reports_total_loss() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(3, 21);
+        let err = runner
+            .run_isolated_with_masks(&bnet, &input, 2, |_| {
+                // Every sample carries a wrong-shaped mask: the in-worker
+                // apply_drop_mask panic kills all of them.
+                let mut masks = DropoutMasks::empty(bnet.network().len());
+                masks.insert(
+                    bnet.dropout_nodes()[0],
+                    fbcnn_tensor::BitMask::ones(Shape::new(1, 2, 2)),
+                );
+                masks
+            })
+            .unwrap_err();
+        assert_eq!(err, BayesError::AllSamplesFailed { requested: 3 });
+    }
+
+    #[test]
+    fn isolated_run_rejects_bad_input_shape_as_typed_error() {
+        let (bnet, _) = setup();
+        let runner = McDropout::new(3, 21);
+        let bad = Tensor::zeros(Shape::new(3, 3, 3));
+        assert!(matches!(
+            runner.run_parallel_isolated(&bnet, &bad, 2),
+            Err(BayesError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn try_summarize_reports_malformed_rows() {
+        assert_eq!(
+            McDropout::try_summarize(Vec::new()).unwrap_err(),
+            BayesError::NoSamples
+        );
+        assert_eq!(
+            McDropout::try_summarize(vec![vec![0.5, 0.5], vec![1.0]]).unwrap_err(),
+            BayesError::InconsistentClasses
+        );
+        let ok = McDropout::try_summarize(vec![vec![0.25, 0.75]]).unwrap();
+        assert_eq!(ok.class, 1);
     }
 }

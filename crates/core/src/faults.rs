@@ -1,0 +1,360 @@
+//! Seeded, deterministic fault injection for robustness testing.
+//!
+//! The harness perturbs a Fast-BCNN pipeline at its four attack surfaces
+//! — convolution weights, activations, dropout masks and calibrated
+//! thresholds — and can fabricate masks that kill individual MC workers.
+//! Every choice derives from the injector's own splitmix64 stream, so a
+//! fault campaign is exactly reproducible from its seed (the same
+//! discipline the mask generator uses; nothing here touches global
+//! randomness).
+//!
+//! The injector only *creates* faults. Detection and recovery live in
+//! [`fbcnn_nn::ActivationGuard`], [`fbcnn_predictor::ThresholdSet::validate`]
+//! and [`crate::Engine::predict_robust`]; `tests/fault_injection.rs`
+//! closes the loop.
+
+use fbcnn_bayes::mask::DropoutMasks;
+use fbcnn_bayes::BayesianNetwork;
+use fbcnn_nn::{Network, NodeId};
+use fbcnn_predictor::ThresholdSet;
+use fbcnn_tensor::{BitMask, Shape, Tensor};
+
+/// A record of one injected bit flip (for logs and assertions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitFlip {
+    /// Label of the layer hit (weight flips) or `"activation"`.
+    pub site: String,
+    /// Linear index of the perturbed value.
+    pub index: usize,
+    /// Which of the 32 bits was flipped.
+    pub bit: u32,
+    /// Value before the flip.
+    pub before: f32,
+    /// Value after the flip.
+    pub after: f32,
+}
+
+/// How [`FaultInjector::poison_thresholds`] corrupts a threshold set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdFault {
+    /// Every threshold becomes `u16::MAX`: every zero neuron is predicted
+    /// unaffected and skipped. Structurally valid — slips past
+    /// [`fbcnn_predictor::ThresholdSet::validate`] and must be caught
+    /// behaviorally (canary / skip-rate checks).
+    Saturate,
+    /// Each vector loses its last entry: a kernel-count mismatch that
+    /// [`fbcnn_predictor::ThresholdSet::validate`] reports as a typed
+    /// error (and that would index-panic inside the skip-map builder).
+    Truncate,
+    /// A threshold vector is reattached to a non-conv node — the
+    /// misaddressed-artifact shape of poisoning, also caught structurally.
+    Misaddress,
+}
+
+/// Deterministic fault source; see the module docs.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+}
+
+impl FaultInjector {
+    /// An injector whose whole fault sequence is a function of `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// splitmix64 — small, seedable, and plenty for picking fault sites.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Flips one random bit in one random convolution weight.
+    ///
+    /// High exponent bits produce huge or non-finite values (detected by
+    /// the activation guard); mantissa bits produce silent small drift
+    /// (the canary's territory). The bit index is drawn uniformly, so a
+    /// campaign over many seeds covers both regimes.
+    ///
+    /// Returns `None` when the network has no convolution weights.
+    pub fn flip_conv_weight_bit(&mut self, net: &mut Network) -> Option<BitFlip> {
+        let mut convs: Vec<(String, &mut [f32])> = net
+            .layers_mut()
+            .filter_map(|(label, layer)| {
+                layer
+                    .as_conv_mut()
+                    .map(|c| (label.to_string(), c.weights_mut()))
+            })
+            .collect();
+        if convs.is_empty() {
+            return None;
+        }
+        let (site, weights) = convs.swap_remove(self.below(convs.len()));
+        let index = self.below(weights.len());
+        let bit = self.next_u64() as u32 % 32;
+        let before = weights[index];
+        let after = f32::from_bits(before.to_bits() ^ (1 << bit));
+        weights[index] = after;
+        Some(BitFlip {
+            site,
+            index,
+            bit,
+            before,
+            after,
+        })
+    }
+
+    /// Overwrites one random convolution weight with `NaN` — the
+    /// worst-case weight fault (a bit flip that lands in the quiet-NaN
+    /// encoding), guaranteed non-finite for detection tests.
+    pub fn poison_conv_weight_nan(&mut self, net: &mut Network) -> Option<BitFlip> {
+        let mut convs: Vec<(String, &mut [f32])> = net
+            .layers_mut()
+            .filter_map(|(label, layer)| {
+                layer
+                    .as_conv_mut()
+                    .map(|c| (label.to_string(), c.weights_mut()))
+            })
+            .collect();
+        if convs.is_empty() {
+            return None;
+        }
+        let (site, weights) = convs.swap_remove(self.below(convs.len()));
+        let index = self.below(weights.len());
+        let before = weights[index];
+        weights[index] = f32::NAN;
+        Some(BitFlip {
+            site,
+            index,
+            bit: 22, // the quiet bit, nominally
+            before,
+            after: f32::NAN,
+        })
+    }
+
+    /// Flips one random bit of one random element of a tensor
+    /// (activation corruption between layers).
+    pub fn flip_tensor_bit(&mut self, t: &mut Tensor) -> BitFlip {
+        let slice = t.as_mut_slice();
+        let index = self.below(slice.len());
+        let bit = self.next_u64() as u32 % 32;
+        let before = slice[index];
+        let after = f32::from_bits(before.to_bits() ^ (1 << bit));
+        slice[index] = after;
+        BitFlip {
+            site: "activation".into(),
+            index,
+            bit,
+            before,
+            after,
+        }
+    }
+
+    /// Flips `flips` random bits across a sample's dropout masks
+    /// (mask-buffer corruption). Shapes stay intact, so the result is a
+    /// *valid but wrong* mask set — the fault class that cannot be caught
+    /// structurally and must instead be absorbed statistically (a few
+    /// flipped dropout bits are within MC-dropout's own noise).
+    ///
+    /// Returns the number of bits actually flipped (0 when the set is
+    /// empty).
+    pub fn corrupt_masks(&mut self, masks: &mut DropoutMasks, flips: usize) -> usize {
+        let nodes: Vec<NodeId> = masks.iter().map(|(node, _)| node).collect();
+        if nodes.is_empty() {
+            return 0;
+        }
+        for _ in 0..flips {
+            let node = nodes[self.below(nodes.len())];
+            let mut mask = masks.get(node).cloned().unwrap_or_else(|| {
+                // Unreachable: `node` came from the iterator above.
+                BitMask::zeros(Shape::new(1, 1, 1))
+            });
+            let i = self.below(mask.len());
+            let flipped = !mask.get(i);
+            mask.set(i, flipped);
+            masks.insert(node, mask);
+        }
+        flips
+    }
+
+    /// Corrupts a calibrated threshold set in place (see
+    /// [`ThresholdFault`] for the three poisoning shapes).
+    pub fn poison_thresholds(
+        &mut self,
+        set: &mut ThresholdSet,
+        net: &Network,
+        mode: ThresholdFault,
+    ) {
+        let nodes: Vec<NodeId> = set.nodes().collect();
+        match mode {
+            ThresholdFault::Saturate => {
+                for node in nodes {
+                    let saturated = set
+                        .get(node)
+                        .map(|t| vec![u16::MAX; t.len()])
+                        .unwrap_or_default();
+                    set.insert(node, saturated);
+                }
+            }
+            ThresholdFault::Truncate => {
+                for node in nodes {
+                    let truncated = set
+                        .get(node)
+                        .map(|t| t[..t.len().saturating_sub(1)].to_vec())
+                        .unwrap_or_default();
+                    set.insert(node, truncated);
+                }
+            }
+            ThresholdFault::Misaddress => {
+                // Reattach one carried vector to a random node that is
+                // not a convolution (node 0, the input, always qualifies).
+                if let Some(&node) = nodes.first() {
+                    let vector = set.get(node).map(<[u16]>::to_vec).unwrap_or_default();
+                    let non_conv: Vec<NodeId> = (0..net.len())
+                        .map(NodeId)
+                        .filter(|&id| {
+                            net.node(id)
+                                .layer()
+                                .and_then(fbcnn_nn::Layer::as_conv)
+                                .is_none()
+                        })
+                        .collect();
+                    if let Some(&target) = non_conv.get(self.below(non_conv.len().max(1))) {
+                        set.insert(target, vector);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Masks that kill the worker of any sample they are applied to: the
+    /// first dropout node receives a mask of the wrong shape, which the
+    /// mask-application path rejects by panicking. Used to exercise the
+    /// per-sample `catch_unwind` isolation in the MC runner.
+    pub fn sample_killing_masks(bnet: &BayesianNetwork) -> DropoutMasks {
+        let net = bnet.network();
+        let mut masks = DropoutMasks::empty(net.len());
+        if let Some(&node) = bnet.dropout_nodes().first() {
+            let shape = net.shape(node);
+            let wrong = Shape::new(shape.channels() + 1, shape.height(), shape.width());
+            masks.insert(node, BitMask::ones(wrong));
+        }
+        masks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_nn::models;
+
+    fn net() -> Network {
+        models::lenet5(3)
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let mut a = FaultInjector::new(9);
+        let mut b = FaultInjector::new(9);
+        let (mut na, mut nb) = (net(), net());
+        let (fa, fb) = (
+            a.flip_conv_weight_bit(&mut na).unwrap(),
+            b.flip_conv_weight_bit(&mut nb).unwrap(),
+        );
+        // Compare bit patterns: a flip may legitimately produce NaN.
+        assert_eq!(
+            (fa.site, fa.index, fa.bit, fa.after.to_bits()),
+            (fb.site, fb.index, fb.bit, fb.after.to_bits())
+        );
+        let mut ta = Tensor::full(Shape::new(1, 4, 4), 0.5);
+        let mut tb = Tensor::full(Shape::new(1, 4, 4), 0.5);
+        let (ga, gb) = (a.flip_tensor_bit(&mut ta), b.flip_tensor_bit(&mut tb));
+        assert_eq!(
+            (ga.index, ga.bit, ga.after.to_bits()),
+            (gb.index, gb.bit, gb.after.to_bits())
+        );
+    }
+
+    #[test]
+    fn weight_flip_changes_exactly_one_bit() {
+        let mut n = net();
+        let flip = FaultInjector::new(4).flip_conv_weight_bit(&mut n).unwrap();
+        assert_eq!(
+            (flip.before.to_bits() ^ flip.after.to_bits()).count_ones(),
+            1
+        );
+    }
+
+    #[test]
+    fn nan_poisoning_lands_a_nan() {
+        let mut n = net();
+        let flip = FaultInjector::new(4)
+            .poison_conv_weight_nan(&mut n)
+            .unwrap();
+        assert!(flip.after.is_nan());
+        let poisoned = n
+            .layers_mut()
+            .filter_map(|(_, l)| l.as_conv_mut())
+            .any(|c| c.weights_mut().iter().any(|w| w.is_nan()));
+        assert!(poisoned);
+    }
+
+    #[test]
+    fn mask_corruption_flips_requested_bits() {
+        let bnet = BayesianNetwork::new(net(), 0.3);
+        let clean = bnet.generate_masks(5, 0);
+        let mut dirty = clean.clone();
+        let flipped = FaultInjector::new(6).corrupt_masks(&mut dirty, 7);
+        assert_eq!(flipped, 7);
+        let diff: usize = clean
+            .iter()
+            .map(|(node, mask)| {
+                let d = dirty.get(node).unwrap();
+                (0..mask.len()).filter(|&i| mask.get(i) != d.get(i)).count()
+            })
+            .sum();
+        // Flips can collide on the same bit; parity of the count survives.
+        assert!((1..=7).contains(&diff), "diff {diff}");
+    }
+
+    #[test]
+    fn threshold_poisoning_shapes() {
+        let bnet = BayesianNetwork::new(net(), 0.3);
+        let input = Tensor::full(bnet.network().input_shape(), 0.4);
+        let clean = fbcnn_predictor::ThresholdOptimizer::default().optimize(&bnet, &input, 2);
+        let mut inj = FaultInjector::new(11);
+
+        let mut saturated = clean.clone();
+        inj.poison_thresholds(&mut saturated, bnet.network(), ThresholdFault::Saturate);
+        assert_eq!(saturated.validate(bnet.network()), Ok(()));
+        assert!(saturated.mean() > clean.mean());
+
+        let mut truncated = clean.clone();
+        inj.poison_thresholds(&mut truncated, bnet.network(), ThresholdFault::Truncate);
+        assert!(truncated.validate(bnet.network()).is_err());
+
+        let mut misaddressed = clean.clone();
+        inj.poison_thresholds(
+            &mut misaddressed,
+            bnet.network(),
+            ThresholdFault::Misaddress,
+        );
+        assert!(misaddressed.validate(bnet.network()).is_err());
+    }
+
+    #[test]
+    fn killing_masks_have_a_wrong_shape() {
+        let bnet = BayesianNetwork::new(net(), 0.3);
+        let masks = FaultInjector::sample_killing_masks(&bnet);
+        let node = bnet.dropout_nodes()[0];
+        assert_ne!(masks.get(node).unwrap().shape(), bnet.network().shape(node));
+    }
+}

@@ -5,6 +5,12 @@
 //! version-control friendly. The offline stage (training, Algorithm 1)
 //! can therefore run once and be reused across experiment sweeps.
 //!
+//! Each file is wrapped in a small envelope,
+//! `{"artifact":"<kind>","version":N,"payload":…}`, so that loading a
+//! stale or mislabeled artifact fails with a typed [`IoError`] instead of
+//! a confusing payload parse error — or worse, a silently wrong
+//! deserialization driving a calibrated engine with foreign thresholds.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -24,13 +30,36 @@ use serde::{de::DeserializeOwned, Serialize};
 use std::fmt;
 use std::path::Path;
 
+/// The envelope format version written by this build. Bump on any
+/// breaking payload change; [`load_network`] & co. refuse other versions.
+pub const FORMAT_VERSION: u32 = 1;
+
 /// Errors from saving or loading artifacts.
 #[derive(Debug)]
 pub enum IoError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// Malformed or incompatible JSON.
+    /// Malformed or incompatible payload JSON.
     Serde(serde_json::Error),
+    /// The file is not a recognizable artifact envelope (truncated,
+    /// corrupted, or predates the envelope format).
+    Envelope(String),
+    /// The envelope's format version is not this build's
+    /// [`FORMAT_VERSION`].
+    Version {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The file holds a different artifact kind than requested (e.g. a
+    /// workload passed to [`load_thresholds`]).
+    Kind {
+        /// Kind recorded in the file.
+        found: String,
+        /// Kind the caller asked for.
+        expected: String,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -38,6 +67,13 @@ impl fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o failure: {e}"),
             IoError::Serde(e) => write!(f, "serialization failure: {e}"),
+            IoError::Envelope(msg) => write!(f, "malformed artifact envelope: {msg}"),
+            IoError::Version { found, expected } => {
+                write!(f, "artifact format version {found}, expected {expected}")
+            }
+            IoError::Kind { found, expected } => {
+                write!(f, "artifact holds a {found}, expected a {expected}")
+            }
         }
     }
 }
@@ -56,15 +92,59 @@ impl From<serde_json::Error> for IoError {
     }
 }
 
-fn save<T: Serialize>(path: impl AsRef<Path>, value: &T) -> Result<(), IoError> {
-    let json = serde_json::to_string(value)?;
+fn save<T: Serialize>(path: impl AsRef<Path>, kind: &str, value: &T) -> Result<(), IoError> {
+    let payload = serde_json::to_string(value)?;
+    let json =
+        format!("{{\"artifact\":\"{kind}\",\"version\":{FORMAT_VERSION},\"payload\":{payload}}}");
     std::fs::write(path, json)?;
     Ok(())
 }
 
-fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, IoError> {
+/// Splits an envelope into `(kind, version, payload)`. The parser is
+/// deliberately strict — it accepts exactly what [`save`] writes — so any
+/// corruption of the header bytes lands here as [`IoError::Envelope`]
+/// rather than deep inside the payload parse.
+fn parse_envelope(json: &str) -> Result<(&str, u32, &str), IoError> {
+    let envelope = |msg: &str| IoError::Envelope(msg.into());
+    let body = json
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| envelope("not a JSON object"))?;
+    let rest = body
+        .strip_prefix("\"artifact\":\"")
+        .ok_or_else(|| envelope("missing artifact field"))?;
+    let (kind, rest) = rest
+        .split_once('"')
+        .ok_or_else(|| envelope("unterminated artifact kind"))?;
+    let rest = rest
+        .strip_prefix(",\"version\":")
+        .ok_or_else(|| envelope("missing version field"))?;
+    let (version, payload) = rest
+        .split_once(",\"payload\":")
+        .ok_or_else(|| envelope("missing payload field"))?;
+    let version = version
+        .parse()
+        .map_err(|_| envelope("version is not an integer"))?;
+    Ok((kind, version, payload))
+}
+
+fn load<T: DeserializeOwned>(path: impl AsRef<Path>, kind: &str) -> Result<T, IoError> {
     let json = std::fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    let (found_kind, version, payload) = parse_envelope(&json)?;
+    if found_kind != kind {
+        return Err(IoError::Kind {
+            found: found_kind.to_string(),
+            expected: kind.to_string(),
+        });
+    }
+    if version != FORMAT_VERSION {
+        return Err(IoError::Version {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    Ok(serde_json::from_str(payload)?)
 }
 
 /// Saves a network (topology + weights) as JSON.
@@ -73,16 +153,18 @@ fn load<T: DeserializeOwned>(path: impl AsRef<Path>) -> Result<T, IoError> {
 ///
 /// Returns [`IoError`] on filesystem or serialization failure.
 pub fn save_network(path: impl AsRef<Path>, net: &Network) -> Result<(), IoError> {
-    save(path, net)
+    save(path, "network", net)
 }
 
 /// Loads a network saved by [`save_network`].
 ///
 /// # Errors
 ///
-/// Returns [`IoError`] on filesystem or deserialization failure.
+/// Returns [`IoError`] on filesystem or deserialization failure, and the
+/// envelope errors ([`IoError::Envelope`] / [`IoError::Version`] /
+/// [`IoError::Kind`]) on a corrupted, stale or mislabeled artifact.
 pub fn load_network(path: impl AsRef<Path>) -> Result<Network, IoError> {
-    load(path)
+    load(path, "network")
 }
 
 /// Saves a calibrated threshold set.
@@ -91,16 +173,16 @@ pub fn load_network(path: impl AsRef<Path>) -> Result<Network, IoError> {
 ///
 /// Returns [`IoError`] on filesystem or serialization failure.
 pub fn save_thresholds(path: impl AsRef<Path>, t: &ThresholdSet) -> Result<(), IoError> {
-    save(path, t)
+    save(path, "thresholds", t)
 }
 
 /// Loads a threshold set saved by [`save_thresholds`].
 ///
 /// # Errors
 ///
-/// Returns [`IoError`] on filesystem or deserialization failure.
+/// As [`load_network`].
 pub fn load_thresholds(path: impl AsRef<Path>) -> Result<ThresholdSet, IoError> {
-    load(path)
+    load(path, "thresholds")
 }
 
 /// Saves an extracted workload.
@@ -109,16 +191,16 @@ pub fn load_thresholds(path: impl AsRef<Path>) -> Result<ThresholdSet, IoError> 
 ///
 /// Returns [`IoError`] on filesystem or serialization failure.
 pub fn save_workload(path: impl AsRef<Path>, w: &Workload) -> Result<(), IoError> {
-    save(path, w)
+    save(path, "workload", w)
 }
 
 /// Loads a workload saved by [`save_workload`].
 ///
 /// # Errors
 ///
-/// Returns [`IoError`] on filesystem or deserialization failure.
+/// As [`load_network`].
 pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, IoError> {
-    load(path)
+    load(path, "workload")
 }
 
 #[cfg(test)]
@@ -169,14 +251,90 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_garbage() {
+    fn load_rejects_garbage_and_missing_files() {
         let p = tmp("garbage");
         std::fs::write(&p, "{not json").unwrap();
-        assert!(matches!(load_network(&p), Err(IoError::Serde(_))));
+        assert!(matches!(load_network(&p), Err(IoError::Envelope(_))));
         let _ = std::fs::remove_file(p);
         assert!(matches!(
             load_network("/nonexistent/path.json"),
             Err(IoError::Io(_))
         ));
+    }
+
+    #[test]
+    fn load_rejects_truncated_artifacts() {
+        let net = fbcnn_nn::models::lenet5(2);
+        let path = tmp("truncated");
+        save_network(&path, &net).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        // Cut mid-payload: the envelope header survives, the payload does
+        // not — the failure must be a typed Serde/Envelope error.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            load_network(&path),
+            Err(IoError::Envelope(_) | IoError::Serde(_))
+        ));
+        // Cut mid-header.
+        std::fs::write(&path, &full[..20]).unwrap();
+        assert!(matches!(load_network(&path), Err(IoError::Envelope(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_corrupted_payload_bytes() {
+        let net = fbcnn_nn::models::lenet5(2);
+        let path = tmp("corrupt");
+        save_network(&path, &net).unwrap();
+        let full = std::fs::read_to_string(&path).unwrap();
+        let corrupted = full.replacen("[", "[!!", 1);
+        std::fs::write(&path, corrupted).unwrap();
+        assert!(matches!(load_network(&path), Err(IoError::Serde(_))));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_rejects_version_and_kind_mismatches() {
+        let engine = Engine::new(EngineConfig {
+            samples: 3,
+            calibration_samples: 2,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
+        });
+        let path = tmp("versioned");
+        save_thresholds(&path, engine.thresholds()).unwrap();
+
+        // A future format version must be refused, not misparsed.
+        let full = std::fs::read_to_string(&path).unwrap();
+        let stale = full.replacen("\"version\":1", "\"version\":99", 1);
+        std::fs::write(&path, stale).unwrap();
+        match load_thresholds(&path) {
+            Err(IoError::Version { found, expected }) => {
+                assert_eq!((found, expected), (99, FORMAT_VERSION));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+
+        // The right version under the wrong loader is a kind error.
+        save_thresholds(&path, engine.thresholds()).unwrap();
+        match load_network(&path) {
+            Err(IoError::Kind { found, expected }) => {
+                assert_eq!(
+                    (found.as_str(), expected.as_str()),
+                    ("thresholds", "network")
+                );
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn pre_envelope_files_fail_with_envelope_error() {
+        // A bare payload (the format before envelopes) is refused with a
+        // message pointing at the envelope, not a payload parse error.
+        let path = tmp("legacy");
+        std::fs::write(&path, "{\"nodes\":[]}").unwrap();
+        assert!(matches!(load_network(&path), Err(IoError::Envelope(_))));
+        let _ = std::fs::remove_file(path);
     }
 }

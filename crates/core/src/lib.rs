@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Robustness contract: library code must degrade or report, never abort.
+// CI denies these in the lib target; unit tests may still unwrap.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 //! Fast-BCNN — massive neuron skipping in Bayesian convolutional neural
 //! networks.
@@ -27,11 +30,15 @@
 //! ```
 
 mod engine;
+mod error;
 pub mod experiments;
+pub mod faults;
 pub mod io;
 pub mod report;
 
-pub use engine::{synth_input, Engine, EngineConfig};
+pub use engine::{synth_input, DegradedMode, Engine, EngineConfig, RobustConfig, RobustReport};
+pub use error::{EngineError, InferenceError};
+pub use faults::{BitFlip, FaultInjector, ThresholdFault};
 
 // Re-export the workspace's main types so downstream users need only one
 // dependency.
@@ -39,10 +46,13 @@ pub use fbcnn_accel::{
     BaselineSim, CnvlutinSim, EnergyBreakdown, EnergyModel, FastBcnnSim, HwConfig, IdealSim,
     RunReport, SkipMode, Workload,
 };
-pub use fbcnn_bayes::{BayesianNetwork, Brng, Lfsr32, McDropout, Prediction, SoftwareBernoulli};
-pub use fbcnn_nn::{models, Network};
+pub use fbcnn_bayes::{
+    BayesError, BayesianNetwork, Brng, IsolatedRun, Lfsr32, McDropout, Prediction,
+    SoftwareBernoulli,
+};
+pub use fbcnn_nn::{models, ActivationGuard, GuardPolicy, Network, NumericFault};
 pub use fbcnn_predictor::{
-    evaluate_predictions, EvalReport, PredictiveInference, SkipStats, ThresholdOptimizer,
-    ThresholdSet,
+    evaluate_predictions, EvalReport, PredictiveInference, PredictorError, SkipStats,
+    ThresholdError, ThresholdOptimizer, ThresholdSet,
 };
 pub use fbcnn_tensor::{BitMask, Shape, Tensor};

@@ -372,6 +372,61 @@ impl Network {
         self.forward_with(input, |net, node, inputs| net.eval_node(node, inputs))
     }
 
+    /// Validates an input tensor against [`Network::input_shape`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] when the shapes differ — the
+    /// typed counterpart of the panic in [`Network::forward_with`].
+    pub fn check_input(&self, input: &Tensor) -> Result<(), NnError> {
+        if input.shape() == self.input_shape() {
+            Ok(())
+        } else {
+            Err(NnError::ShapeMismatch {
+                expected: self.input_shape().to_string(),
+                actual: input.shape().to_string(),
+            })
+        }
+    }
+
+    /// Runs the network with a custom per-node executor that may fail.
+    ///
+    /// The fallible counterpart of [`Network::forward_with`]: input-shape
+    /// violations and wrong-shape executor outputs become
+    /// [`NnError::ShapeMismatch`] (converted into `E`), and the first
+    /// executor error aborts the pass. This is what the guarded forward
+    /// passes in `fbcnn-bayes` are built on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error produced by `exec`, or a converted
+    /// [`NnError`] on a shape violation.
+    pub fn try_forward_with<E: From<NnError>>(
+        &self,
+        input: &Tensor,
+        mut exec: impl FnMut(&Network, &Node, &[&Tensor]) -> Result<Tensor, E>,
+    ) -> Result<Vec<Tensor>, E> {
+        self.check_input(input)?;
+        let mut outputs: Vec<Tensor> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = if matches!(node.op, Op::Input) {
+                exec(self, node, &[input])?
+            } else {
+                let ins: Vec<&Tensor> = node.inputs.iter().map(|i| &outputs[i.0]).collect();
+                exec(self, node, &ins)?
+            };
+            if out.shape() != self.shapes[node.id.0] {
+                return Err(NnError::ShapeMismatch {
+                    expected: self.shapes[node.id.0].to_string(),
+                    actual: out.shape().to_string(),
+                }
+                .into());
+            }
+            outputs.push(out);
+        }
+        Ok(outputs)
+    }
+
     /// Runs the network with a custom per-node executor.
     ///
     /// `exec` receives the network, the node, and the already-computed
@@ -647,6 +702,69 @@ mod tests {
         assert!(acts[1].iter().all(|&v| v == 0.0));
         // Downstream nodes see the zeroed tensor.
         assert!(acts[3].as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn check_input_reports_shape_mismatch() {
+        let net = tiny_net();
+        assert_eq!(net.check_input(&Tensor::zeros(Shape::new(1, 4, 4))), Ok(()));
+        let err = net
+            .check_input(&Tensor::zeros(Shape::new(2, 4, 4)))
+            .unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn try_forward_matches_forward_on_success() {
+        let net = tiny_net();
+        let input = Tensor::from_fn(Shape::new(1, 4, 4), |_, r, c| (r + c) as f32);
+        let plain = net.forward_full(&input);
+        let tried: Vec<Tensor> = net
+            .try_forward_with::<NnError>(&input, |net, node, ins| Ok(net.eval_node(node, ins)))
+            .unwrap();
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn try_forward_propagates_executor_errors() {
+        let net = tiny_net();
+        let input = Tensor::zeros(Shape::new(1, 4, 4));
+        let err = net
+            .try_forward_with::<NnError>(&input, |net, node, ins| {
+                if node.label() == "pool1" {
+                    Err(NnError::UnknownNode(99))
+                } else {
+                    Ok(net.eval_node(node, ins))
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, NnError::UnknownNode(99));
+    }
+
+    #[test]
+    fn try_forward_rejects_bad_input_shape_without_panicking() {
+        let net = tiny_net();
+        let input = Tensor::zeros(Shape::new(3, 4, 4));
+        let err = net
+            .try_forward_with::<NnError>(&input, |net, node, ins| Ok(net.eval_node(node, ins)))
+            .unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn try_forward_rejects_wrong_executor_output_shape() {
+        let net = tiny_net();
+        let input = Tensor::zeros(Shape::new(1, 4, 4));
+        let err = net
+            .try_forward_with::<NnError>(&input, |net, node, ins| {
+                if node.label() == "conv1" {
+                    Ok(Tensor::zeros(Shape::new(1, 1, 1)))
+                } else {
+                    Ok(net.eval_node(node, ins))
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { .. }));
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod data;
 mod dense;
 mod error;
 mod graph;
+mod guard;
 pub mod init;
 mod layer;
 pub mod models;
@@ -47,6 +48,7 @@ pub use conv::Conv2d;
 pub use dense::Dense;
 pub use error::NnError;
 pub use graph::{Network, NetworkBuilder, Node, NodeId, Op};
+pub use guard::{ActivationGuard, GuardPolicy, NumericFault};
 pub use layer::Layer;
 pub use pool::{Pool2d, PoolKind};
 pub use workspace::Workspace;

@@ -54,6 +54,6 @@ pub use counting::{
 };
 pub use evaluate::{evaluate_predictions, EvalReport};
 pub use indicator::PolarityIndicators;
-pub use predictive::{PredictiveInference, SkippingRun};
+pub use predictive::{PredictiveInference, PredictorError, SkippingRun};
 pub use skipmap::{build_skip_maps, SkipMap, SkipStats};
-pub use threshold::{ThresholdOptimizer, ThresholdSet};
+pub use threshold::{ThresholdError, ThresholdOptimizer, ThresholdSet};

@@ -1,8 +1,42 @@
 use crate::skipmap::{build_skip_maps, total_stats, SkipMap, SkipStats};
-use crate::{PolarityIndicators, ThresholdSet};
+use crate::{PolarityIndicators, ThresholdError, ThresholdSet};
 use fbcnn_bayes::mask::DropoutMasks;
 use fbcnn_bayes::{BayesianNetwork, SampleRun};
+use fbcnn_nn::NnError;
 use fbcnn_tensor::{BitMask, Tensor};
+use std::fmt;
+
+/// Why a [`PredictiveInference`] could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictorError {
+    /// The optimization input does not fit the network.
+    Input(NnError),
+    /// The threshold set is structurally inconsistent with the network.
+    Thresholds(ThresholdError),
+}
+
+impl fmt::Display for PredictorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorError::Input(e) => write!(f, "bad input: {e}"),
+            PredictorError::Thresholds(e) => write!(f, "bad thresholds: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictorError {}
+
+impl From<NnError> for PredictorError {
+    fn from(e: NnError) -> Self {
+        PredictorError::Input(e)
+    }
+}
+
+impl From<ThresholdError> for PredictorError {
+    fn from(e: ThresholdError) -> Self {
+        PredictorError::Thresholds(e)
+    }
+}
 
 /// The functional skipping inference — the paper's `PredictInference`.
 ///
@@ -90,6 +124,30 @@ impl<'a> PredictiveInference<'a> {
             zero_masks,
             upstream_dropout,
         }
+    }
+
+    /// Fallible constructor: validates the input shape and the threshold
+    /// set before running the pre-inference.
+    ///
+    /// [`PredictiveInference::new`] trusts its arguments (the calibrated
+    /// path constructs thresholds itself); use `try_new` when the
+    /// thresholds or input come from outside — a deserialized artifact, a
+    /// fault-injection harness — and an index panic inside the skip-map
+    /// builder must become a typed error instead.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictorError::Input`] when the input shape disagrees with the
+    /// network, [`PredictorError::Thresholds`] when the set fails
+    /// [`ThresholdSet::validate`].
+    pub fn try_new(
+        bnet: &'a BayesianNetwork,
+        input: &Tensor,
+        thresholds: ThresholdSet,
+    ) -> Result<Self, PredictorError> {
+        bnet.network().check_input(input)?;
+        thresholds.validate(bnet.network())?;
+        Ok(Self::new(bnet, input, thresholds))
     }
 
     /// The recorded pre-inference.
@@ -283,6 +341,39 @@ mod tests {
             "skip rate {} unexpectedly low",
             stats.skip_rate()
         );
+    }
+
+    #[test]
+    fn try_new_screens_inputs_and_thresholds() {
+        let (bnet, input) = setup();
+        let net_len = bnet.network().len();
+        let good = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        assert!(PredictiveInference::try_new(&bnet, &input, good.clone()).is_ok());
+
+        let bad_input = Tensor::zeros(fbcnn_tensor::Shape::new(1, 2, 2));
+        assert!(matches!(
+            PredictiveInference::try_new(&bnet, &bad_input, good.clone()),
+            Err(PredictorError::Input(_))
+        ));
+
+        let mut truncated = good;
+        let node = bnet.network().conv_nodes()[1];
+        truncated.insert(node, vec![7; 3]);
+        assert!(matches!(
+            PredictiveInference::try_new(&bnet, &input, truncated),
+            Err(PredictorError::Thresholds(
+                crate::ThresholdError::KernelCountMismatch { .. }
+            ))
+        ));
+
+        let mut misplaced = ThresholdSet::never_predict(net_len);
+        misplaced.insert(fbcnn_nn::NodeId(0), vec![1; 4]);
+        assert!(matches!(
+            PredictiveInference::try_new(&bnet, &input, misplaced),
+            Err(PredictorError::Thresholds(
+                crate::ThresholdError::NotAConvNode { node: 0 }
+            ))
+        ));
     }
 
     #[test]

@@ -1,9 +1,62 @@
 use crate::counting::{count_dropped_nw_inputs, input_drop_mask};
 use crate::PolarityIndicators;
 use fbcnn_bayes::BayesianNetwork;
-use fbcnn_nn::NodeId;
+use fbcnn_nn::{Network, NodeId};
 use fbcnn_tensor::Tensor;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structural defect found while validating a [`ThresholdSet`] against
+/// a network — the typed form of the index panics a poisoned or
+/// truncated set would otherwise cause inside the skip-map builder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThresholdError {
+    /// The set addresses a node id past the end of the network.
+    UnknownNode {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the network.
+        network_len: usize,
+    },
+    /// The set carries thresholds for a node that is not a convolution.
+    NotAConvNode {
+        /// The offending node id.
+        node: usize,
+    },
+    /// A node's threshold vector does not match its kernel count.
+    KernelCountMismatch {
+        /// The offending node id.
+        node: usize,
+        /// The conv node's output-channel count.
+        expected: usize,
+        /// The threshold vector's length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThresholdError::UnknownNode { node, network_len } => write!(
+                f,
+                "thresholds address node {node}, but the network has {network_len} nodes"
+            ),
+            ThresholdError::NotAConvNode { node } => {
+                write!(f, "thresholds attached to non-conv node {node}")
+            }
+            ThresholdError::KernelCountMismatch {
+                node,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "node {node} has {expected} kernels but {actual} thresholds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ThresholdError {}
 
 /// Per-kernel prediction thresholds `α` (Algorithm 1's output).
 ///
@@ -46,6 +99,44 @@ impl ThresholdSet {
             .iter()
             .enumerate()
             .filter_map(|(i, t)| t.as_ref().map(|_| NodeId(i)))
+    }
+
+    /// Validates the set against a network: every threshold vector must
+    /// belong to a convolution node and carry exactly one entry per
+    /// kernel.
+    ///
+    /// A set that passes is structurally safe to use in
+    /// [`crate::build_skip_maps`] — threshold *values* are not judged
+    /// (any value is a legal, if unwise, operating point; value-level
+    /// poisoning is caught behaviorally by the engine's canary check).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ThresholdError`] found.
+    pub fn validate(&self, net: &Network) -> Result<(), ThresholdError> {
+        for (node_idx, thresholds) in self.per_node.iter().enumerate() {
+            let Some(thresholds) = thresholds else {
+                continue;
+            };
+            if node_idx >= net.len() {
+                return Err(ThresholdError::UnknownNode {
+                    node: node_idx,
+                    network_len: net.len(),
+                });
+            }
+            let node = NodeId(node_idx);
+            let Some(conv) = net.node(node).layer().and_then(|l| l.as_conv()) else {
+                return Err(ThresholdError::NotAConvNode { node: node_idx });
+            };
+            if thresholds.len() != conv.out_channels() {
+                return Err(ThresholdError::KernelCountMismatch {
+                    node: node_idx,
+                    expected: conv.out_channels(),
+                    actual: thresholds.len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Mean threshold over all kernels (diagnostic).
@@ -410,6 +501,57 @@ mod tests {
         assert_eq!(set.kernel(NodeId(2), 0), 0);
         assert_eq!(set.nodes().count(), 0);
         assert_eq!(set.mean(), 0.0);
+    }
+
+    #[test]
+    fn validate_accepts_a_calibrated_set() {
+        let (bnet, input) = setup();
+        let set = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        assert_eq!(set.validate(bnet.network()), Ok(()));
+        assert_eq!(
+            ThresholdSet::never_predict(bnet.network().len()).validate(bnet.network()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn validate_rejects_truncated_threshold_vectors() {
+        let (bnet, input) = setup();
+        let mut set = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let node = bnet.network().conv_nodes()[1];
+        let truncated = set.get(node).unwrap()[..3].to_vec();
+        set.insert(node, truncated);
+        assert_eq!(
+            set.validate(bnet.network()),
+            Err(ThresholdError::KernelCountMismatch {
+                node: node.0,
+                expected: 16,
+                actual: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_misplaced_and_out_of_range_nodes() {
+        let (bnet, _) = setup();
+        let net = bnet.network();
+        // Thresholds attached to the input node (not a convolution).
+        let mut misplaced = ThresholdSet::never_predict(net.len());
+        misplaced.insert(NodeId(0), vec![4; 6]);
+        assert_eq!(
+            misplaced.validate(net),
+            Err(ThresholdError::NotAConvNode { node: 0 })
+        );
+        // A set sized for a larger network addresses a phantom node.
+        let mut phantom = ThresholdSet::never_predict(net.len() + 2);
+        phantom.insert(NodeId(net.len() + 1), vec![4; 6]);
+        assert_eq!(
+            phantom.validate(net),
+            Err(ThresholdError::UnknownNode {
+                node: net.len() + 1,
+                network_len: net.len(),
+            })
+        );
     }
 
     #[test]
