@@ -82,6 +82,8 @@ impl BaselineSim {
 
     /// Simulates `T` dense sample inferences.
     pub fn run(&self, w: &Workload) -> RunReport {
+        let _span =
+            fbcnn_telemetry::span_with("sim_run", || vec![("design".into(), "baseline".into())]);
         let t = w.t() as u64;
         let e = &self.energy;
         let mut layers = Vec::with_capacity(w.layers.len());
@@ -118,6 +120,7 @@ impl BaselineSim {
                 dram,
             },
         }
+        .recorded()
     }
 }
 

@@ -51,6 +51,8 @@ impl CnvlutinSim {
     /// Simulates `T` input-sparsity-skipping sample inferences (no
     /// pre-inference — Cnvlutin has no use for one).
     pub fn run(&self, w: &Workload) -> RunReport {
+        let _span =
+            fbcnn_telemetry::span_with("sim_run", || vec![("design".into(), "cnvlutin".into())]);
         let e = &self.energy;
         let mut layers: Vec<LayerReport> = w
             .layers
@@ -127,6 +129,7 @@ impl CnvlutinSim {
                 dram,
             },
         }
+        .recorded()
     }
 }
 

@@ -203,6 +203,8 @@ impl FastBcnnSim {
 
     /// Simulates the complete BCNN task: pre-inference + `T` samples.
     pub fn run(&self, w: &Workload) -> RunReport {
+        let _span =
+            fbcnn_telemetry::span_with("sim_run", || vec![("design".into(), "fast_bcnn".into())]);
         let e = &self.energy;
         let cfg = &self.cfg;
         let tm = cfg.tm() as f64;
@@ -347,6 +349,7 @@ impl FastBcnnSim {
                 dram,
             },
         }
+        .recorded()
     }
 }
 

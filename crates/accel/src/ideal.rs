@@ -36,6 +36,8 @@ impl IdealSim {
 
     /// Simulates the complete task under ideal skipping.
     pub fn run(&self, w: &Workload) -> RunReport {
+        let _span =
+            fbcnn_telemetry::span_with("sim_run", || vec![("design".into(), "ideal".into())]);
         let e = &self.energy;
         let cfg = &self.cfg;
         // Reuse Fast-BCNN's prediction-latency model for the overlap floor.
@@ -121,6 +123,7 @@ impl IdealSim {
                 dram,
             },
         }
+        .recorded()
     }
 }
 

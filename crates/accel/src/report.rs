@@ -42,6 +42,20 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Folds the report's headline numbers into the telemetry registry —
+    /// `sim_cycles` and `sim_skipped_neurons` counters labeled by design
+    /// name — and hands the report back. Every simulator calls this on
+    /// its finished report; it is free while no recorder is installed.
+    pub fn recorded(self) -> Self {
+        if fbcnn_telemetry::enabled() {
+            let labels = [("design", self.name.as_str())];
+            fbcnn_telemetry::counter_add("sim_cycles", &labels, self.total_cycles);
+            let skipped: u64 = self.layers.iter().map(|l| l.skipped_neurons).sum();
+            fbcnn_telemetry::counter_add("sim_skipped_neurons", &labels, skipped);
+        }
+        self
+    }
+
     /// Total cycles averaged over the `T` samples — the paper's
     /// normalization ("averaged by 50"), which charges Fast-BCNN its
     /// pre-inference.

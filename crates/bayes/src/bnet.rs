@@ -117,6 +117,9 @@ impl BayesianNetwork {
     /// Panics if the input shape does not match the network.
     pub fn forward_sample(&self, input: &Tensor, masks: &DropoutMasks) -> SampleRun {
         let activations = self.net.forward_with(input, |net, node, ins| {
+            let _layer = fbcnn_telemetry::span_with("layer_forward", || {
+                vec![("layer".into(), node.label().to_string())]
+            });
             let mut out = net.eval_node(node, ins);
             if let Some(mask) = masks.get(node.id()) {
                 out.apply_drop_mask(mask);
@@ -143,6 +146,9 @@ impl BayesianNetwork {
         ws: &mut Workspace,
     ) -> SampleRun {
         let activations = self.net.forward_with(input, |net, node, ins| {
+            let _layer = fbcnn_telemetry::span_with("layer_forward", || {
+                vec![("layer".into(), node.label().to_string())]
+            });
             let mut out = net.eval_node_ws(node, ins, ws);
             if let Some(mask) = masks.get(node.id()) {
                 out.apply_drop_mask(mask);

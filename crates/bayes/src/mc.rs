@@ -94,9 +94,15 @@ impl McDropout {
     /// All `T` passes share one [`Workspace`], so the im2col scratch
     /// buffer is allocated once and reused for every sample.
     pub fn run(&self, bnet: &BayesianNetwork, input: &Tensor) -> Prediction {
+        let _span =
+            fbcnn_telemetry::span_with("mc_run", || vec![("mode".into(), "sequential".into())]);
+        fbcnn_telemetry::counter_add("mc_samples", &[("path", "exact")], self.t as u64);
         let mut ws = Workspace::new();
         let sample_probs: Vec<Vec<f32>> = (0..self.t)
             .map(|t| {
+                let _sample = fbcnn_telemetry::span_with("mc_sample", || {
+                    vec![("sample".into(), t.to_string())]
+                });
                 let masks = bnet.generate_masks(self.seed, t);
                 let run = bnet.forward_sample_ws(input, &masks, &mut ws);
                 stats::softmax(run.logits())
@@ -204,6 +210,9 @@ impl McDropout {
     ) -> Result<IsolatedRun, BayesError> {
         assert!(threads > 0, "need at least one worker thread");
         bnet.network().check_input(input)?;
+        let _span =
+            fbcnn_telemetry::span_with("mc_run", || vec![("mode".into(), "isolated".into())]);
+        fbcnn_telemetry::counter_add("mc_samples", &[("path", "isolated")], self.t as u64);
         let threads = threads.min(self.t);
         let masks_for = &masks_for;
         let mut rows: Vec<Option<Vec<f32>>> = vec![None; self.t];
@@ -214,6 +223,9 @@ impl McDropout {
                     let mut ws = Workspace::new();
                     for (offset, slot) in chunk.iter_mut().enumerate() {
                         let t = base + offset;
+                        let _sample = fbcnn_telemetry::span_with("mc_sample", || {
+                            vec![("sample".into(), t.to_string())]
+                        });
                         *slot = catch_unwind(AssertUnwindSafe(|| {
                             let masks = masks_for(t);
                             let run = bnet.forward_sample_ws(input, &masks, &mut ws);
@@ -239,6 +251,9 @@ impl McDropout {
             .enumerate()
             .filter_map(|(i, r)| r.is_none().then_some(i))
             .collect();
+        if !failed.is_empty() {
+            fbcnn_telemetry::counter_add("mc_samples_failed", &[], failed.len() as u64);
+        }
         let surviving: Vec<Vec<f32>> = rows.into_iter().flatten().collect();
         if surviving.is_empty() {
             return Err(BayesError::AllSamplesFailed { requested: self.t });

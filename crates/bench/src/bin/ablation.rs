@@ -7,6 +7,7 @@ use fbcnn_nn::models::ModelKind;
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
 
     for kind in [ModelKind::LeNet5, ModelKind::Vgg16] {
         let sweep = ablation::lane_sweep(kind, 64, &[1, 2, 4, 8], &args.cfg);

@@ -7,6 +7,7 @@ use fast_bcnn::report::{format_table, pct};
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let cfg = if args.cfg.t <= 8 {
         TrainedAccuracyConfig {
             train_size: 150,

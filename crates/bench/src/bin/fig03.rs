@@ -27,6 +27,7 @@ fn zero_map(t: &Tensor, ch: usize) -> Vec<Vec<char>> {
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     // Half-width keeps the map small enough to read in a terminal.
     let scale = if args.cfg.t <= 8 {
         ModelScale::TINY

@@ -6,6 +6,7 @@ use fast_bcnn::report::{format_table, pct};
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let results = characterization::run(&args.cfg);
     for model in &results {
         println!("== {} (T = {}) ==", model.model, args.cfg.t);

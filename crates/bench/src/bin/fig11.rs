@@ -5,6 +5,7 @@ use fast_bcnn::report::{format_table, pct, speedup};
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let results = comparison::run(&args.cfg);
     for model in &results {
         println!("== {} (T = {}) ==", model.model, args.cfg.t);

@@ -7,6 +7,7 @@ use fbcnn_nn::models::ModelKind;
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     // The paper sweeps 60-90 %; our synthetic-weight substitution moves
     // the knee toward higher confidence (see DESIGN.md §3b), so the sweep
     // extends to 99 %.

@@ -6,6 +6,7 @@ use fast_bcnn::report::{format_table, speedup};
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let rates = [0.2, 0.3, 0.5];
     let points = sensitivity::drop_rate_sweep(&rates, &args.cfg);
     let rows: Vec<Vec<String>> = points

@@ -18,14 +18,16 @@ use std::hint::black_box;
 use std::time::Instant;
 
 /// One kernel's before/after timing, nanoseconds per call (minimum over
-/// the measurement repetitions).
+/// the measurement repetitions). `parallel_ns` is `None` for kernels
+/// without a threaded variant — reported honestly as absent instead of
+/// echoing the single-threaded number.
 #[derive(Debug, Serialize)]
 struct Timing {
     reference_ns: u64,
     fast_ns: u64,
-    parallel_ns: u64,
+    parallel_ns: Option<u64>,
     speedup_fast: f64,
-    speedup_parallel: f64,
+    speedup_parallel: Option<f64>,
 }
 
 #[derive(Debug, Serialize)]
@@ -35,8 +37,8 @@ struct HotpathReport {
     seed: u64,
     quick: bool,
     /// Dropped-nw-input counting, conv2-of-LeNet-5 geometry. `reference`
-    /// is the scalar per-bit kernel, `fast` the packed word-parallel one
-    /// (`parallel` repeats `fast`; counting has no threaded variant).
+    /// is the scalar per-bit kernel, `fast` the packed word-parallel one.
+    /// Counting has no threaded variant, so `parallel` is absent.
     counting: Timing,
     /// One Conv2d forward, conv2-of-LeNet-5 geometry. `reference` is the
     /// naive loop, `fast` the im2col + blocked kernel, `parallel` the
@@ -60,13 +62,13 @@ fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> u64 {
     best
 }
 
-fn timing(reference_ns: u64, fast_ns: u64, parallel_ns: u64) -> Timing {
+fn timing(reference_ns: u64, fast_ns: u64, parallel_ns: Option<u64>) -> Timing {
     Timing {
         reference_ns,
         fast_ns,
         parallel_ns,
         speedup_fast: reference_ns as f64 / fast_ns.max(1) as f64,
-        speedup_parallel: reference_ns as f64 / parallel_ns.max(1) as f64,
+        speedup_parallel: parallel_ns.map(|p| reference_ns as f64 / p.max(1) as f64),
     }
 }
 
@@ -82,6 +84,7 @@ fn seeded_conv(in_c: usize, out_c: usize, k: usize) -> Conv2d {
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let quick = args.cfg.t <= 8;
     let (reps_kernel, reps_mc) = if quick { (20, 1) } else { (200, 3) };
     let threads = args.cfg.threads;
@@ -96,7 +99,7 @@ fn main() {
     let packed_ns = time_ns(reps_kernel, || {
         count_dropped_nw_inputs(&conv, &indicators, &mask)
     });
-    let counting = timing(scalar_ns, packed_ns, packed_ns);
+    let counting = timing(scalar_ns, packed_ns, None);
 
     // -- conv forward: naive vs im2col vs channel-parallel --------------
     let input = Tensor::from_fn(Shape::new(6, 14, 14), |ch, r, c| {
@@ -109,7 +112,7 @@ fn main() {
     let par_ns = time_ns(reps_kernel, || {
         conv.forward_parallel(&input, threads, &mut ws_par)
     });
-    let conv_timing = timing(naive_ns, im2col_ns, par_ns);
+    let conv_timing = timing(naive_ns, im2col_ns, Some(par_ns));
 
     // -- MC-dropout end to end on B-LeNet-5 ------------------------------
     let t = args.cfg.t;
@@ -128,7 +131,7 @@ fn main() {
     });
     let mc_ws_ns = time_ns(reps_mc, || runner.run(&bnet, &mc_input));
     let mc_par_ns = time_ns(reps_mc, || runner.run_parallel(&bnet, &mc_input, threads));
-    let mc = timing(mc_naive_ns, mc_ws_ns, mc_par_ns);
+    let mc = timing(mc_naive_ns, mc_ws_ns, Some(mc_par_ns));
 
     let report = HotpathReport {
         t,
@@ -146,9 +149,13 @@ fn main() {
         ("conv", &report.conv),
         ("mc_end_to_end", &report.mc_end_to_end),
     ] {
+        let (par, par_speedup) = match (tm.parallel_ns, tm.speedup_parallel) {
+            (Some(p), Some(s)) => (p.to_string(), format!("{s:.2}x")),
+            _ => ("n/a".to_string(), "no threaded variant".to_string()),
+        };
         println!(
-            "{name:<14} reference {:>12}  fast {:>12} ({:.2}x)  parallel({threads}t) {:>12} ({:.2}x)",
-            tm.reference_ns, tm.fast_ns, tm.speedup_fast, tm.parallel_ns, tm.speedup_parallel
+            "{name:<14} reference {:>12}  fast {:>12} ({:.2}x)  parallel({threads}t) {par:>12} ({par_speedup})",
+            tm.reference_ns, tm.fast_ns, tm.speedup_fast
         );
     }
 

@@ -6,6 +6,7 @@ use fast_bcnn::report::format_table;
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let results = motivation::run(&args.cfg);
     let rows: Vec<Vec<String>> = results
         .iter()

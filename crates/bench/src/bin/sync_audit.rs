@@ -8,6 +8,7 @@ use fast_bcnn::report::{format_table, pct};
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let results = sync_audit::run(&args.cfg);
     for model in &results {
         println!(

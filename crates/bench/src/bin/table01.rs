@@ -5,6 +5,7 @@ use fast_bcnn::report::format_table;
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let rows_data = tables::table1();
     let rows: Vec<Vec<String>> = rows_data
         .iter()

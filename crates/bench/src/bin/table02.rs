@@ -5,6 +5,7 @@ use fast_bcnn::report::{format_table, pct};
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let t = tables::table2();
     let r = &t.report;
     let rows = vec![

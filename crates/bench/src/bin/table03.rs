@@ -6,6 +6,7 @@ use fast_bcnn::report::format_table;
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let rows_data = tables::table3(args.cfg.seed);
     let rows: Vec<Vec<String>> = rows_data
         .iter()

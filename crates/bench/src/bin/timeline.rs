@@ -7,6 +7,7 @@ use fbcnn_nn::models::ModelKind;
 
 fn main() {
     let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
     let engine = Engine::new(EngineConfig {
         model: ModelKind::LeNet5,
         samples: args.cfg.t.min(8),

@@ -1,0 +1,53 @@
+//! CI validator for telemetry artifacts: proves that a `--trace-out`
+//! JSONL file round-trips through the versioned envelope reader and that
+//! a `--metrics-out` dump parses back as a well-formed Prometheus-style
+//! exposition. Exits non-zero on empty, missing or malformed files.
+//!
+//! Usage: `trace_check <trace.jsonl> <metrics.prom>`
+
+use fast_bcnn::telemetry::parse_exposition;
+
+fn fail(msg: String) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, trace_path, metrics_path] = args.as_slice() else {
+        fail(format!(
+            "usage: trace_check <trace.jsonl> <metrics.prom> (got {} args)",
+            args.len() - 1
+        ));
+    };
+
+    let events = match fast_bcnn::io::read_trace(trace_path) {
+        Ok(events) => events,
+        Err(e) => fail(format!("{trace_path}: {e}")),
+    };
+    if events.is_empty() {
+        fail(format!("{trace_path}: trace holds no events"));
+    }
+    let spans = events.iter().filter(|e| e.kind == "span").count();
+    let counters = events.iter().filter(|e| e.kind == "counter").count();
+    let histograms = events.iter().filter(|e| e.kind == "histogram").count();
+
+    let text = match std::fs::read_to_string(metrics_path) {
+        Ok(text) => text,
+        Err(e) => fail(format!("{metrics_path}: {e}")),
+    };
+    let samples = match parse_exposition(&text) {
+        Ok(samples) => samples,
+        Err(e) => fail(format!("{metrics_path}: {e}")),
+    };
+    if samples.is_empty() {
+        fail(format!("{metrics_path}: exposition holds no samples"));
+    }
+
+    println!(
+        "trace_check: ok — {} trace events ({spans} spans, {counters} counters, \
+         {histograms} histograms), {} exposition samples",
+        events.len(),
+        samples.len()
+    );
+}

@@ -8,7 +8,10 @@
 //! * `--quick` — a shrunken configuration for smoke testing;
 //! * `--t <N>` / `--seed <N>` — override the sample count / master seed;
 //! * `--threads <N>` — worker threads for exact MC-dropout passes;
-//! * `--json <path>` — dump the result record as JSON.
+//! * `--json <path>` — dump the result record as JSON;
+//! * `--trace-out <path>` / `--metrics-out <path>` — install a telemetry
+//!   recorder for the run and export it as a JSONL trace / a
+//!   Prometheus-style text dump on exit (see `docs/OBSERVABILITY.md`).
 //!
 //! Unknown flags and malformed values are hard errors: [`parse_args`]
 //! prints the problem and exits with status 2.
@@ -22,6 +25,19 @@ pub struct HarnessArgs {
     pub cfg: ExpConfig,
     /// Optional JSON output path.
     pub json: Option<String>,
+    /// Optional JSONL telemetry trace output path.
+    pub trace_out: Option<String>,
+    /// Optional Prometheus-style metrics output path.
+    pub metrics_out: Option<String>,
+}
+
+impl HarnessArgs {
+    /// Installs a telemetry recorder when `--trace-out` or
+    /// `--metrics-out` was given. Keep the returned sink alive for the
+    /// whole run: the files are written when it drops.
+    pub fn telemetry(&self) -> Option<fast_bcnn::telemetry::FileSink> {
+        fast_bcnn::telemetry::FileSink::new(self.trace_out.as_deref(), self.metrics_out.as_deref())
+    }
 }
 
 /// Parses the common flags from `std::env::args`, exiting with status 2
@@ -32,7 +48,10 @@ pub fn parse_args() -> HarnessArgs {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: [--quick] [--t <N>] [--seed <N>] [--threads <N>] [--json <path>]");
+            eprintln!(
+                "usage: [--quick] [--t <N>] [--seed <N>] [--threads <N>] [--json <path>] \
+                 [--trace-out <path>] [--metrics-out <path>]"
+            );
             std::process::exit(2);
         }
     }
@@ -59,12 +78,22 @@ pub fn from_arg_list(args: &[String]) -> Result<HarnessArgs, String> {
 
     let mut cfg = ExpConfig::default();
     let mut json = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => cfg = ExpConfig::quick(),
             "--json" => {
                 json = Some(value(args, i, "--json")?.to_string());
+                i += 1;
+            }
+            "--trace-out" => {
+                trace_out = Some(value(args, i, "--trace-out")?.to_string());
+                i += 1;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(value(args, i, "--metrics-out")?.to_string());
                 i += 1;
             }
             "--t" => {
@@ -86,7 +115,12 @@ pub fn from_arg_list(args: &[String]) -> Result<HarnessArgs, String> {
         }
         i += 1;
     }
-    Ok(HarnessArgs { cfg, json })
+    Ok(HarnessArgs {
+        cfg,
+        json,
+        trace_out,
+        metrics_out,
+    })
 }
 
 /// Writes the JSON record if `--json` was given.
@@ -142,6 +176,21 @@ mod tests {
         // --quick resets the config; order matters, last writer wins.
         let b = from_arg_list(&strings(&["--threads", "4", "--quick"])).unwrap();
         assert_eq!(b.cfg.threads, 1);
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_gate_the_sink() {
+        let a = from_arg_list(&strings(&[
+            "--trace-out",
+            "/tmp/t.jsonl",
+            "--metrics-out",
+            "/tmp/m.prom",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.jsonl"));
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.prom"));
+        let none = from_arg_list(&[]).unwrap();
+        assert!(none.telemetry().is_none(), "no flags -> no recorder");
     }
 
     #[test]

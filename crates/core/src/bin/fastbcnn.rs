@@ -5,7 +5,14 @@
 //! fastbcnn simulate     [--model ...] [--samples N] [--full]
 //! fastbcnn characterize [--model ...] [--samples N] [--full]
 //! fastbcnn train        [--epochs N] [--train-size N]
+//! fastbcnn observe      [--model ...] [--samples N] [--full]
 //! ```
+//!
+//! Every command additionally accepts `--trace-out <path>` and
+//! `--metrics-out <path>` to export the run's telemetry as a JSONL trace
+//! and a Prometheus-style text dump (see `docs/OBSERVABILITY.md`);
+//! `observe` records a fast + robust inference and prints the per-layer
+//! skip/fallback table.
 
 use fast_bcnn::report::{format_table, pct, speedup};
 use fast_bcnn::{
@@ -21,6 +28,8 @@ struct Args {
     scale: ModelScale,
     epochs: usize,
     train_size: usize,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -33,6 +42,8 @@ fn parse() -> Result<Args, String> {
         scale: ModelScale::BENCH,
         epochs: 6,
         train_size: 400,
+        trace_out: None,
+        metrics_out: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -70,6 +81,22 @@ fn parse() -> Result<Args, String> {
                 i += 1;
             }
             "--full" => args.scale = ModelScale::FULL,
+            "--trace-out" => {
+                args.trace_out = Some(
+                    argv.get(i + 1)
+                        .ok_or("--trace-out needs a path")?
+                        .to_string(),
+                );
+                i += 1;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(
+                    argv.get(i + 1)
+                        .ok_or("--metrics-out needs a path")?
+                        .to_string(),
+                );
+                i += 1;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -193,6 +220,58 @@ fn cmd_train(args: &Args) {
     println!("  accuracy loss:          {}", pct(r.accuracy_loss));
 }
 
+/// Records one fast and one robust inference into a private registry and
+/// prints the per-layer skip table plus the fallback summary — the
+/// source of the EXPERIMENTS.md Fig. 5-style skip-rate table.
+fn cmd_observe(args: &Args) {
+    let registry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let guard = fast_bcnn::telemetry::install(registry.clone());
+    let engine = engine_for(args);
+    let input = synth_input(engine.network().input_shape(), 7);
+    let (fast, stats) = engine.predict_fast(&input);
+    let robust = engine.predict_robust(&input);
+    drop(guard);
+
+    println!(
+        "{} | T = {} | skip rate {}",
+        args.model.bayesian_name(),
+        args.samples,
+        pct(stats.skip_rate())
+    );
+    println!(
+        "fast: class {} entropy {:.3}",
+        fast.class, fast.predictive_entropy
+    );
+    match robust {
+        Ok((pred, report)) => println!(
+            "robust: class {} mode {} ({}/{} samples used)",
+            pred.class,
+            report.mode.name(),
+            report.used_samples,
+            report.requested_samples
+        ),
+        Err(e) => println!("robust: failed — {e}"),
+    }
+    println!();
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(&registry).render()
+    );
+
+    if let Some(path) = &args.trace_out {
+        match registry.write_jsonl(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match registry.write_prometheus(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -201,16 +280,24 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // `observe` manages its own registry (it prints the digest before the
+    // exporters run); every other command uses the drop-to-export sink.
+    let _telemetry = if args.command == "observe" {
+        None
+    } else {
+        fast_bcnn::telemetry::FileSink::new(args.trace_out.as_deref(), args.metrics_out.as_deref())
+    };
     match args.command.as_str() {
         "demo" => cmd_demo(&args),
         "simulate" => cmd_simulate(&args),
         "characterize" => cmd_characterize(&args),
         "train" => cmd_train(&args),
+        "observe" => cmd_observe(&args),
         _ => {
             println!(
-                "usage: fastbcnn <demo|simulate|characterize|train> \
+                "usage: fastbcnn <demo|simulate|characterize|train|observe> \
                  [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
-                 [--epochs N] [--train-size N]"
+                 [--epochs N] [--train-size N] [--trace-out <path>] [--metrics-out <path>]"
             );
         }
     }

@@ -133,6 +133,17 @@ pub enum DegradedMode {
     FullFallback,
 }
 
+impl DegradedMode {
+    /// Stable lowercase mode name — the `mode` telemetry label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradedMode::Healthy => "healthy",
+            DegradedMode::PartialFallback => "partial_fallback",
+            DegradedMode::FullFallback => "full_fallback",
+        }
+    }
+}
+
 /// What [`Engine::predict_robust`] did to produce its prediction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RobustReport {
@@ -275,6 +286,7 @@ impl Engine {
     /// Exact MC-dropout inference (`T` dense stochastic passes),
     /// parallelized over `EngineConfig::threads` workers when > 1.
     pub fn predict_exact(&self, input: &Tensor) -> Prediction {
+        let _span = fbcnn_telemetry::span("predict_exact");
         McDropout::new(self.cfg.samples, self.cfg.seed).run_with_threads(
             &self.bnet,
             input,
@@ -286,6 +298,7 @@ impl Engine {
     /// passes, using the calibrated thresholds. Returns the prediction
     /// and the aggregate skip statistics.
     pub fn predict_fast(&self, input: &Tensor) -> (Prediction, SkipStats) {
+        let _span = fbcnn_telemetry::span("predict_fast");
         let engine = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
         let (probs, skip) = engine.run_mc(self.cfg.seed, self.cfg.samples);
         (McDropout::summarize(probs), skip)
@@ -338,6 +351,7 @@ impl Engine {
         input: &Tensor,
         rc: &RobustConfig,
     ) -> Result<(Prediction, RobustReport), InferenceError> {
+        let _span = fbcnn_telemetry::span("predict_robust");
         let net = self.network();
         net.check_input(input)?;
         self.thresholds.validate(net)?;
@@ -346,6 +360,11 @@ impl Engine {
         for (node, act) in fast.pre_inference().activations.iter().enumerate() {
             if let Some(fault) = rc.guard.find_fault(node, act) {
                 // Both paths share these weights: nothing to fall back to.
+                fbcnn_telemetry::counter_add(
+                    "engine_preinference_faults",
+                    &[("kind", fault.kind())],
+                    1,
+                );
                 return Err(InferenceError::Numeric(fault));
             }
         }
@@ -373,6 +392,9 @@ impl Engine {
                 }
                 Err(_) => true,
             };
+        }
+        if full_fallback {
+            fbcnn_telemetry::counter_add("engine_canary_trips", &[], 1);
         }
 
         let mut rows: Vec<Vec<f32>> = Vec::with_capacity(requested);
@@ -403,17 +425,26 @@ impl Engine {
 
             if row.is_none() {
                 fallback_samples += 1;
+                fbcnn_telemetry::counter_add("engine_fallback_samples", &[], 1);
                 match self
                     .bnet
                     .forward_sample_checked(input, &masks, &mut ws, &rc.guard)
                 {
                     Ok((run, repaired)) => {
                         repaired_values += repaired;
+                        if repaired > 0 {
+                            fbcnn_telemetry::counter_add(
+                                "engine_repaired_values",
+                                &[],
+                                repaired as u64,
+                            );
+                        }
                         let probs = stats::softmax(run.logits());
                         if ActivationGuard::probs_are_sane(&probs) {
                             row = Some(probs);
                         } else {
                             lost_samples += 1;
+                            fbcnn_telemetry::counter_add("engine_lost_samples", &[], 1);
                         }
                     }
                     Err(e) => {
@@ -421,6 +452,7 @@ impl Engine {
                             return Err(e.into());
                         }
                         lost_samples += 1;
+                        fbcnn_telemetry::counter_add("engine_lost_samples", &[], 1);
                     }
                 }
             }
@@ -451,6 +483,7 @@ impl Engine {
                 };
                 if rows.len() >= rc.min_samples && stable >= rc.patience && s + 1 < requested {
                     early_exit = true;
+                    fbcnn_telemetry::counter_add("engine_early_exits", &[], 1);
                     break;
                 }
             }
@@ -468,6 +501,7 @@ impl Engine {
         } else {
             DegradedMode::Healthy
         };
+        fbcnn_telemetry::counter_add("engine_degraded_runs", &[("mode", mode.name())], 1);
         Ok((
             prediction,
             RobustReport {

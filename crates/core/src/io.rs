@@ -26,7 +26,7 @@
 use fbcnn_accel::Workload;
 use fbcnn_nn::Network;
 use fbcnn_predictor::ThresholdSet;
-use serde::{de::DeserializeOwned, Serialize};
+use serde::{de::DeserializeOwned, Deserialize, Serialize};
 use std::fmt;
 use std::path::Path;
 
@@ -203,6 +203,77 @@ pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, IoError> {
     load(path, "workload")
 }
 
+/// One decoded line of a JSONL telemetry trace
+/// ([`fbcnn_telemetry::Registry::to_jsonl`]). Every line carries the full
+/// field set; fields irrelevant to the event's `kind` are zero/empty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Event kind: `"span"`, `"counter"` or `"histogram"`.
+    pub kind: String,
+    /// Span or metric name.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// Span id (`0` for metric events).
+    pub id: u64,
+    /// Enclosing span id (`0` = root).
+    pub parent: u64,
+    /// Span start in nanoseconds since the registry's epoch.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// Counter value / histogram sum of observations.
+    pub value: f64,
+    /// Counter value / histogram observation count.
+    pub count: u64,
+    /// Histogram `(upper_bound, cumulative_count)` pairs.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Parses a JSONL telemetry trace: one [`TraceEvent`] envelope per line
+/// (blank lines are skipped). Each line reuses the artifact envelope, so
+/// corruption, stale versions and mislabeled files all fail typed.
+///
+/// # Errors
+///
+/// [`IoError::Envelope`] on a malformed line, [`IoError::Kind`] /
+/// [`IoError::Version`] on a foreign or stale artifact, and
+/// [`IoError::Serde`] on a payload that is not a trace event.
+pub fn read_trace_str(text: &str) -> Result<Vec<TraceEvent>, IoError> {
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (kind, version, payload) = parse_envelope(line)?;
+        if kind != fbcnn_telemetry::TRACE_ARTIFACT {
+            return Err(IoError::Kind {
+                found: kind.to_string(),
+                expected: fbcnn_telemetry::TRACE_ARTIFACT.to_string(),
+            });
+        }
+        if version != fbcnn_telemetry::TRACE_FORMAT_VERSION {
+            return Err(IoError::Version {
+                found: version,
+                expected: fbcnn_telemetry::TRACE_FORMAT_VERSION,
+            });
+        }
+        events.push(serde_json::from_str(payload)?);
+    }
+    Ok(events)
+}
+
+/// Reads and parses a JSONL telemetry trace file written via
+/// `--trace-out` (see [`read_trace_str`]).
+///
+/// # Errors
+///
+/// [`IoError::Io`] on filesystem failure, plus everything
+/// [`read_trace_str`] reports.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Vec<TraceEvent>, IoError> {
+    read_trace_str(&std::fs::read_to_string(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +397,47 @@ mod tests {
             other => panic!("unexpected outcome {other:?}"),
         }
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_roundtrips_via_registry() {
+        use fbcnn_telemetry::Recorder as _;
+        let r = fbcnn_telemetry::Registry::new();
+        r.counter_add("skips", &[("layer", "conv2")], 7);
+        r.histogram_batch("nd", &[], &[1.0, 3.0]);
+        let events = read_trace_str(&r.to_jsonl()).unwrap();
+        let skip = events
+            .iter()
+            .find(|e| e.kind == "counter" && e.name == "skips")
+            .unwrap();
+        assert_eq!(skip.count, 7);
+        assert_eq!(skip.labels, vec![("layer".into(), "conv2".into())]);
+        let nd = events
+            .iter()
+            .find(|e| e.kind == "histogram" && e.name == "nd")
+            .unwrap();
+        assert_eq!(nd.count, 2);
+        assert_eq!(nd.value, 4.0);
+        assert_eq!(nd.buckets.last().map(|b| b.1), Some(2));
+    }
+
+    #[test]
+    fn read_trace_rejects_foreign_and_stale_lines() {
+        let good = "{\"artifact\":\"trace-event\",\"version\":1,\"payload\":{\"kind\":\"counter\",\
+                    \"name\":\"x\",\"labels\":[],\"id\":0,\"parent\":0,\"start_ns\":0,\
+                    \"duration_ns\":0,\"value\":1.0,\"count\":1,\"buckets\":[]}}";
+        assert_eq!(read_trace_str(good).unwrap().len(), 1);
+        let foreign = good.replacen("trace-event", "network", 1);
+        assert!(matches!(
+            read_trace_str(&foreign),
+            Err(IoError::Kind { .. })
+        ));
+        let stale = good.replacen("\"version\":1", "\"version\":9", 1);
+        assert!(matches!(
+            read_trace_str(&stale),
+            Err(IoError::Version { found: 9, .. })
+        ));
+        assert!(read_trace_str("not an envelope\n").is_err());
     }
 
     #[test]

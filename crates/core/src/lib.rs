@@ -35,10 +35,17 @@ pub mod experiments;
 pub mod faults;
 pub mod io;
 pub mod report;
+mod telemetry_report;
 
 pub use engine::{synth_input, DegradedMode, Engine, EngineConfig, RobustConfig, RobustReport};
 pub use error::{EngineError, InferenceError};
 pub use faults::{BitFlip, FaultInjector, ThresholdFault};
+pub use telemetry_report::{LayerSkipRow, TelemetryReport};
+
+/// The workspace telemetry layer (spans, counters, histograms, exporters)
+/// re-exported under the facade, so binaries and tests need only one
+/// dependency to install a recorder.
+pub use fbcnn_telemetry as telemetry;
 
 // Re-export the workspace's main types so downstream users need only one
 // dependency.

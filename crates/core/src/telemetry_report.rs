@@ -1,0 +1,198 @@
+//! Human-readable summary of a telemetry [`Registry`] — the per-layer
+//! skip/fallback table the observability docs and the `fastbcnn observe`
+//! subcommand print (the software analogue of the paper's Fig. 5
+//! per-layer skip-rate breakdown).
+
+use crate::report::format_table;
+use fbcnn_telemetry::Registry;
+use std::collections::BTreeMap;
+
+/// Per-layer skip accounting pulled from the `skip_neurons_*` counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LayerSkipRow {
+    /// Layer label (the `layer` counter label).
+    pub layer: String,
+    /// Neurons considered across all recorded samples.
+    pub considered: u64,
+    /// Dropped neurons.
+    pub dropped: u64,
+    /// Predicted-unaffected neurons.
+    pub predicted: u64,
+    /// Skipped neurons (union of the two).
+    pub skipped: u64,
+}
+
+impl LayerSkipRow {
+    /// Fraction of considered neurons skipped.
+    pub fn skip_rate(&self) -> f64 {
+        if self.considered == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.considered as f64
+        }
+    }
+}
+
+/// A digest of one recording session: per-layer skip rates plus the
+/// engine's fallback/degradation counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TelemetryReport {
+    /// One row per instrumented conv layer, in label order.
+    pub layers: Vec<LayerSkipRow>,
+    /// `guard_trips` total across kinds and policies.
+    pub guard_trips: u64,
+    /// `engine_fallback_samples` total.
+    pub fallback_samples: u64,
+    /// `engine_lost_samples` total.
+    pub lost_samples: u64,
+    /// `engine_early_exits` total.
+    pub early_exits: u64,
+    /// `engine_degraded_runs` by mode label.
+    pub degraded_runs: Vec<(String, u64)>,
+}
+
+impl TelemetryReport {
+    /// Builds the digest from a registry's counter snapshots.
+    pub fn from_registry(registry: &Registry) -> Self {
+        let mut layers: BTreeMap<String, LayerSkipRow> = BTreeMap::new();
+        let mut degraded: BTreeMap<String, u64> = BTreeMap::new();
+        for c in registry.counters() {
+            match c.name.as_str() {
+                "skip_neurons_considered"
+                | "skip_neurons_dropped"
+                | "skip_neurons_predicted"
+                | "skip_neurons_skipped" => {
+                    let Some((_, layer)) = c.labels.iter().find(|(k, _)| k == "layer") else {
+                        continue;
+                    };
+                    let row = layers.entry(layer.clone()).or_default();
+                    row.layer = layer.clone();
+                    match c.name.as_str() {
+                        "skip_neurons_considered" => row.considered += c.value,
+                        "skip_neurons_dropped" => row.dropped += c.value,
+                        "skip_neurons_predicted" => row.predicted += c.value,
+                        _ => row.skipped += c.value,
+                    }
+                }
+                "engine_degraded_runs" => {
+                    let mode = c
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "mode")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| "unknown".into());
+                    *degraded.entry(mode).or_default() += c.value;
+                }
+                _ => {}
+            }
+        }
+        Self {
+            layers: layers.into_values().collect(),
+            guard_trips: registry.counter_total("guard_trips"),
+            fallback_samples: registry.counter_total("engine_fallback_samples"),
+            lost_samples: registry.counter_total("engine_lost_samples"),
+            early_exits: registry.counter_total("engine_early_exits"),
+            degraded_runs: degraded.into_iter().collect(),
+        }
+    }
+
+    /// Aggregate skip rate over all layers.
+    pub fn overall_skip_rate(&self) -> f64 {
+        let considered: u64 = self.layers.iter().map(|r| r.considered).sum();
+        let skipped: u64 = self.layers.iter().map(|r| r.skipped).sum();
+        if considered == 0 {
+            0.0
+        } else {
+            skipped as f64 / considered as f64
+        }
+    }
+
+    /// Renders the per-layer table plus a fallback summary line.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .layers
+            .iter()
+            .map(|r| {
+                vec![
+                    r.layer.clone(),
+                    r.considered.to_string(),
+                    r.dropped.to_string(),
+                    r.predicted.to_string(),
+                    r.skipped.to_string(),
+                    format!("{:.1}%", r.skip_rate() * 100.0),
+                ]
+            })
+            .collect();
+        let mut out = format_table(
+            &[
+                "layer",
+                "considered",
+                "dropped",
+                "predicted",
+                "skipped",
+                "skip rate",
+            ],
+            &rows,
+        );
+        out.push_str(&format!(
+            "overall skip rate {:.1}% | guard trips {} | fallback samples {} | lost samples {} | early exits {}\n",
+            self.overall_skip_rate() * 100.0,
+            self.guard_trips,
+            self.fallback_samples,
+            self.lost_samples,
+            self.early_exits,
+        ));
+        if !self.degraded_runs.is_empty() {
+            let modes: Vec<String> = self
+                .degraded_runs
+                .iter()
+                .map(|(m, n)| format!("{m}={n}"))
+                .collect();
+            out.push_str(&format!("degraded runs: {}\n", modes.join(", ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fbcnn_telemetry::Recorder as _;
+
+    #[test]
+    fn report_reads_skip_and_fallback_counters() {
+        let r = Registry::new();
+        for (name, v) in [
+            ("skip_neurons_considered", 100),
+            ("skip_neurons_dropped", 30),
+            ("skip_neurons_predicted", 40),
+            ("skip_neurons_skipped", 60),
+        ] {
+            r.counter_add(name, &[("layer", "conv2")], v);
+        }
+        r.counter_add("engine_fallback_samples", &[], 2);
+        r.counter_add("engine_degraded_runs", &[("mode", "partial_fallback")], 1);
+        let report = TelemetryReport::from_registry(&r);
+        assert_eq!(report.layers.len(), 1);
+        let row = &report.layers[0];
+        assert_eq!((row.considered, row.skipped), (100, 60));
+        assert!((row.skip_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(report.fallback_samples, 2);
+        assert_eq!(
+            report.degraded_runs,
+            vec![("partial_fallback".to_string(), 1)]
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("conv2"));
+        assert!(rendered.contains("60.0%"));
+        assert!(rendered.contains("partial_fallback=1"));
+    }
+
+    #[test]
+    fn empty_registry_renders_without_rows() {
+        let report = TelemetryReport::from_registry(&Registry::new());
+        assert_eq!(report.layers.len(), 0);
+        assert_eq!(report.overall_skip_rate(), 0.0);
+        assert!(report.render().contains("overall skip rate 0.0%"));
+    }
+}

@@ -50,6 +50,27 @@ pub enum NumericFault {
     },
 }
 
+impl GuardPolicy {
+    /// Stable lowercase policy name — the `policy` telemetry label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GuardPolicy::Fail => "fail",
+            GuardPolicy::Saturate => "saturate",
+            GuardPolicy::FallbackExact => "fallback_exact",
+        }
+    }
+}
+
+impl NumericFault {
+    /// Stable fault-kind name — the `kind` telemetry label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NumericFault::NotFinite { .. } => "not_finite",
+            NumericFault::Explosion { .. } => "explosion",
+        }
+    }
+}
+
 impl fmt::Display for NumericFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -141,6 +162,10 @@ impl ActivationGuard {
     /// Returns the number of repaired values — always `0` for the
     /// non-repairing policies.
     ///
+    /// Every violation increments the `guard_trips` telemetry counter
+    /// (labels: fault kind, policy); repairs additionally feed
+    /// `guard_repaired_values`.
+    ///
     /// # Errors
     ///
     /// Returns the first [`NumericFault`] found when the policy is
@@ -148,7 +173,14 @@ impl ActivationGuard {
     pub fn screen(&self, node: usize, t: &mut Tensor) -> Result<usize, NumericFault> {
         match self.policy {
             GuardPolicy::Fail | GuardPolicy::FallbackExact => match self.find_fault(node, t) {
-                Some(fault) => Err(fault),
+                Some(fault) => {
+                    fbcnn_telemetry::counter_add(
+                        "guard_trips",
+                        &[("kind", fault.kind()), ("policy", self.policy.name())],
+                        1,
+                    );
+                    Err(fault)
+                }
                 None => Ok(0),
             },
             GuardPolicy::Saturate => {
@@ -165,6 +197,14 @@ impl ActivationGuard {
                         *v = -max;
                         repaired += 1;
                     }
+                }
+                if repaired > 0 {
+                    fbcnn_telemetry::counter_add(
+                        "guard_trips",
+                        &[("kind", "repaired"), ("policy", self.policy.name())],
+                        1,
+                    );
+                    fbcnn_telemetry::counter_add("guard_repaired_values", &[], repaired as u64);
                 }
                 Ok(repaired)
             }
@@ -275,6 +315,33 @@ mod tests {
         assert!(!ActivationGuard::probs_are_sane(&[0.5, f32::NAN]));
         assert!(!ActivationGuard::probs_are_sane(&[0.9, 0.9]));
         assert!(!ActivationGuard::probs_are_sane(&[1.5, -0.5]));
+    }
+
+    #[test]
+    fn screen_violations_feed_telemetry() {
+        let registry = std::sync::Arc::new(fbcnn_telemetry::Registry::new());
+        let _telemetry = fbcnn_telemetry::install(registry.clone());
+        let strict = ActivationGuard::strict();
+        let mut t = tensor(&[f32::NAN]);
+        let _ = strict.screen(0, &mut t);
+        assert_eq!(
+            registry.counter_value("guard_trips", &[("kind", "not_finite"), ("policy", "fail")]),
+            Some(1)
+        );
+        let lenient = ActivationGuard {
+            max_abs: 10.0,
+            policy: GuardPolicy::Saturate,
+        };
+        let mut t = tensor(&[f32::NAN, 20.0, 1.0]);
+        assert_eq!(lenient.screen(0, &mut t), Ok(2));
+        assert_eq!(registry.counter_total("guard_repaired_values"), 2);
+        assert_eq!(
+            registry.counter_value(
+                "guard_trips",
+                &[("kind", "repaired"), ("policy", "saturate")]
+            ),
+            Some(1)
+        );
     }
 
     #[test]

@@ -122,7 +122,9 @@ pub fn count_dropped_nw_inputs(
 ) -> NdCounts {
     let k = conv.kernel_size();
     if k > 64 {
-        return count_dropped_nw_inputs_scalar(conv, indicators, input_mask);
+        let counts = count_dropped_nw_inputs_scalar(conv, indicators, input_mask);
+        record_nd(&counts);
+        return counts;
     }
     assert_eq!(
         indicators.len(),
@@ -193,9 +195,21 @@ pub fn count_dropped_nw_inputs(
             }
         }
     }
-    NdCounts {
+    let counts = NdCounts {
         shape: out_shape,
         counts,
+    };
+    record_nd(&counts);
+    counts
+}
+
+/// Feeds every computed `N_d` into the `predictor_nd` telemetry histogram
+/// — the software analogue of tapping the counting lanes' output bus. The
+/// conversion only happens while a recorder is installed.
+fn record_nd(counts: &NdCounts) {
+    if fbcnn_telemetry::enabled() {
+        let values: Vec<f64> = counts.counts.iter().map(|&c| f64::from(c)).collect();
+        fbcnn_telemetry::histogram_batch("predictor_nd", &[], &values);
     }
 }
 

@@ -96,6 +96,8 @@ impl SkippingRun {
 impl<'a> PredictiveInference<'a> {
     /// Prepares the engine: runs the pre-inference and profiles kernels.
     pub fn new(bnet: &'a BayesianNetwork, input: &Tensor, thresholds: ThresholdSet) -> Self {
+        let _phase =
+            fbcnn_telemetry::span_with("phase", || vec![("stage".into(), "pre_inference".into())]);
         let indicators = PolarityIndicators::from_network(bnet.network());
         let pre = bnet.forward_deterministic(input);
         let zero_masks = bnet
@@ -178,10 +180,18 @@ impl<'a> PredictiveInference<'a> {
     /// Panics if `t == 0`.
     pub fn run_mc(&self, seed: u64, t: usize) -> (Vec<Vec<f32>>, SkipStats) {
         assert!(t > 0, "need at least one sample");
+        let _span =
+            fbcnn_telemetry::span_with("mc_run", || vec![("mode".into(), "skipping".into())]);
+        fbcnn_telemetry::counter_add("mc_samples", &[("path", "skipping")], t as u64);
         let mut probs = Vec::with_capacity(t);
         let mut stats = SkipStats::default();
         for s in 0..t {
-            let masks = self.bnet.generate_masks(seed, s);
+            let masks = {
+                let _phase = fbcnn_telemetry::span_with("phase", || {
+                    vec![("stage".into(), "mask_gen".into())]
+                });
+                self.bnet.generate_masks(seed, s)
+            };
             let run = self.run_sample(&masks);
             stats.absorb(run.stats());
             probs.push(fbcnn_tensor::stats::softmax(run.logits()));
@@ -190,15 +200,47 @@ impl<'a> PredictiveInference<'a> {
     }
 
     /// Runs one skipping sample inference under the given dropout masks.
+    ///
+    /// When a telemetry recorder is installed, each call emits the
+    /// `prediction` and `conv` phase spans plus one set of per-layer
+    /// `skip_neurons_*` counters derived from the very same [`SkipMap`]s
+    /// that [`SkippingRun::stats`] aggregates — the two views reconcile
+    /// exactly.
     pub fn run_sample(&self, masks: &DropoutMasks) -> SkippingRun {
         let net = self.bnet.network();
-        let skip_maps = build_skip_maps(
-            net,
-            masks,
-            &self.zero_masks,
-            &self.indicators,
-            &self.thresholds,
-        );
+        let skip_maps = {
+            let _phase =
+                fbcnn_telemetry::span_with("phase", || vec![("stage".into(), "prediction".into())]);
+            build_skip_maps(
+                net,
+                masks,
+                &self.zero_masks,
+                &self.indicators,
+                &self.thresholds,
+            )
+        };
+        if fbcnn_telemetry::enabled() {
+            for &node in &net.conv_nodes() {
+                if let Some(map) = skip_maps[node.0].as_ref() {
+                    let s = map.stats();
+                    let labels = [("layer", net.node(node).label())];
+                    fbcnn_telemetry::counter_add(
+                        "skip_neurons_considered",
+                        &labels,
+                        s.total as u64,
+                    );
+                    fbcnn_telemetry::counter_add("skip_neurons_dropped", &labels, s.dropped as u64);
+                    fbcnn_telemetry::counter_add(
+                        "skip_neurons_predicted",
+                        &labels,
+                        s.predicted as u64,
+                    );
+                    fbcnn_telemetry::counter_add("skip_neurons_skipped", &labels, s.skipped as u64);
+                }
+            }
+        }
+        let _conv_phase =
+            fbcnn_telemetry::span_with("phase", || vec![("stage".into(), "conv".into())]);
         let activations = net.forward_with(&self.input, |net, node, ins| {
             let id = node.id();
             let Some(conv) = node.layer().and_then(|l| l.as_conv()) else {

@@ -127,10 +127,19 @@ pub fn build_skip_maps(
                 // bits directly instead of scanning the whole map.
                 let plane = shape.plane();
                 let mut predicted = BitMask::zeros(shape);
+                let (mut hits, mut misses) = (0u64, 0u64);
                 for i in zeros.iter_set() {
                     if counts.at_linear(i) < alphas[i / plane] {
                         predicted.set(i, true);
+                        hits += 1;
+                    } else {
+                        misses += 1;
                     }
+                }
+                if fbcnn_telemetry::enabled() {
+                    let labels = [("layer", net.node(node).label())];
+                    fbcnn_telemetry::counter_add("predictor_threshold_hits", &labels, hits);
+                    fbcnn_telemetry::counter_add("predictor_threshold_misses", &labels, misses);
                 }
                 predicted
             }

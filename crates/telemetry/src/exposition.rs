@@ -1,0 +1,307 @@
+//! A strict reader for the Prometheus-style text exposition the
+//! [`crate::Registry`] writes — used by CI and the tests to prove the
+//! dump parses back (well-formed `# TYPE` headers, samples, histogram
+//! series consistency).
+
+use std::fmt;
+
+/// One parsed sample line (`name{labels} value`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full series name, including any `_bucket`/`_sum`/`_count` suffix.
+    pub name: String,
+    /// Parsed label pairs, in file order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// Why an exposition failed to parse, with its 1-based line number
+/// (0 for file-level consistency violations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpositionError {
+    /// 1-based offending line, or 0 for whole-file violations.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ExpositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "malformed exposition: {}", self.message)
+        } else {
+            write!(
+                f,
+                "malformed exposition line {}: {}",
+                self.line, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for ExpositionError {}
+
+fn err(line: usize, message: impl Into<String>) -> ExpositionError {
+    ExpositionError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_labels(line_no: usize, block: &str) -> Result<Vec<(String, String)>, ExpositionError> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        let key = key.trim().to_string();
+        if !valid_name(&key) {
+            return Err(err(line_no, format!("bad label name `{key}`")));
+        }
+        if chars.next() != Some('"') {
+            return Err(err(line_no, "label value must be quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    _ => return Err(err(line_no, "bad escape in label value")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(err(line_no, "unterminated label value")),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => return Ok(labels),
+            Some(c) => {
+                return Err(err(
+                    line_no,
+                    format!("expected `,` between labels, got `{c}`"),
+                ))
+            }
+        }
+    }
+}
+
+fn parse_value(line_no: usize, raw: &str) -> Result<f64, ExpositionError> {
+    match raw {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => raw
+            .parse()
+            .map_err(|_| err(line_no, format!("bad sample value `{raw}`"))),
+    }
+}
+
+/// Parses (and validates) a Prometheus-style text exposition.
+///
+/// Checks, beyond per-line syntax: every sample's base metric carries a
+/// preceding `# TYPE` declaration; every histogram has `_bucket`, `_sum`
+/// and `_count` series; bucket series are cumulative (non-decreasing in
+/// `le` order) and the `le="+Inf"` bucket equals the `_count`.
+///
+/// # Errors
+///
+/// [`ExpositionError`] naming the first offending line.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, ExpositionError> {
+    let mut types: Vec<(String, String)> = Vec::new();
+    let mut samples = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+                if !valid_name(name) {
+                    return Err(err(line_no, format!("bad metric name `{name}` in TYPE")));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(err(line_no, format!("unknown metric type `{kind}`")));
+                }
+                if parts.next().is_some() {
+                    return Err(err(line_no, "trailing tokens after TYPE declaration"));
+                }
+                types.push((name.to_string(), kind.to_string()));
+            }
+            continue; // other comments (HELP etc.) are legal and ignored
+        }
+
+        // Sample line: name[{labels}] value
+        let (series, labels) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| err(line_no, "unterminated label block"))?;
+                (
+                    &line[..open],
+                    parse_labels(line_no, &line[open + 1..close])?,
+                )
+            }
+            None => {
+                let cut = line
+                    .find(char::is_whitespace)
+                    .ok_or_else(|| err(line_no, "sample line without a value"))?;
+                (&line[..cut], Vec::new())
+            }
+        };
+        if !valid_name(series) {
+            return Err(err(line_no, format!("bad series name `{series}`")));
+        }
+        let raw_value = line
+            .rsplit(char::is_whitespace)
+            .next()
+            .ok_or_else(|| err(line_no, "sample line without a value"))?;
+        let value = parse_value(line_no, raw_value)?;
+
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                series
+                    .strip_suffix(suffix)
+                    .filter(|base| types.iter().any(|(n, k)| n == base && k == "histogram"))
+            })
+            .unwrap_or(series);
+        if !types.iter().any(|(n, _)| n == base) {
+            return Err(err(
+                line_no,
+                format!("sample `{series}` has no TYPE declaration"),
+            ));
+        }
+        samples.push(Sample {
+            name: series.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    // Histogram series consistency.
+    for (name, kind) in types.iter().filter(|(_, k)| k == "histogram") {
+        debug_assert_eq!(kind, "histogram");
+        let count_series: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == format!("{name}_count"))
+            .collect();
+        if count_series.is_empty() {
+            return Err(err(0, format!("histogram `{name}` has no _count series")));
+        }
+        if !samples.iter().any(|s| s.name == format!("{name}_sum")) {
+            return Err(err(0, format!("histogram `{name}` has no _sum series")));
+        }
+        for count in count_series {
+            fn non_le(s: &Sample) -> Vec<&(String, String)> {
+                s.labels.iter().filter(|(k, _)| k != "le").collect()
+            }
+            let buckets: Vec<&Sample> = samples
+                .iter()
+                .filter(|s| s.name == format!("{name}_bucket") && non_le(s) == non_le(count))
+                .collect();
+            if buckets.is_empty() {
+                return Err(err(0, format!("histogram `{name}` has no _bucket series")));
+            }
+            let mut prev = 0.0f64;
+            for b in &buckets {
+                if b.value < prev {
+                    return Err(err(0, format!("histogram `{name}` buckets not cumulative")));
+                }
+                prev = b.value;
+            }
+            let inf = buckets.iter().find(|b| {
+                b.labels
+                    .iter()
+                    .any(|(k, v)| k == "le" && (v == "+Inf" || v == "inf"))
+            });
+            match inf {
+                Some(b) if b.value == count.value => {}
+                Some(_) => return Err(err(0, format!("histogram `{name}` +Inf bucket != _count"))),
+                None => return Err(err(0, format!("histogram `{name}` lacks a +Inf bucket"))),
+            }
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder as _, Registry};
+
+    #[test]
+    fn registry_dump_roundtrips() {
+        let r = Registry::new();
+        r.counter_add("skips", &[("layer", "conv2")], 42);
+        r.set_buckets("nd", &[2.0, 8.0]);
+        r.histogram_batch("nd", &[("layer", "conv2")], &[1.0, 5.0, 9.0]);
+        let samples = parse_exposition(&r.to_prometheus()).unwrap();
+        let skip = samples.iter().find(|s| s.name == "skips").unwrap();
+        assert_eq!(skip.value, 42.0);
+        assert_eq!(skip.labels, vec![("layer".into(), "conv2".into())]);
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "nd_count" && s.value == 3.0));
+    }
+
+    #[test]
+    fn undeclared_series_is_an_error() {
+        let e = parse_exposition("loose_metric 3\n").unwrap_err();
+        assert!(e.to_string().contains("no TYPE"), "{e}");
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(parse_exposition("# TYPE x wat\nx 1\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx{k=\"v} 1\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx notanumber\n").is_err());
+        assert!(parse_exposition("# TYPE x counter\nx\n").is_err());
+    }
+
+    #[test]
+    fn histogram_without_inf_bucket_is_an_error() {
+        let text = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 1\nh_sum 1.0\nh_count 2\n";
+        let e = parse_exposition(text).unwrap_err();
+        assert!(e.to_string().contains("+Inf"), "{e}");
+    }
+
+    #[test]
+    fn histogram_with_mismatched_inf_is_an_error() {
+        let text =
+            "# TYPE h histogram\nh_bucket{le=\"1.0\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1.0\nh_count 2\n";
+        let e = parse_exposition(text).unwrap_err();
+        assert!(e.to_string().contains("+Inf bucket != _count"), "{e}");
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let text = "# TYPE x counter\nx{k=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let samples = parse_exposition(text).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+}

@@ -15,6 +15,8 @@ EXPERIMENTS=(table01 table02 table03 motivation fig03 fig04 accuracy breakdown \
 for exp in "${EXPERIMENTS[@]}"; do
   echo "=== $exp $(date +%T) ==="
   cargo run -q -p fbcnn-bench --release --bin "$exp" -- \
-    "$@" --json "results/$exp.json" | tee "results/$exp.txt"
+    "$@" --json "results/$exp.json" \
+    --trace-out "results/$exp.trace.jsonl" \
+    --metrics-out "results/$exp.metrics.prom" | tee "results/$exp.txt"
 done
-echo "all experiments written to results/"
+echo "all experiments written to results/ (tables + JSON + telemetry traces)"

@@ -234,6 +234,78 @@ fn all_workers_killed_is_a_typed_error() {
     assert_eq!(result, Err(BayesError::AllSamplesFailed { requested: 4 }));
 }
 
+// -------------------------------------------------------------- telemetry
+//
+// The degradation paths must be observable: falling back (partially or
+// wholesale) increments the engine's fallback/degraded-run counters.
+// Assertions use >= rather than == because sibling tests in this binary
+// run concurrently and may record into whichever registry is installed.
+
+#[test]
+fn partial_fallback_under_fault_increments_the_fallback_counter() {
+    let mut engine = base_engine().clone();
+    let net = engine.network().clone();
+    FaultInjector::new(7).poison_thresholds(
+        engine.thresholds_mut(),
+        &net,
+        ThresholdFault::Saturate,
+    );
+    let input = probe_input(&engine, 11);
+    let rc = RobustConfig {
+        max_skip_rate: 0.05,    // every fast sample looks anomalous
+        canary_tolerance: 10.0, // but the canary stays quiet
+        ..RobustConfig::default()
+    };
+    let registry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let _guard = fast_bcnn::telemetry::install(registry.clone());
+    let (_, report) = engine
+        .predict_robust_with(&input, &rc)
+        .expect("per-sample fallback recovers");
+    assert_eq!(report.mode, fast_bcnn::DegradedMode::PartialFallback);
+    assert!(report.fallback_samples > 0);
+    assert!(
+        registry.counter_total("engine_fallback_samples") >= report.fallback_samples as u64,
+        "fallback counter lags the robust report"
+    );
+    assert!(
+        registry
+            .counter_value("engine_degraded_runs", &[("mode", "partial_fallback")])
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
+#[test]
+fn full_fallback_under_fault_is_counted_as_a_degraded_run() {
+    let mut engine = base_engine().clone();
+    let net = engine.network().clone();
+    FaultInjector::new(7).poison_thresholds(
+        engine.thresholds_mut(),
+        &net,
+        ThresholdFault::Saturate,
+    );
+    let input = probe_input(&engine, 12);
+    let rc = RobustConfig {
+        canary_tolerance: 0.0, // any fast/exact divergence trips the canary
+        ..RobustConfig::default()
+    };
+    let registry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let _guard = fast_bcnn::telemetry::install(registry.clone());
+    let (_, report) = engine
+        .predict_robust_with(&input, &rc)
+        .expect("wholesale fallback recovers");
+    assert_eq!(report.mode, fast_bcnn::DegradedMode::FullFallback);
+    assert_eq!(report.fallback_samples, engine.config().samples);
+    assert!(registry.counter_total("engine_fallback_samples") >= report.fallback_samples as u64);
+    assert!(registry.counter_total("engine_canary_trips") >= 1);
+    assert!(
+        registry
+            .counter_value("engine_degraded_runs", &[("mode", "full_fallback")])
+            .unwrap_or(0)
+            >= 1
+    );
+}
+
 // ------------------------------------------------------------ guard modes
 
 #[test]
