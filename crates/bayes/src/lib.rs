@@ -39,10 +39,12 @@ mod lfsr;
 pub mod mask;
 mod mc;
 pub mod metrics;
+mod seed;
 
 pub use bnet::{BayesianNetwork, SampleRun};
 pub use brng::{measured_drop_rate, Brng, SoftwareBernoulli};
 pub use error::BayesError;
 pub use lfsr::Lfsr32;
 pub use mask::DropoutMasks;
-pub use mc::{IsolatedRun, McDropout, McTrace, Prediction};
+pub use mc::{IsolatedRun, McDropout, McRequest, McTrace, Prediction};
+pub use seed::derive_request_seed;

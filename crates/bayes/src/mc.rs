@@ -54,6 +54,21 @@ pub struct IsolatedRun {
     pub failed: Vec<usize>,
 }
 
+/// One request of a batched exact MC-dropout run
+/// ([`McDropout::run_batch`]): an input plus its private mask seed.
+///
+/// In a serving layer the seed comes from
+/// [`crate::derive_request_seed`], which guarantees two requests in one
+/// batch never share an LFSR stream.
+#[derive(Debug, Clone, Copy)]
+pub struct McRequest<'a> {
+    /// The input image.
+    pub input: &'a Tensor,
+    /// The request's mask seed; sample `t` uses
+    /// `generate_masks(seed, t)` exactly as a standalone run would.
+    pub seed: u64,
+}
+
 /// Everything a complete MC-dropout run produced — the raw material for
 /// the characterization, prediction and accelerator experiments.
 ///
@@ -262,6 +277,115 @@ impl McDropout {
             prediction: Self::try_summarize(surviving)?,
             failed,
         })
+    }
+
+    /// Batched exact MC-dropout: serves every request's `T` samples from
+    /// one flattened work list, interleaving the `(request, sample)`
+    /// units across `threads` crossbeam-scoped workers — one worker may
+    /// finish request A's tail while another starts request B, so the
+    /// batch drains without per-request barriers. Each worker reuses its
+    /// own [`Workspace`] across all units it executes.
+    ///
+    /// **Composition invariance:** request `r`'s result depends only on
+    /// `(input_r, seed_r, T)` — sample `t` always uses the masks
+    /// `generate_masks(seed_r, t)` and rows are reassembled in order —
+    /// so the outcome is bit-identical to a standalone
+    /// `McDropout::new(T, seed_r).run(bnet, input_r)` regardless of
+    /// batch size, ordering, thread count, or which other requests share
+    /// the batch. The runner's own seed is not consulted; each request
+    /// carries its own (see [`crate::derive_request_seed`]).
+    ///
+    /// Every unit executes under `catch_unwind`, so a poisoned request
+    /// cannot take its batch-mates down: lost samples are reported per
+    /// request in [`IsolatedRun::failed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::Graph`] if any request's input does not fit
+    /// the network (checked up front, before any work runs) and
+    /// [`BayesError::AllSamplesFailed`] when some request loses every
+    /// sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_batch(
+        &self,
+        bnet: &BayesianNetwork,
+        requests: &[McRequest<'_>],
+        threads: usize,
+    ) -> Result<Vec<IsolatedRun>, BayesError> {
+        assert!(threads > 0, "need at least one worker thread");
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        for req in requests {
+            bnet.network().check_input(req.input)?;
+        }
+        let _span = fbcnn_telemetry::span_with("mc_run", || {
+            vec![
+                ("mode".into(), "batch".into()),
+                ("requests".into(), requests.len().to_string()),
+            ]
+        });
+        let units = requests.len() * self.t;
+        fbcnn_telemetry::counter_add("mc_samples", &[("path", "batch")], units as u64);
+        let threads = threads.min(units);
+        let mut rows: Vec<Option<Vec<f32>>> = vec![None; units];
+        let chunk_len = units.div_ceil(threads);
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for (worker, chunk) in rows.chunks_mut(chunk_len).enumerate() {
+                let base = worker * chunk_len;
+                scope.spawn(move |_| {
+                    let mut ws = Workspace::new();
+                    for (offset, slot) in chunk.iter_mut().enumerate() {
+                        let unit = base + offset;
+                        let (r, s) = (unit / self.t, unit % self.t);
+                        let req = &requests[r];
+                        let _sample = fbcnn_telemetry::span_with("mc_sample", || {
+                            vec![
+                                ("request".into(), r.to_string()),
+                                ("sample".into(), s.to_string()),
+                            ]
+                        });
+                        *slot = catch_unwind(AssertUnwindSafe(|| {
+                            let masks = bnet.generate_masks(req.seed, s);
+                            let run = bnet.forward_sample_ws(req.input, &masks, &mut ws);
+                            stats::softmax(run.logits())
+                        }))
+                        .ok();
+                        if slot.is_none() {
+                            // The panic may have torn the scratch buffers;
+                            // start the next unit clean.
+                            ws = Workspace::new();
+                        }
+                    }
+                });
+            }
+        });
+        if scope_result.is_err() {
+            return Err(BayesError::AllSamplesFailed { requested: units });
+        }
+        let mut out = Vec::with_capacity(requests.len());
+        for request_rows in rows.chunks(self.t) {
+            let failed: Vec<usize> = request_rows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, row)| row.is_none().then_some(i))
+                .collect();
+            if !failed.is_empty() {
+                fbcnn_telemetry::counter_add("mc_samples_failed", &[], failed.len() as u64);
+            }
+            let surviving: Vec<Vec<f32>> = request_rows.iter().flatten().cloned().collect();
+            if surviving.is_empty() {
+                return Err(BayesError::AllSamplesFailed { requested: self.t });
+            }
+            out.push(IsolatedRun {
+                prediction: Self::try_summarize(surviving)?,
+                failed,
+            });
+        }
+        Ok(out)
     }
 
     /// Runs `T` stochastic passes plus the pre-inference, keeping the full
@@ -495,6 +619,125 @@ mod tests {
             runner.run_parallel_isolated(&bnet, &bad, 2),
             Err(BayesError::Graph(_))
         ));
+    }
+
+    #[test]
+    fn batch_requests_match_standalone_runs_bit_for_bit() {
+        let (bnet, input) = setup();
+        let mut shifted = input.clone();
+        shifted.set(0, 0.9);
+        let runner = McDropout::new(5, 0); // runner seed is not consulted
+        let requests = [
+            McRequest {
+                input: &input,
+                seed: crate::derive_request_seed(77, 0),
+            },
+            McRequest {
+                input: &shifted,
+                seed: crate::derive_request_seed(77, 1),
+            },
+            McRequest {
+                input: &input,
+                seed: crate::derive_request_seed(77, 2),
+            },
+        ];
+        for threads in [1, 2, 4] {
+            let batch = runner.run_batch(&bnet, &requests, threads).unwrap();
+            assert_eq!(batch.len(), 3);
+            for (req, run) in requests.iter().zip(&batch) {
+                assert!(run.failed.is_empty());
+                let standalone = McDropout::new(5, req.seed).run(&bnet, req.input);
+                assert_eq!(
+                    run.prediction, standalone,
+                    "batch diverged from standalone at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_results_are_invariant_under_composition() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(3, 0);
+        let reqs: Vec<McRequest> = (0..4)
+            .map(|id| McRequest {
+                input: &input,
+                seed: crate::derive_request_seed(9, id),
+            })
+            .collect();
+        let full = runner.run_batch(&bnet, &reqs, 2).unwrap();
+        // Reversed ordering: request r's result only moves position.
+        let reversed: Vec<McRequest> = reqs.iter().rev().copied().collect();
+        let rev = runner.run_batch(&bnet, &reversed, 2).unwrap();
+        for (i, run) in full.iter().enumerate() {
+            assert_eq!(
+                run.prediction,
+                rev[3 - i].prediction,
+                "order changed result"
+            );
+        }
+        // A sub-batch: different batch-mates, same per-request result.
+        let sub = runner.run_batch(&bnet, &reqs[1..3], 2).unwrap();
+        assert_eq!(sub[0].prediction, full[1].prediction);
+        assert_eq!(sub[1].prediction, full[2].prediction);
+    }
+
+    #[test]
+    fn derived_request_seeds_yield_distinct_masks() {
+        // Regression for the batched-serving seed audit: with one user
+        // seed, every request id must draw its own LFSR streams — no two
+        // requests' masks may coincide for any (t, t') sample pair.
+        let (bnet, _) = setup();
+        let user_seed = 0xFB_C0DE;
+        let t = 4;
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..8u64 {
+            let seed = crate::derive_request_seed(user_seed, id);
+            for s in 0..t {
+                let masks = bnet.generate_masks(seed, s);
+                let bits: Vec<(usize, Vec<usize>)> = masks
+                    .iter()
+                    .map(|(node, m)| (node.0, m.iter_set().collect()))
+                    .collect();
+                assert!(
+                    seen.insert(bits),
+                    "request {id} sample {s} replayed another request's mask stream"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_input_before_running() {
+        let (bnet, input) = setup();
+        let bad = Tensor::zeros(Shape::new(3, 3, 3));
+        let runner = McDropout::new(3, 0);
+        let err = runner
+            .run_batch(
+                &bnet,
+                &[
+                    McRequest {
+                        input: &input,
+                        seed: 1,
+                    },
+                    McRequest {
+                        input: &bad,
+                        seed: 2,
+                    },
+                ],
+                2,
+            )
+            .unwrap_err();
+        assert!(matches!(err, BayesError::Graph(_)));
+    }
+
+    #[test]
+    fn empty_batch_is_ok_and_empty() {
+        let (bnet, _) = setup();
+        assert!(McDropout::new(3, 0)
+            .run_batch(&bnet, &[], 2)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

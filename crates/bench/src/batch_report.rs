@@ -1,0 +1,156 @@
+//! The `BENCH_batch.json` record shared by the `throughput` harness
+//! (writer) and the `bench_check` CI validator (reader).
+//!
+//! The record keeps raw nanosecond measurements alongside the derived
+//! throughputs so a reader can re-derive every ratio, and it carries the
+//! host's CPU count: on a single-CPU runner the speedup column is
+//! informational only and [`BatchBenchReport::validate`] applies the
+//! correctness-only acceptance documented in `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// One batch-size measurement point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// Requests in the batch.
+    pub batch_size: usize,
+    /// Wall-clock of the sequential `predict_robust_seeded` loop, ns.
+    pub sequential_ns: u64,
+    /// Wall-clock of the `BatchEngine::run_batch` call, ns.
+    pub batch_ns: u64,
+    /// Sequential requests per second.
+    pub sequential_rps: f64,
+    /// Batched requests per second.
+    pub batch_rps: f64,
+    /// `batch_rps / sequential_rps`.
+    pub speedup: f64,
+    /// Pre-inference cache hits inside the batch.
+    pub cache_hits: usize,
+    /// Pre-inference cache misses inside the batch.
+    pub cache_misses: usize,
+    /// Whether every batched result was bit-identical to its sequential
+    /// counterpart — the headline invariant, measured not assumed.
+    pub matched: bool,
+}
+
+/// The full `BENCH_batch.json` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchBenchReport {
+    /// MC sample count per request.
+    pub t: usize,
+    /// Worker threads of the batch engine.
+    pub threads: usize,
+    /// Master seed the per-request seeds were derived from.
+    pub seed: u64,
+    /// Whether the quick (smoke) configuration ran.
+    pub quick: bool,
+    /// Logical CPUs available on the measuring host.
+    pub cpus: usize,
+    /// One point per measured batch size, ascending.
+    pub points: Vec<BatchPoint>,
+}
+
+impl BatchBenchReport {
+    /// Validates the record for CI: every point must be bit-identical to
+    /// sequential and carry positive timings; on a multi-CPU host with
+    /// multiple worker threads, the largest measured batch must also
+    /// reach `min_speedup`. Returns a human-readable failure reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self, min_speedup: f64) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("no measurement points".into());
+        }
+        for p in &self.points {
+            if !p.matched {
+                return Err(format!(
+                    "batch size {}: results diverged from sequential",
+                    p.batch_size
+                ));
+            }
+            if p.sequential_ns == 0 || p.batch_ns == 0 {
+                return Err(format!("batch size {}: zero timing", p.batch_size));
+            }
+        }
+        // The throughput target only binds when parallel hardware and a
+        // parallel configuration are actually present; a 1-CPU container
+        // passes on correctness alone (see EXPERIMENTS.md).
+        if self.cpus >= 4 && self.threads >= 4 && !self.quick {
+            let Some(widest) = self.points.iter().max_by_key(|p| p.batch_size) else {
+                return Err("no measurement points".into());
+            };
+            if widest.batch_size >= 8 && widest.speedup < min_speedup {
+                return Err(format!(
+                    "batch size {} reached {:.2}x, target {min_speedup:.2}x",
+                    widest.batch_size, widest.speedup
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(batch_size: usize, speedup: f64, matched: bool) -> BatchPoint {
+        BatchPoint {
+            batch_size,
+            sequential_ns: 1_000_000,
+            batch_ns: (1_000_000.0 * batch_size as f64 / speedup) as u64,
+            sequential_rps: 1000.0,
+            batch_rps: 1000.0 * speedup,
+            speedup,
+            cache_hits: 0,
+            cache_misses: batch_size,
+            matched,
+        }
+    }
+
+    fn report(cpus: usize, threads: usize, points: Vec<BatchPoint>) -> BatchBenchReport {
+        BatchBenchReport {
+            t: 8,
+            threads,
+            seed: 1,
+            quick: false,
+            cpus,
+            points,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = report(4, 4, vec![point(1, 1.0, true), point(8, 1.7, true)]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: BatchBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn divergence_fails_validation_everywhere() {
+        let r = report(1, 1, vec![point(8, 1.0, false)]);
+        assert!(r.validate(1.5).unwrap_err().contains("diverged"));
+    }
+
+    #[test]
+    fn single_cpu_passes_on_correctness_alone() {
+        let r = report(1, 1, vec![point(1, 1.0, true), point(8, 0.9, true)]);
+        assert!(r.validate(1.5).is_ok());
+    }
+
+    #[test]
+    fn multi_cpu_enforces_the_speedup_target() {
+        let slow = report(8, 4, vec![point(8, 1.1, true)]);
+        assert!(slow.validate(1.5).unwrap_err().contains("target"));
+        let fast = report(8, 4, vec![point(8, 1.8, true)]);
+        assert!(fast.validate(1.5).is_ok());
+    }
+
+    #[test]
+    fn empty_report_is_invalid() {
+        assert!(report(1, 1, vec![]).validate(1.5).is_err());
+    }
+}

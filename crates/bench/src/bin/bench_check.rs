@@ -1,0 +1,64 @@
+//! CI validator for `BENCH_batch.json`: proves the record written by the
+//! `throughput` harness parses back through the shared
+//! [`fbcnn_bench::BatchBenchReport`] schema and passes its acceptance
+//! rules — every point bit-identical to sequential, positive timings, and
+//! (only on a multi-CPU host running multiple worker threads) the
+//! batch-size ≥ 8 speedup target. Exits non-zero on missing, malformed or
+//! failing records.
+//!
+//! Usage: `bench_check <BENCH_batch.json> [min_speedup]`
+
+use fbcnn_bench::BatchBenchReport;
+
+fn fail(msg: String) -> ! {
+    eprintln!("bench_check: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (path, min_speedup) = match args.as_slice() {
+        [_, path] => (path.clone(), 1.5),
+        [_, path, target] => match target.parse::<f64>() {
+            Ok(v) if v > 0.0 => (path.clone(), v),
+            _ => fail(format!(
+                "min_speedup must be a positive number, got `{target}`"
+            )),
+        },
+        _ => fail(format!(
+            "usage: bench_check <BENCH_batch.json> [min_speedup] (got {} args)",
+            args.len() - 1
+        )),
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => fail(format!("{path}: {e}")),
+    };
+    let report: BatchBenchReport = match serde_json::from_str(&text) {
+        Ok(report) => report,
+        Err(e) => fail(format!("{path}: malformed record: {e}")),
+    };
+    if let Err(reason) = report.validate(min_speedup) {
+        fail(format!("{path}: {reason}"));
+    }
+
+    let widest = report
+        .points
+        .iter()
+        .max_by_key(|p| p.batch_size)
+        .map(|p| format!("batch {} at {:.2}x", p.batch_size, p.speedup))
+        .unwrap_or_else(|| "no points".into());
+    println!(
+        "bench_check: ok — {} points (T = {}, {} threads, {} CPUs), {widest}{}",
+        report.points.len(),
+        report.t,
+        report.threads,
+        report.cpus,
+        if report.cpus < 4 {
+            " [single-CPU correctness-only acceptance]"
+        } else {
+            ""
+        },
+    );
+}

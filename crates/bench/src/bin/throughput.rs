@@ -1,0 +1,143 @@
+//! Batched-serving throughput harness: sequential `predict_robust_seeded`
+//! loop vs [`fast_bcnn::BatchEngine::run_batch`] across batch sizes.
+//!
+//! Emits `BENCH_batch.json` (override the path with `--json`); `--t`
+//! sets the per-request MC sample count, `--threads` the batch engine's
+//! worker count and `--quick` the smoke configuration CI runs. Every
+//! point re-checks the headline invariant — batched results bit-identical
+//! to the sequential ones — and the record carries the host CPU count so
+//! `bench_check` can apply the single-CPU correctness-only acceptance
+//! (see `EXPERIMENTS.md`).
+
+use fast_bcnn::{synth_input, BatchConfig, BatchEngine, BatchRequest, Engine, EngineConfig};
+use fbcnn_bench::{BatchBenchReport, BatchPoint};
+use fbcnn_nn::models::ModelKind;
+use std::time::Instant;
+
+/// Builds a queue of `n` requests cycling a few distinct inputs, the way
+/// a serving queue repeats popular inputs; repeats exercise the
+/// pre-inference cache.
+fn request_queue(engine: &Engine, n: usize) -> Vec<BatchRequest> {
+    let distinct = n.clamp(1, 4);
+    (0..n)
+        .map(|i| {
+            BatchRequest::new(
+                i as u64,
+                synth_input(engine.network().input_shape(), 11 + (i % distinct) as u64),
+            )
+        })
+        .collect()
+}
+
+fn measure(engine: &Engine, threads: usize, n: usize) -> BatchPoint {
+    let requests = request_queue(engine, n);
+
+    let sequential_start = Instant::now();
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|r| engine.predict_robust_seeded(&r.input, r.resolved_seed(engine.config().seed)))
+        .collect();
+    let sequential_ns = (sequential_start.elapsed().as_nanos() as u64).max(1);
+
+    let batch = BatchEngine::new(
+        engine.clone(),
+        BatchConfig {
+            threads,
+            ..BatchConfig::default()
+        },
+    );
+    let report = batch.run_batch(&requests);
+    let batch_ns = report.elapsed_ns.max(1);
+
+    let matched = report.outcomes.len() == sequential.len()
+        && report
+            .outcomes
+            .iter()
+            .zip(&sequential)
+            .all(|(b, s)| match (&b.result, s) {
+                (Ok(a), Ok(b)) => a == b,
+                (Err(_), Err(_)) => true,
+                _ => false,
+            });
+
+    BatchPoint {
+        batch_size: n,
+        sequential_ns,
+        batch_ns,
+        sequential_rps: n as f64 / (sequential_ns as f64 / 1e9),
+        batch_rps: n as f64 / (batch_ns as f64 / 1e9),
+        speedup: sequential_ns as f64 / batch_ns as f64,
+        cache_hits: report.cache_hits,
+        cache_misses: report.cache_misses,
+        matched,
+    }
+}
+
+fn main() {
+    let args = fbcnn_bench::parse_args();
+    let _telemetry = args.telemetry();
+    let quick = args.cfg.t <= 4;
+    let engine = Engine::new(EngineConfig {
+        samples: args.cfg.t,
+        seed: args.cfg.seed,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    });
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let sizes: &[usize] = if quick { &[1, 4, 8] } else { &[1, 2, 4, 8, 16] };
+
+    let points: Vec<BatchPoint> = sizes
+        .iter()
+        .map(|&n| measure(&engine, args.cfg.threads, n))
+        .collect();
+
+    let report = BatchBenchReport {
+        t: args.cfg.t,
+        threads: args.cfg.threads,
+        seed: args.cfg.seed,
+        quick,
+        cpus,
+        points,
+    };
+
+    println!(
+        "== batched serving throughput (B-LeNet-5, T = {}, {} threads, {} CPUs) ==",
+        report.t, report.threads, report.cpus
+    );
+    for p in &report.points {
+        println!(
+            "batch {:>3}: sequential {:>8.1} req/s | batch {:>8.1} req/s ({:.2}x) | \
+             cache {}/{} | bit-identical: {}",
+            p.batch_size,
+            p.sequential_rps,
+            p.batch_rps,
+            p.speedup,
+            p.cache_hits,
+            p.cache_hits + p.cache_misses,
+            if p.matched { "yes" } else { "NO" },
+        );
+    }
+    if report.cpus < 4 {
+        println!(
+            "note: {} CPU(s) — speedup is informational, correctness-only acceptance applies",
+            report.cpus
+        );
+    }
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_batch.json".into());
+    match fast_bcnn::report::save_json(&path, &report) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(reason) = report.validate(1.5) {
+        eprintln!("throughput: FAIL — {reason}");
+        std::process::exit(1);
+    }
+}

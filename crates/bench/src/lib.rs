@@ -18,6 +18,10 @@
 
 use fast_bcnn::experiments::ExpConfig;
 
+mod batch_report;
+
+pub use batch_report::{BatchBenchReport, BatchPoint};
+
 /// Command-line options shared by every harness binary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HarnessArgs {

@@ -6,6 +6,7 @@
 //! fastbcnn characterize [--model ...] [--samples N] [--full]
 //! fastbcnn train        [--epochs N] [--train-size N]
 //! fastbcnn observe      [--model ...] [--samples N] [--full]
+//! fastbcnn serve-batch  [--model ...] [--samples N] [--requests N] [--threads N] [--full]
 //! ```
 //!
 //! Every command additionally accepts `--trace-out <path>` and
@@ -16,8 +17,8 @@
 
 use fast_bcnn::report::{format_table, pct, speedup};
 use fast_bcnn::{
-    synth_input, BaselineSim, CnvlutinSim, Engine, EngineConfig, FastBcnnSim, HwConfig, IdealSim,
-    SkipMode,
+    synth_input, BaselineSim, BatchConfig, BatchEngine, BatchRequest, CnvlutinSim, Engine,
+    EngineConfig, FastBcnnSim, HwConfig, IdealSim, SkipMode,
 };
 use fbcnn_nn::models::{ModelKind, ModelScale};
 
@@ -28,6 +29,8 @@ struct Args {
     scale: ModelScale,
     epochs: usize,
     train_size: usize,
+    requests: usize,
+    threads: usize,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -42,6 +45,8 @@ fn parse() -> Result<Args, String> {
         scale: ModelScale::BENCH,
         epochs: 6,
         train_size: 400,
+        requests: 8,
+        threads: 1,
         trace_out: None,
         metrics_out: None,
     };
@@ -78,6 +83,21 @@ fn parse() -> Result<Args, String> {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .ok_or("--train-size needs a number")?;
+                i += 1;
+            }
+            "--requests" => {
+                args.requests = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--requests needs a number")?;
+                i += 1;
+            }
+            "--threads" => {
+                args.threads = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t: &usize| t > 0)
+                    .ok_or("--threads needs a number > 0")?;
                 i += 1;
             }
             "--full" => args.scale = ModelScale::FULL,
@@ -272,6 +292,98 @@ fn cmd_observe(args: &Args) {
     }
 }
 
+/// Serves a synthetic request queue through a [`BatchEngine`] and checks
+/// it against sequential `predict_robust_seeded` calls — a smoke-testable
+/// demonstration of the serving path's bit-identity contract.
+fn cmd_serve_batch(args: &Args) {
+    let registry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let guard = fast_bcnn::telemetry::install(registry.clone());
+    let engine = engine_for(args);
+    // Cycle a few distinct inputs so repeated ones exercise the
+    // pre-inference cache, as a real serving queue would.
+    let distinct = args.requests.clamp(1, 4);
+    let requests: Vec<BatchRequest> = (0..args.requests)
+        .map(|i| {
+            BatchRequest::new(
+                i as u64,
+                synth_input(engine.network().input_shape(), 7 + (i % distinct) as u64),
+            )
+        })
+        .collect();
+
+    let sequential_start = std::time::Instant::now();
+    let sequential: Vec<_> = requests
+        .iter()
+        .map(|r| engine.predict_robust_seeded(&r.input, r.resolved_seed(engine.config().seed)))
+        .collect();
+    let sequential_ns = sequential_start.elapsed().as_nanos() as u64;
+
+    let batch = BatchEngine::new(
+        engine,
+        BatchConfig {
+            threads: args.threads,
+            ..BatchConfig::default()
+        },
+    );
+    let report = batch.run_batch(&requests);
+    drop(guard);
+
+    let matched = report
+        .outcomes
+        .iter()
+        .zip(&sequential)
+        .filter(|(b, s)| match (&b.result, s) {
+            (Ok(a), Ok(b)) => a == b,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        })
+        .count();
+    println!(
+        "{} | T = {} | {} requests | {} threads",
+        args.model.bayesian_name(),
+        args.samples,
+        args.requests,
+        args.threads
+    );
+    println!(
+        "sequential: {:.1} ms | batch: {:.1} ms ({:.1} req/s)",
+        sequential_ns as f64 / 1e6,
+        report.elapsed_ns as f64 / 1e6,
+        report.throughput_rps()
+    );
+    println!(
+        "bit-identical to sequential: {matched}/{} | cache hits {} / misses {}",
+        report.depth, report.cache_hits, report.cache_misses
+    );
+    for outcome in &report.outcomes {
+        if let Err(e) = &outcome.result {
+            println!("request {} failed: {e}", outcome.id);
+        }
+    }
+    println!();
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(&registry).render()
+    );
+
+    if let Some(path) = &args.trace_out {
+        match registry.write_jsonl(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match registry.write_prometheus(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if matched != report.depth {
+        eprintln!("error: batch results diverged from sequential");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -280,9 +392,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // `observe` manages its own registry (it prints the digest before the
-    // exporters run); every other command uses the drop-to-export sink.
-    let _telemetry = if args.command == "observe" {
+    // `observe` and `serve-batch` manage their own registry (they print
+    // the digest before the exporters run); every other command uses the
+    // drop-to-export sink.
+    let _telemetry = if args.command == "observe" || args.command == "serve-batch" {
         None
     } else {
         fast_bcnn::telemetry::FileSink::new(args.trace_out.as_deref(), args.metrics_out.as_deref())
@@ -293,11 +406,13 @@ fn main() {
         "characterize" => cmd_characterize(&args),
         "train" => cmd_train(&args),
         "observe" => cmd_observe(&args),
+        "serve-batch" => cmd_serve_batch(&args),
         _ => {
             println!(
-                "usage: fastbcnn <demo|simulate|characterize|train|observe> \
+                "usage: fastbcnn <demo|simulate|characterize|train|observe|serve-batch> \
                  [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
-                 [--epochs N] [--train-size N] [--trace-out <path>] [--metrics-out <path>]"
+                 [--epochs N] [--train-size N] [--requests N] [--threads N] \
+                 [--trace-out <path>] [--metrics-out <path>]"
             );
         }
     }

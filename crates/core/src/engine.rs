@@ -317,6 +317,51 @@ impl Engine {
         self.predict_robust_with(input, &RobustConfig::default())
     }
 
+    /// [`Engine::predict_robust`] with an explicit mask seed instead of
+    /// the configured one — the per-request form the batched engine
+    /// compares against. `predict_robust(input)` is exactly
+    /// `predict_robust_seeded(input, config().seed)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::predict_robust_with`].
+    pub fn predict_robust_seeded(
+        &self,
+        input: &Tensor,
+        seed: u64,
+    ) -> Result<(Prediction, RobustReport), InferenceError> {
+        self.predict_robust_seeded_with(input, seed, &RobustConfig::default())
+    }
+
+    /// The fully explicit robust entry point: caller-chosen mask seed and
+    /// robustness knobs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::predict_robust_with`].
+    pub fn predict_robust_seeded_with(
+        &self,
+        input: &Tensor,
+        seed: u64,
+        rc: &RobustConfig,
+    ) -> Result<(Prediction, RobustReport), InferenceError> {
+        let _span = fbcnn_telemetry::span("predict_robust");
+        let net = self.network();
+        net.check_input(input)?;
+        self.thresholds.validate(net)?;
+        let fast = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
+        let mut ws = Workspace::new();
+        self.robust_core(&fast, input, seed, rc, &mut ws)
+    }
+
+    /// The shared immutable half of the skipping predictor (thresholds,
+    /// indicator maps, structural flags), ready to be `Arc`-shared across
+    /// requests by a serving layer. Built on demand so that threshold
+    /// mutations through [`Engine::thresholds_mut`] are always picked up.
+    pub fn predictor_shared(&self) -> fbcnn_predictor::PredictorShared {
+        fbcnn_predictor::PredictorShared::new(&self.bnet, self.thresholds.clone())
+    }
+
     /// Guarded, gracefully-degrading inference: runs the fast skipping
     /// path wherever it is healthy and falls back — per sample or, when
     /// the thresholds themselves are suspect, wholesale — to the exact
@@ -351,12 +396,28 @@ impl Engine {
         input: &Tensor,
         rc: &RobustConfig,
     ) -> Result<(Prediction, RobustReport), InferenceError> {
-        let _span = fbcnn_telemetry::span("predict_robust");
-        let net = self.network();
-        net.check_input(input)?;
-        self.thresholds.validate(net)?;
+        self.predict_robust_seeded_with(input, self.cfg.seed, rc)
+    }
 
-        let fast = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
+    /// The staged robust pipeline (pre-inference screening → canary →
+    /// guarded per-sample loop → early exit), operating on an already
+    /// validated input and an already constructed skipping predictor.
+    ///
+    /// This is the single implementation behind both the one-shot
+    /// [`Engine::predict_robust_with`] and the batched
+    /// [`crate::BatchEngine`]: because both routes execute this exact
+    /// code with the same `(input, seed, rc)`, a batched request is
+    /// bit-identical to its sequential counterpart by construction.
+    /// `ws` is caller-provided scratch (a serving layer pools it);
+    /// workspace reuse does not change results.
+    pub(crate) fn robust_core(
+        &self,
+        fast: &PredictiveInference<'_>,
+        input: &Tensor,
+        seed: u64,
+        rc: &RobustConfig,
+        ws: &mut Workspace,
+    ) -> Result<(Prediction, RobustReport), InferenceError> {
         for (node, act) in fast.pre_inference().activations.iter().enumerate() {
             if let Some(fault) = rc.guard.find_fault(node, act) {
                 // Both paths share these weights: nothing to fall back to.
@@ -370,12 +431,11 @@ impl Engine {
         }
 
         let requested = self.cfg.samples;
-        let mut ws = Workspace::new();
 
         // Canary: run sample 0 through both paths. The exact row is the
         // reference; a fast row that diverges beyond tolerance means the
         // thresholds are structurally fine but semantically poisoned.
-        let canary_masks = self.bnet.generate_masks(self.cfg.seed, 0);
+        let canary_masks = self.bnet.generate_masks(seed, 0);
         let exact_probs = stats::softmax(self.bnet.forward_sample(input, &canary_masks).logits());
         let mut full_fallback = false;
         if ActivationGuard::probs_are_sane(&exact_probs) {
@@ -407,7 +467,7 @@ impl Engine {
         let mut stable = 0usize;
 
         for s in 0..requested {
-            let masks = self.bnet.generate_masks(self.cfg.seed, s);
+            let masks = self.bnet.generate_masks(seed, s);
             let mut row: Option<Vec<f32>> = None;
 
             if !full_fallback {
@@ -428,7 +488,7 @@ impl Engine {
                 fbcnn_telemetry::counter_add("engine_fallback_samples", &[], 1);
                 match self
                     .bnet
-                    .forward_sample_checked(input, &masks, &mut ws, &rc.guard)
+                    .forward_sample_checked(input, &masks, &mut *ws, &rc.guard)
                 {
                     Ok((run, repaired)) => {
                         repaired_values += repaired;

@@ -29,6 +29,7 @@
 //! assert!(stats.skip_rate() > 0.0);
 //! ```
 
+mod batch;
 mod engine;
 mod error;
 pub mod experiments;
@@ -37,6 +38,7 @@ pub mod io;
 pub mod report;
 mod telemetry_report;
 
+pub use batch::{BatchConfig, BatchEngine, BatchOutcome, BatchReport, BatchRequest};
 pub use engine::{synth_input, DegradedMode, Engine, EngineConfig, RobustConfig, RobustReport};
 pub use error::{EngineError, InferenceError};
 pub use faults::{BitFlip, FaultInjector, ThresholdFault};

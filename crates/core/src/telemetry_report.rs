@@ -49,6 +49,13 @@ pub struct TelemetryReport {
     pub early_exits: u64,
     /// `engine_degraded_runs` by mode label.
     pub degraded_runs: Vec<(String, u64)>,
+    /// `batch_requests` total — requests served through a
+    /// [`crate::BatchEngine`].
+    pub batch_requests: u64,
+    /// `batch_cache_hits` total — pre-inference cache hits.
+    pub batch_cache_hits: u64,
+    /// `batch_cache_misses` total — pre-inference cache misses.
+    pub batch_cache_misses: u64,
 }
 
 impl TelemetryReport {
@@ -93,6 +100,20 @@ impl TelemetryReport {
             lost_samples: registry.counter_total("engine_lost_samples"),
             early_exits: registry.counter_total("engine_early_exits"),
             degraded_runs: degraded.into_iter().collect(),
+            batch_requests: registry.counter_total("batch_requests"),
+            batch_cache_hits: registry.counter_total("batch_cache_hits"),
+            batch_cache_misses: registry.counter_total("batch_cache_misses"),
+        }
+    }
+
+    /// Fraction of batch-served requests whose pre-inference came from
+    /// the cache.
+    pub fn batch_cache_hit_rate(&self) -> f64 {
+        let total = self.batch_cache_hits + self.batch_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.batch_cache_hits as f64 / total as f64
         }
     }
 
@@ -150,6 +171,15 @@ impl TelemetryReport {
                 .collect();
             out.push_str(&format!("degraded runs: {}\n", modes.join(", ")));
         }
+        if self.batch_requests > 0 {
+            out.push_str(&format!(
+                "batch requests {} | pre-inference cache hits {} / misses {} ({:.1}% hit rate)\n",
+                self.batch_requests,
+                self.batch_cache_hits,
+                self.batch_cache_misses,
+                self.batch_cache_hit_rate() * 100.0,
+            ));
+        }
         out
     }
 }
@@ -189,7 +219,27 @@ mod tests {
     }
 
     #[test]
+    fn report_reads_batch_counters() {
+        let r = Registry::new();
+        r.counter_add("batch_requests", &[], 8);
+        r.counter_add("batch_cache_hits", &[], 6);
+        r.counter_add("batch_cache_misses", &[], 2);
+        let report = TelemetryReport::from_registry(&r);
+        assert_eq!(report.batch_requests, 8);
+        assert_eq!(report.batch_cache_hits, 6);
+        assert_eq!(report.batch_cache_misses, 2);
+        assert!((report.batch_cache_hit_rate() - 0.75).abs() < 1e-12);
+        let rendered = report.render();
+        assert!(rendered.contains("batch requests 8"));
+        assert!(rendered.contains("75.0% hit rate"));
+    }
+
+    #[test]
     fn empty_registry_renders_without_rows() {
+        // No batch activity → no batch line.
+        assert!(!TelemetryReport::from_registry(&Registry::new())
+            .render()
+            .contains("batch requests"));
         let report = TelemetryReport::from_registry(&Registry::new());
         assert_eq!(report.layers.len(), 0);
         assert_eq!(report.overall_skip_rate(), 0.0);

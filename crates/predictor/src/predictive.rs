@@ -5,6 +5,7 @@ use fbcnn_bayes::{BayesianNetwork, SampleRun};
 use fbcnn_nn::NnError;
 use fbcnn_tensor::{BitMask, Tensor};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a [`PredictiveInference`] could not be constructed.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +39,137 @@ impl From<ThresholdError> for PredictorError {
     }
 }
 
+/// The *input-invariant* half of a skipping inference: thresholds,
+/// weight-polarity indicator maps and the structural upstream-dropout
+/// flags. None of these depend on the input image, so one instance can
+/// be built per engine and shared (behind an [`Arc`]) across every
+/// request a serving layer handles — the cross-request amortization the
+/// batched engine exploits.
+#[derive(Debug, Clone)]
+pub struct PredictorShared {
+    thresholds: ThresholdSet,
+    indicators: PolarityIndicators,
+    /// Per node: whether its inputs carry dropout (structural, so it is
+    /// resolved once with probe masks instead of per sample).
+    upstream_dropout: Vec<bool>,
+}
+
+impl PredictorShared {
+    /// Profiles the network's kernels and resolves the structural
+    /// upstream-dropout flags — work that is identical for every input.
+    pub fn new(bnet: &BayesianNetwork, thresholds: ThresholdSet) -> Self {
+        let indicators = PolarityIndicators::from_network(bnet.network());
+        let probe = bnet.generate_masks(0, 0);
+        let upstream_dropout = bnet
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| crate::counting::input_drop_mask(bnet.network(), &probe, n.id()).is_some())
+            .collect();
+        Self {
+            thresholds,
+            indicators,
+            upstream_dropout,
+        }
+    }
+
+    /// Fallible constructor: validates the threshold set first.
+    ///
+    /// # Errors
+    ///
+    /// [`PredictorError::Thresholds`] when the set fails
+    /// [`ThresholdSet::validate`].
+    pub fn try_new(
+        bnet: &BayesianNetwork,
+        thresholds: ThresholdSet,
+    ) -> Result<Self, PredictorError> {
+        thresholds.validate(bnet.network())?;
+        Ok(Self::new(bnet, thresholds))
+    }
+
+    /// The thresholds this state was built from.
+    pub fn thresholds(&self) -> &ThresholdSet {
+        &self.thresholds
+    }
+}
+
+/// The *per-input* half of a skipping inference: the input itself, its
+/// dropout-free pre-inference and the derived zero-neuron indexes.
+///
+/// Deterministic in the input, so a serving layer may cache instances by
+/// [`PreparedInput::fingerprint`] and reuse them across requests that
+/// repeat an input — the cached pre-inference is bit-identical to a
+/// freshly computed one.
+#[derive(Debug, Clone)]
+pub struct PreparedInput {
+    input: Tensor,
+    pre: SampleRun,
+    zero_masks: Vec<Option<BitMask>>,
+}
+
+impl PreparedInput {
+    /// Runs the pre-inference and records the zero-neuron indexes.
+    pub fn new(bnet: &BayesianNetwork, input: &Tensor) -> Self {
+        let _phase =
+            fbcnn_telemetry::span_with("phase", || vec![("stage".into(), "pre_inference".into())]);
+        let pre = bnet.forward_deterministic(input);
+        let zero_masks = bnet
+            .network()
+            .nodes()
+            .iter()
+            .map(|n| {
+                n.layer()
+                    .filter(|l| l.is_conv())
+                    .map(|_| pre.activations[n.id().0].zero_mask())
+            })
+            .collect();
+        Self {
+            input: input.clone(),
+            pre,
+            zero_masks,
+        }
+    }
+
+    /// The input this state was prepared for.
+    pub fn input(&self) -> &Tensor {
+        &self.input
+    }
+
+    /// The recorded pre-inference.
+    pub fn pre_inference(&self) -> &SampleRun {
+        &self.pre
+    }
+
+    /// 64-bit FNV-1a over the input's shape and exact f32 bit patterns —
+    /// the cache key of a pre-inference cache. Two bit-identical inputs
+    /// always collide (that is the point); two different inputs collide
+    /// with probability ~2⁻⁶⁴, and a careful cache confirms with
+    /// [`PreparedInput::matches`] before reuse.
+    pub fn fingerprint(input: &Tensor) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        let shape = input.shape();
+        eat(shape.channels() as u64);
+        eat(shape.height() as u64);
+        eat(shape.width() as u64);
+        for &v in input.as_slice() {
+            eat(u64::from(v.to_bits()));
+        }
+        h
+    }
+
+    /// Whether this prepared state was built for exactly `input`
+    /// (bit-level comparison — the fingerprint-collision backstop).
+    pub fn matches(&self, input: &Tensor) -> bool {
+        self.input == *input
+    }
+}
+
 /// The functional skipping inference — the paper's `PredictInference`.
 ///
 /// Construction runs the dropout-free *pre-inference* once and records
@@ -56,17 +188,18 @@ impl From<ThresholdError> for PredictorError {
 /// [`BayesianNetwork::forward_sample`]; the only deviations are
 /// mispredicted unaffected neurons forced to zero — the source of the
 /// (small) accuracy loss the paper measures.
+///
+/// Internally the state is split into the input-invariant
+/// [`PredictorShared`] and the per-input [`PreparedInput`], both behind
+/// [`Arc`]s: [`PredictiveInference::new`] builds both on the spot, while
+/// a serving layer reuses one shared state and a cache of prepared
+/// inputs via [`PredictiveInference::from_parts`]. The two construction
+/// routes yield bit-identical inferences.
 #[derive(Debug, Clone)]
 pub struct PredictiveInference<'a> {
     bnet: &'a BayesianNetwork,
-    input: Tensor,
-    thresholds: ThresholdSet,
-    indicators: PolarityIndicators,
-    pre: SampleRun,
-    zero_masks: Vec<Option<BitMask>>,
-    /// Per node: whether its inputs carry dropout (structural, so it is
-    /// resolved once with probe masks instead of per sample).
-    upstream_dropout: Vec<bool>,
+    shared: Arc<PredictorShared>,
+    prepared: Arc<PreparedInput>,
 }
 
 /// The outcome of one skipping sample inference.
@@ -96,35 +229,25 @@ impl SkippingRun {
 impl<'a> PredictiveInference<'a> {
     /// Prepares the engine: runs the pre-inference and profiles kernels.
     pub fn new(bnet: &'a BayesianNetwork, input: &Tensor, thresholds: ThresholdSet) -> Self {
-        let _phase =
-            fbcnn_telemetry::span_with("phase", || vec![("stage".into(), "pre_inference".into())]);
-        let indicators = PolarityIndicators::from_network(bnet.network());
-        let pre = bnet.forward_deterministic(input);
-        let zero_masks = bnet
-            .network()
-            .nodes()
-            .iter()
-            .map(|n| {
-                n.layer()
-                    .filter(|l| l.is_conv())
-                    .map(|_| pre.activations[n.id().0].zero_mask())
-            })
-            .collect();
-        let probe = bnet.generate_masks(0, 0);
-        let upstream_dropout = bnet
-            .network()
-            .nodes()
-            .iter()
-            .map(|n| crate::counting::input_drop_mask(bnet.network(), &probe, n.id()).is_some())
-            .collect();
+        Self::from_parts(
+            bnet,
+            Arc::new(PredictorShared::new(bnet, thresholds)),
+            Arc::new(PreparedInput::new(bnet, input)),
+        )
+    }
+
+    /// Assembles an inference from pre-built halves — the serving-layer
+    /// entry point that shares one [`PredictorShared`] across requests
+    /// and reuses cached [`PreparedInput`]s for repeated inputs.
+    pub fn from_parts(
+        bnet: &'a BayesianNetwork,
+        shared: Arc<PredictorShared>,
+        prepared: Arc<PreparedInput>,
+    ) -> Self {
         Self {
             bnet,
-            input: input.clone(),
-            thresholds,
-            indicators,
-            pre,
-            zero_masks,
-            upstream_dropout,
+            shared,
+            prepared,
         }
     }
 
@@ -154,17 +277,27 @@ impl<'a> PredictiveInference<'a> {
 
     /// The recorded pre-inference.
     pub fn pre_inference(&self) -> &SampleRun {
-        &self.pre
+        &self.prepared.pre
     }
 
     /// Per-node zero-neuron indexes from the pre-inference.
     pub fn zero_masks(&self) -> &[Option<BitMask>] {
-        &self.zero_masks
+        &self.prepared.zero_masks
     }
 
     /// The thresholds in use.
     pub fn thresholds(&self) -> &ThresholdSet {
-        &self.thresholds
+        &self.shared.thresholds
+    }
+
+    /// The input-invariant half (thresholds, indicators, structure).
+    pub fn shared(&self) -> &Arc<PredictorShared> {
+        &self.shared
+    }
+
+    /// The per-input half (input, pre-inference, zero masks).
+    pub fn prepared(&self) -> &Arc<PreparedInput> {
+        &self.prepared
     }
 
     /// Runs a complete skipping MC-dropout inference: `t` sample passes
@@ -214,9 +347,9 @@ impl<'a> PredictiveInference<'a> {
             build_skip_maps(
                 net,
                 masks,
-                &self.zero_masks,
-                &self.indicators,
-                &self.thresholds,
+                &self.prepared.zero_masks,
+                &self.shared.indicators,
+                &self.shared.thresholds,
             )
         };
         if fbcnn_telemetry::enabled() {
@@ -241,17 +374,17 @@ impl<'a> PredictiveInference<'a> {
         }
         let _conv_phase =
             fbcnn_telemetry::span_with("phase", || vec![("stage".into(), "conv".into())]);
-        let activations = net.forward_with(&self.input, |net, node, ins| {
+        let activations = net.forward_with(&self.prepared.input, |net, node, ins| {
             let id = node.id();
             let Some(conv) = node.layer().and_then(|l| l.as_conv()) else {
                 return net.eval_node(node, ins);
             };
             let map = skip_maps[id.0].as_ref().expect("conv nodes have skip maps");
-            if !self.upstream_dropout[id.0] {
+            if !self.shared.upstream_dropout[id.0] {
                 // First-layer shortcut: inputs are identical to the
                 // pre-inference, so reuse its outputs and just apply the
                 // dropout bits.
-                let mut out = self.pre.activations[id.0].clone();
+                let mut out = self.prepared.pre.activations[id.0].clone();
                 out.apply_drop_mask(&map.dropped);
                 return out;
             }
@@ -415,6 +548,63 @@ mod tests {
             Err(PredictorError::Thresholds(
                 crate::ThresholdError::NotAConvNode { node: 0 }
             ))
+        ));
+    }
+
+    #[test]
+    fn from_parts_is_bit_identical_to_new() {
+        // The serving layer builds inferences from one shared state and a
+        // cached prepared input; that route must reproduce `new` exactly.
+        let (bnet, input) = setup();
+        let thresholds = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        let direct = PredictiveInference::new(&bnet, &input, thresholds.clone());
+        let shared = std::sync::Arc::new(PredictorShared::new(&bnet, thresholds));
+        let prepared = std::sync::Arc::new(PreparedInput::new(&bnet, &input));
+        let assembled = PredictiveInference::from_parts(&bnet, shared.clone(), prepared.clone());
+        for t in 0..3 {
+            let masks = bnet.generate_masks(31, t);
+            let a = direct.run_sample(&masks);
+            let b = assembled.run_sample(&masks);
+            assert_eq!(a.activations, b.activations, "sample {t} diverged");
+            assert_eq!(a.skip_maps, b.skip_maps, "sample {t} skip maps diverged");
+        }
+        // The same Arcs serve a second request without re-preparation.
+        let again = PredictiveInference::from_parts(&bnet, shared, prepared);
+        let masks = bnet.generate_masks(31, 0);
+        assert_eq!(
+            again.run_sample(&masks).activations,
+            direct.run_sample(&masks).activations
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_inputs_and_matches_confirms() {
+        let (bnet, input) = setup();
+        let a = PreparedInput::fingerprint(&input);
+        assert_eq!(a, PreparedInput::fingerprint(&input), "not deterministic");
+        let mut other = input.clone();
+        other.set(0, other.at(0) + 0.25);
+        assert_ne!(a, PreparedInput::fingerprint(&other));
+        let prepared = PreparedInput::new(&bnet, &input);
+        assert!(prepared.matches(&input));
+        assert!(!prepared.matches(&other));
+        assert_eq!(prepared.input(), &input);
+        assert_eq!(
+            prepared.pre_inference().activations.len(),
+            bnet.network().len()
+        );
+    }
+
+    #[test]
+    fn shared_state_validates_thresholds() {
+        let (bnet, input) = setup();
+        let good = ThresholdOptimizer::default().optimize(&bnet, &input, 3);
+        assert!(PredictorShared::try_new(&bnet, good.clone()).is_ok());
+        let mut truncated = good;
+        truncated.insert(bnet.network().conv_nodes()[1], vec![7; 3]);
+        assert!(matches!(
+            PredictorShared::try_new(&bnet, truncated),
+            Err(PredictorError::Thresholds(_))
         ));
     }
 
