@@ -32,6 +32,9 @@ pub enum BayesError {
     },
     /// A summary was requested over zero surviving samples.
     NoSamples,
+    /// A cancellable run's deadline expired before even one sample
+    /// completed (partial results require at least one row).
+    Expired,
     /// Per-sample probability rows disagree on the class count.
     InconsistentClasses,
 }
@@ -56,6 +59,9 @@ impl fmt::Display for BayesError {
                 write!(f, "all {requested} MC samples failed")
             }
             BayesError::NoSamples => write!(f, "no samples to summarize"),
+            BayesError::Expired => {
+                write!(f, "deadline expired before any sample completed")
+            }
             BayesError::InconsistentClasses => {
                 write!(f, "inconsistent class counts across samples")
             }
@@ -94,6 +100,7 @@ mod tests {
             BayesError::Numeric(NumericFault::NotFinite { node: 0, index: 4 }),
             BayesError::AllSamplesFailed { requested: 8 },
             BayesError::NoSamples,
+            BayesError::Expired,
             BayesError::InconsistentClasses,
         ];
         for c in cases {

@@ -34,6 +34,7 @@
 
 mod bnet;
 mod brng;
+mod cancel;
 mod error;
 mod lfsr;
 pub mod mask;
@@ -43,8 +44,9 @@ mod seed;
 
 pub use bnet::{BayesianNetwork, SampleRun};
 pub use brng::{measured_drop_rate, Brng, SoftwareBernoulli};
+pub use cancel::CancelToken;
 pub use error::BayesError;
 pub use lfsr::Lfsr32;
 pub use mask::DropoutMasks;
-pub use mc::{IsolatedRun, McDropout, McRequest, McTrace, Prediction};
+pub use mc::{IsolatedRun, McDropout, McRequest, McTrace, PartialRun, Prediction};
 pub use seed::derive_request_seed;

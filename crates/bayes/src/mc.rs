@@ -1,3 +1,4 @@
+use crate::cancel::CancelToken;
 use crate::mask::DropoutMasks;
 use crate::{metrics, BayesError, BayesianNetwork, SampleRun};
 use fbcnn_nn::Workspace;
@@ -52,6 +53,24 @@ pub struct IsolatedRun {
     /// Indices of samples whose inference panicked (empty on a clean
     /// run).
     pub failed: Vec<usize>,
+}
+
+/// The outcome of a deadline-capped MC-dropout run
+/// ([`McDropout::run_cancellable`]): the summary over the samples that
+/// completed before the token expired.
+///
+/// Because samples are i.i.d. and sample `t` always uses
+/// `generate_masks(seed, t)`, a run that completed `k < T` samples is
+/// *bit-identical* to a `McDropout::new(k, seed).run(..)` — a partial
+/// result is a smaller-T result, never a corrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialRun {
+    /// Summary over the completed samples.
+    pub prediction: Prediction,
+    /// Samples that completed before expiry.
+    pub completed: usize,
+    /// Whether the token expired before all `T` samples ran.
+    pub expired: bool,
 }
 
 /// One request of a batched exact MC-dropout run
@@ -124,6 +143,55 @@ impl McDropout {
             })
             .collect();
         Self::summarize(sample_probs)
+    }
+
+    /// Like [`McDropout::run`], but checks `cancel` before every sample:
+    /// when the token expires mid-run the completed rows are summarized
+    /// and returned as a [`PartialRun`] instead of being discarded.
+    ///
+    /// Rows are produced in the same order with the same masks as
+    /// [`McDropout::run`], so a run that completed `k` samples returns a
+    /// prediction bit-identical to `McDropout::new(k, seed).run(..)` —
+    /// the partial-T proptests pin this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::Graph`] when the input does not fit the
+    /// network and [`BayesError::Expired`] when the token expired before
+    /// even one sample completed (there is no partial result to return).
+    pub fn run_cancellable(
+        &self,
+        bnet: &BayesianNetwork,
+        input: &Tensor,
+        cancel: &CancelToken,
+    ) -> Result<PartialRun, BayesError> {
+        bnet.network().check_input(input)?;
+        let _span =
+            fbcnn_telemetry::span_with("mc_run", || vec![("mode".into(), "cancellable".into())]);
+        let mut ws = Workspace::new();
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(self.t);
+        let mut expired = false;
+        for t in 0..self.t {
+            if cancel.checkpoint() {
+                expired = true;
+                break;
+            }
+            let _sample =
+                fbcnn_telemetry::span_with("mc_sample", || vec![("sample".into(), t.to_string())]);
+            fbcnn_telemetry::counter_add("mc_samples", &[("path", "cancellable")], 1);
+            let masks = bnet.generate_masks(self.seed, t);
+            let run = bnet.forward_sample_ws(input, &masks, &mut ws);
+            rows.push(stats::softmax(run.logits()));
+        }
+        if rows.is_empty() {
+            return Err(BayesError::Expired);
+        }
+        let completed = rows.len();
+        Ok(PartialRun {
+            prediction: Self::try_summarize(rows)?,
+            completed,
+            expired,
+        })
     }
 
     /// Like [`McDropout::run`], but distributes the `T` independent
@@ -738,6 +806,53 @@ mod tests {
             .run_batch(&bnet, &[], 2)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn cancellable_run_without_limits_matches_run() {
+        let (bnet, input) = setup();
+        let runner = McDropout::new(5, 17);
+        let full = runner.run(&bnet, &input);
+        let partial = runner
+            .run_cancellable(&bnet, &input, &CancelToken::never())
+            .unwrap();
+        assert!(!partial.expired);
+        assert_eq!(partial.completed, 5);
+        assert_eq!(partial.prediction, full);
+    }
+
+    #[test]
+    fn budgeted_run_equals_smaller_t_run_bitwise() {
+        let (bnet, input) = setup();
+        let t = 6;
+        for k in 1..t {
+            let partial = McDropout::new(t, 31)
+                .run_cancellable(&bnet, &input, &CancelToken::with_sample_budget(k as u64))
+                .unwrap();
+            assert!(partial.expired, "budget {k} must expire a {t}-sample run");
+            assert_eq!(partial.completed, k);
+            let reference = McDropout::new(k, 31).run(&bnet, &input);
+            assert_eq!(partial.prediction, reference, "k = {k} diverged");
+        }
+    }
+
+    #[test]
+    fn zero_budget_is_a_typed_expiry() {
+        let (bnet, input) = setup();
+        let err = McDropout::new(4, 2)
+            .run_cancellable(&bnet, &input, &CancelToken::with_sample_budget(0))
+            .unwrap_err();
+        assert_eq!(err, BayesError::Expired);
+    }
+
+    #[test]
+    fn cancellable_run_rejects_bad_input_shape() {
+        let (bnet, _) = setup();
+        let bad = Tensor::zeros(Shape::new(3, 3, 3));
+        assert!(matches!(
+            McDropout::new(4, 2).run_cancellable(&bnet, &bad, &CancelToken::never()),
+            Err(BayesError::Graph(_))
+        ));
     }
 
     #[test]

@@ -1,41 +1,49 @@
-//! CI validator for `BENCH_batch.json`: proves the record written by the
-//! `throughput` harness parses back through the shared
-//! [`fbcnn_bench::BatchBenchReport`] schema and passes its acceptance
-//! rules — every point bit-identical to sequential, positive timings, and
-//! (only on a multi-CPU host running multiple worker threads) the
-//! batch-size ≥ 8 speedup target. Exits non-zero on missing, malformed or
-//! failing records.
+//! CI validator for bench records. Dispatches on content:
 //!
-//! Usage: `bench_check <BENCH_batch.json> [min_speedup]`
+//! * a record carrying `"schema": "chaos-v1"` parses back through
+//!   [`fbcnn_bench::ChaosBenchReport`] and must pass its acceptance rules
+//!   — accounting reconciled exactly, every loss typed, nothing
+//!   abandoned, and (for full soaks) the ≥ 200-request / ≥ 5-class
+//!   coverage floors;
+//! * anything else parses as the `throughput` harness's
+//!   [`fbcnn_bench::BatchBenchReport`] — every point bit-identical to
+//!   sequential, positive timings, and (only on a multi-CPU host running
+//!   multiple worker threads) the batch-size ≥ 8 speedup target.
+//!
+//! Exits non-zero on missing, malformed or failing records.
+//!
+//! Usage: `bench_check <BENCH_batch.json | BENCH_chaos.json> [min_speedup]`
 
-use fbcnn_bench::BatchBenchReport;
+use fbcnn_bench::{BatchBenchReport, ChaosBenchReport, CHAOS_SCHEMA};
 
 fn fail(msg: String) -> ! {
     eprintln!("bench_check: {msg}");
     std::process::exit(1);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (path, min_speedup) = match args.as_slice() {
-        [_, path] => (path.clone(), 1.5),
-        [_, path, target] => match target.parse::<f64>() {
-            Ok(v) if v > 0.0 => (path.clone(), v),
-            _ => fail(format!(
-                "min_speedup must be a positive number, got `{target}`"
-            )),
-        },
-        _ => fail(format!(
-            "usage: bench_check <BENCH_batch.json> [min_speedup] (got {} args)",
-            args.len() - 1
-        )),
+fn check_chaos(path: &str, text: &str) {
+    let report: ChaosBenchReport = match serde_json::from_str(text) {
+        Ok(report) => report,
+        Err(e) => fail(format!("{path}: malformed chaos record: {e}")),
     };
+    if let Err(reason) = report.validate() {
+        fail(format!("{path}: {reason}"));
+    }
+    println!(
+        "bench_check: ok — chaos soak seed {}: {} requests over {} classes, \
+         {} ok / {} failed, {} transitions, reconciled exactly{}",
+        report.seed,
+        report.requests_total,
+        report.classes.len(),
+        report.ok_total,
+        report.failed_total,
+        report.transitions.len(),
+        if report.quick { " [quick smoke]" } else { "" },
+    );
+}
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) => fail(format!("{path}: {e}")),
-    };
-    let report: BatchBenchReport = match serde_json::from_str(&text) {
+fn check_batch(path: &str, text: &str, min_speedup: f64) {
+    let report: BatchBenchReport = match serde_json::from_str(text) {
         Ok(report) => report,
         Err(e) => fail(format!("{path}: malformed record: {e}")),
     };
@@ -61,4 +69,34 @@ fn main() {
             ""
         },
     );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (path, min_speedup) = match args.as_slice() {
+        [_, path] => (path.clone(), 1.5),
+        [_, path, target] => match target.parse::<f64>() {
+            Ok(v) if v > 0.0 => (path.clone(), v),
+            _ => fail(format!(
+                "min_speedup must be a positive number, got `{target}`"
+            )),
+        },
+        _ => fail(format!(
+            "usage: bench_check <BENCH_batch.json | BENCH_chaos.json> [min_speedup] \
+             (got {} args)",
+            args.len() - 1
+        )),
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => fail(format!("{path}: {e}")),
+    };
+    // The chaos record is the only bench artifact carrying a schema tag;
+    // its presence in the text decides which parser's errors to surface.
+    if text.contains(&format!("\"{CHAOS_SCHEMA}\"")) {
+        check_chaos(&path, &text);
+    } else {
+        check_batch(&path, &text, min_speedup);
+    }
 }

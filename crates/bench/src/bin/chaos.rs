@@ -1,0 +1,114 @@
+//! Chaos soak harness: hammers the resilient serving layer
+//! ([`fast_bcnn::ResilientBatchEngine`]) with seeded fault rounds and
+//! proves the robustness contract — zero hangs, zero aborts, every loss
+//! typed, and the breaker/shed/retry/deadline accounting reconciled
+//! exactly against the telemetry counters.
+//!
+//! Emits `BENCH_chaos.json` (override the path with `--json`); `--seed`
+//! sets the campaign seed and `--quick` the CI smoke configuration
+//! (deterministic fault classes only). The campaign records into its own
+//! private telemetry registry, so `--trace-out` / `--metrics-out` are
+//! exported from that registry after the run rather than through the
+//! global recorder slot.
+
+use fast_bcnn::chaos::{run_chaos_with_registry, ChaosConfig};
+use fbcnn_bench::ChaosBenchReport;
+
+fn main() {
+    let args = fbcnn_bench::parse_args();
+    let quick = args.cfg.t <= 4;
+    let cfg = if quick {
+        ChaosConfig::quick(args.cfg.seed)
+    } else {
+        ChaosConfig::full(args.cfg.seed)
+    };
+
+    let (report, registry) = run_chaos_with_registry(&cfg);
+    let bench = ChaosBenchReport::from_report(&report, quick);
+
+    println!(
+        "== chaos soak (seed {}, {} rounds, {} requests, {} fault classes) ==",
+        bench.seed,
+        bench.rounds.len(),
+        bench.requests_total,
+        bench.classes.len()
+    );
+    for r in &bench.rounds {
+        println!(
+            "round {:<18} offered {:>3} | ok {:>3} | failed {:>3} | expired {:>3} | \
+             shed {:>3} | retries {:>3}",
+            r.class, r.offered, r.ok, r.failed, r.expired, r.shed, r.retries
+        );
+    }
+    println!(
+        "totals: ok {} / failed {} | shed {} | degraded {} | expired {} | \
+         retries {} (healed {}, exhausted {}) | forced exact {} | probes {}",
+        bench.ok_total,
+        bench.failed_total,
+        bench.shed,
+        bench.degraded,
+        bench.expired,
+        bench.retries,
+        bench.retry_successes,
+        bench.retry_exhausted,
+        bench.forced_exact,
+        bench.probes,
+    );
+    let path_of = |(from, to): &(String, String)| format!("{from}->{to}");
+    println!(
+        "breaker: {} (transitions: {})",
+        bench.final_breaker_state,
+        if bench.transitions.is_empty() {
+            "none".to_string()
+        } else {
+            bench
+                .transitions
+                .iter()
+                .map(path_of)
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    );
+    for (reason, n) in &bench.loss_reasons {
+        println!("loss[{reason}] = {n}");
+    }
+
+    // The campaign recorded into its own registry; export the artifacts
+    // directly from it instead of installing a global FileSink (the
+    // install lock is not reentrant across `run_chaos`).
+    if let Some(p) = &args.trace_out {
+        match registry.write_jsonl(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(p) = &args.metrics_out {
+        match registry.write_prometheus(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_chaos.json".into());
+    match fast_bcnn::report::save_json(&path, &bench) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(reason) = bench.validate() {
+        eprintln!("chaos: FAIL — {reason}");
+        std::process::exit(1);
+    }
+    println!("chaos: ok — every loss typed, accounting reconciled exactly");
+}

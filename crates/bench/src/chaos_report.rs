@@ -1,0 +1,322 @@
+//! The `BENCH_chaos.json` record shared by the `chaos` soak harness
+//! (writer) and the `bench_check` CI validator (reader).
+//!
+//! Unlike `BENCH_batch.json` this record carries a `schema` tag
+//! ([`CHAOS_SCHEMA`]) so `bench_check` can tell the two apart from the
+//! file contents alone. The record flattens the in-memory
+//! `fast_bcnn::chaos::ChaosReport` into plain serializable fields and
+//! keeps both halves of the soak's acceptance evidence: the reconciliation
+//! verdict computed at run time and the raw quantities a reader needs to
+//! re-derive it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The `schema` tag every chaos record carries.
+pub const CHAOS_SCHEMA: &str = "chaos-v1";
+
+/// One fault round of the soak.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosRound {
+    /// The fault class applied (`ChaosClass::name`).
+    pub class: String,
+    /// Requests offered this round.
+    pub offered: usize,
+    /// Requests that produced a prediction.
+    pub ok: usize,
+    /// Requests that failed with a typed error.
+    pub failed: usize,
+    /// Requests whose sample budget expired (flagged partials).
+    pub expired: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Retry attempts spent this round.
+    pub retries: u64,
+}
+
+/// The full `BENCH_chaos.json` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosBenchReport {
+    /// Always [`CHAOS_SCHEMA`]; lets `bench_check` dispatch on content.
+    pub schema: String,
+    /// The campaign seed — replaying with it reproduces the run.
+    pub seed: u64,
+    /// Whether the quick (smoke) configuration ran; the full-soak floors
+    /// in [`ChaosBenchReport::validate`] only bind when this is false.
+    pub quick: bool,
+    /// Requests offered across all rounds.
+    pub requests_total: usize,
+    /// Requests that produced a prediction.
+    pub ok_total: usize,
+    /// Requests that failed with a typed error.
+    pub failed_total: usize,
+    /// Distinct fault classes exercised, in roster order.
+    pub classes: Vec<String>,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests admitted with a reduced sample budget.
+    pub degraded: usize,
+    /// Requests whose deadline/sample budget expired.
+    pub expired: usize,
+    /// Retry attempts spent.
+    pub retries: u64,
+    /// Requests healed by a retry.
+    pub retry_successes: u64,
+    /// Requests that exhausted their retry budget.
+    pub retry_exhausted: u64,
+    /// Requests served on the exact path by an open breaker.
+    pub forced_exact: u64,
+    /// Half-open probes issued.
+    pub probes: u64,
+    /// Watchdog requeues (0 on the sequential soak path).
+    pub requeues: u64,
+    /// Units abandoned after exhausting requeues — must be 0.
+    pub abandoned: u64,
+    /// Failed-request counts bucketed by typed reason.
+    pub loss_reasons: BTreeMap<String, u64>,
+    /// The breaker's full transition sequence, as `(from, to)` names.
+    pub transitions: Vec<(String, String)>,
+    /// The breaker state after the campaign.
+    pub final_breaker_state: String,
+    /// Snapshot of the resilience telemetry counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-round summaries, in order.
+    pub rounds: Vec<ChaosRound>,
+    /// Whether outcome/total/counter reconciliation passed at run time.
+    pub reconciled: bool,
+    /// The first reconciliation failure, when `reconciled` is false.
+    pub reconcile_error: Option<String>,
+    /// Wall-clock of the campaign, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ChaosBenchReport {
+    /// Flattens an in-memory campaign report into the JSON record,
+    /// stamping the reconciliation verdict computed against the live
+    /// telemetry snapshot.
+    pub fn from_report(report: &fast_bcnn::chaos::ChaosReport, quick: bool) -> Self {
+        let reconcile = report.reconcile();
+        let t = &report.totals;
+        Self {
+            schema: CHAOS_SCHEMA.to_string(),
+            seed: report.seed,
+            quick,
+            requests_total: report.requests_total,
+            ok_total: report.ok_total,
+            failed_total: report.failed_total,
+            classes: report.classes.clone(),
+            shed: t.shed,
+            degraded: t.degraded,
+            expired: t.expired,
+            retries: t.retries,
+            retry_successes: t.retry_successes,
+            retry_exhausted: t.retry_exhausted,
+            forced_exact: t.forced_exact,
+            probes: t.probes,
+            requeues: t.requeues,
+            abandoned: t.abandoned,
+            loss_reasons: report.loss_reasons.clone(),
+            transitions: report.transitions.clone(),
+            final_breaker_state: report.final_breaker_state.clone(),
+            counters: report.counters.clone(),
+            rounds: report
+                .rounds
+                .iter()
+                .map(|r| ChaosRound {
+                    class: r.class.clone(),
+                    offered: r.offered,
+                    ok: r.ok,
+                    failed: r.failed,
+                    expired: r.expired,
+                    shed: r.shed,
+                    retries: r.retries,
+                })
+                .collect(),
+            reconciled: reconcile.is_ok(),
+            reconcile_error: reconcile.err(),
+            elapsed_ns: report.elapsed_ns,
+        }
+    }
+
+    /// Validates the record for CI. Every run must have reconciled
+    /// exactly, typed every loss and abandoned nothing; a full (non
+    /// `--quick`) soak must additionally have offered ≥ 200 requests over
+    /// ≥ 5 fault classes, applied deadline pressure, shed under overload,
+    /// healed at least one transient by retry and moved the breaker.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != CHAOS_SCHEMA {
+            return Err(format!(
+                "schema `{}`, expected `{CHAOS_SCHEMA}`",
+                self.schema
+            ));
+        }
+        if !self.reconciled {
+            return Err(format!(
+                "accounting did not reconcile: {}",
+                self.reconcile_error.as_deref().unwrap_or("unknown")
+            ));
+        }
+        if self.ok_total + self.failed_total != self.requests_total {
+            return Err(format!(
+                "ok {} + failed {} != offered {}",
+                self.ok_total, self.failed_total, self.requests_total
+            ));
+        }
+        let losses: u64 = self.loss_reasons.values().sum();
+        if losses != self.failed_total as u64 {
+            return Err(format!(
+                "loss_reasons sum to {losses}, failed_total is {}",
+                self.failed_total
+            ));
+        }
+        if self.abandoned != 0 {
+            return Err(format!("{} units were abandoned", self.abandoned));
+        }
+        if self.rounds.is_empty() {
+            return Err("no fault rounds".into());
+        }
+        if !self.quick {
+            if self.requests_total < 200 {
+                return Err(format!(
+                    "full soak offered {} requests, floor is 200",
+                    self.requests_total
+                ));
+            }
+            if self.classes.len() < 5 {
+                return Err(format!(
+                    "full soak exercised {} fault classes, floor is 5",
+                    self.classes.len()
+                ));
+            }
+            if self.expired == 0 {
+                return Err("full soak applied no deadline pressure".into());
+            }
+            if self.shed == 0 && self.degraded == 0 {
+                return Err("full soak never triggered admission control".into());
+            }
+            if self.retry_successes == 0 {
+                return Err("full soak healed nothing by retry".into());
+            }
+            if self.transitions.is_empty() {
+                return Err("full soak never moved the breaker".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(quick: bool) -> ChaosBenchReport {
+        ChaosBenchReport {
+            schema: CHAOS_SCHEMA.to_string(),
+            seed: 5,
+            quick,
+            requests_total: 240,
+            ok_total: 200,
+            failed_total: 40,
+            classes: [
+                "calm",
+                "latency",
+                "sample_panic",
+                "threshold_truncate",
+                "weight_nan",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+            shed: 12,
+            degraded: 8,
+            expired: 16,
+            retries: 30,
+            retry_successes: 20,
+            retry_exhausted: 4,
+            forced_exact: 10,
+            probes: 4,
+            requeues: 0,
+            abandoned: 0,
+            loss_reasons: [
+                ("thresholds".to_string(), 28u64),
+                ("overloaded".to_string(), 12),
+            ]
+            .into_iter()
+            .collect(),
+            transitions: vec![("closed".into(), "open".into())],
+            final_breaker_state: "closed".into(),
+            counters: BTreeMap::new(),
+            rounds: vec![ChaosRound {
+                class: "calm".into(),
+                offered: 240,
+                ok: 200,
+                failed: 40,
+                expired: 16,
+                shed: 12,
+                retries: 30,
+            }],
+            reconciled: true,
+            reconcile_error: None,
+            elapsed_ns: 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record(false);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ChaosBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn a_clean_full_soak_passes() {
+        assert!(record(false).validate().is_ok());
+    }
+
+    #[test]
+    fn reconcile_failures_always_fail_validation() {
+        let mut r = record(true);
+        r.reconciled = false;
+        r.reconcile_error = Some("counter shed_requests = 3, totals say 4".into());
+        assert!(r.validate().unwrap_err().contains("reconcile"));
+    }
+
+    #[test]
+    fn untyped_losses_fail_validation() {
+        let mut r = record(true);
+        r.loss_reasons.clear();
+        assert!(r.validate().unwrap_err().contains("loss_reasons"));
+    }
+
+    #[test]
+    fn full_soak_floors_do_not_bind_quick_runs() {
+        let mut r = record(true);
+        r.requests_total = 24;
+        r.ok_total = 20;
+        r.failed_total = 4;
+        r.loss_reasons = [("thresholds".to_string(), 4u64)].into_iter().collect();
+        r.rounds[0].offered = 24;
+        assert!(r.validate().is_ok());
+        r.quick = false;
+        assert!(r.validate().unwrap_err().contains("floor is 200"));
+    }
+
+    #[test]
+    fn abandoned_units_fail_everywhere() {
+        let mut r = record(true);
+        r.abandoned = 1;
+        assert!(r.validate().unwrap_err().contains("abandoned"));
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_rejected() {
+        let mut r = record(true);
+        r.schema = "batch-v1".into();
+        assert!(r.validate().unwrap_err().contains("schema"));
+    }
+}

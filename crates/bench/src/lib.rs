@@ -19,8 +19,10 @@
 use fast_bcnn::experiments::ExpConfig;
 
 mod batch_report;
+mod chaos_report;
 
 pub use batch_report::{BatchBenchReport, BatchPoint};
+pub use chaos_report::{ChaosBenchReport, ChaosRound, CHAOS_SCHEMA};
 
 /// Command-line options shared by every harness binary.
 #[derive(Debug, Clone, PartialEq)]

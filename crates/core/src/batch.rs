@@ -32,6 +32,7 @@
 
 use crate::engine::{Engine, RobustConfig, RobustReport};
 use crate::error::InferenceError;
+use crate::resilience::RunControl;
 use fbcnn_bayes::{derive_request_seed, McDropout, McRequest, Prediction};
 use fbcnn_nn::Workspace;
 use fbcnn_predictor::{PredictiveInference, PredictorShared, PreparedInput};
@@ -255,7 +256,8 @@ impl BatchEngine {
                                     &[],
                                     queue_wait_ns as f64,
                                 );
-                                served.push((i, self.serve_one(req, queue_wait_ns, &mut ws)));
+                                let ctl = RunControl::none();
+                                served.push((i, self.serve_one(req, queue_wait_ns, &mut ws, &ctl)));
                             }
                             self.return_workspace(ws);
                             served
@@ -344,6 +346,18 @@ impl BatchEngine {
         Ok(runs.into_iter().map(|r| r.prediction).collect())
     }
 
+    /// Serves one request under explicit run control (deadline token,
+    /// forced path, sample cap, fault hook) through the shared
+    /// pre-inference cache and workspace pool — the resilience layer's
+    /// entry point. With [`RunControl::none`] this is exactly one
+    /// [`BatchEngine::run_batch`] slot.
+    pub fn run_request(&self, req: &BatchRequest, ctl: &RunControl) -> BatchOutcome {
+        let mut ws = self.checkout_workspace();
+        let outcome = self.serve_one(req, 0, &mut ws, ctl);
+        self.return_workspace(ws);
+        outcome
+    }
+
     /// Serves one request: validation, cached pre-inference, then the
     /// exact staged pipeline of [`Engine::predict_robust_seeded_with`].
     fn serve_one(
@@ -351,6 +365,7 @@ impl BatchEngine {
         req: &BatchRequest,
         queue_wait_ns: u64,
         ws: &mut Workspace,
+        ctl: &RunControl,
     ) -> BatchOutcome {
         let _span = fbcnn_telemetry::span("batch_request");
         let seed = req.resolved_seed(self.engine.config().seed);
@@ -379,9 +394,9 @@ impl BatchEngine {
             Arc::clone(&self.shared),
             prepared,
         );
-        outcome.result = self
-            .engine
-            .robust_core(&fast, &req.input, seed, &self.cfg.robust, ws);
+        outcome.result =
+            self.engine
+                .robust_core(&fast, &req.input, seed, &self.cfg.robust, ws, ctl);
         outcome
     }
 

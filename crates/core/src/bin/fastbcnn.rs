@@ -7,18 +7,25 @@
 //! fastbcnn train        [--epochs N] [--train-size N]
 //! fastbcnn observe      [--model ...] [--samples N] [--full]
 //! fastbcnn serve-batch  [--model ...] [--samples N] [--requests N] [--threads N] [--full]
+//!                       [--deadline-ms N] [--retry-max N] [--breaker-threshold X]
 //! ```
 //!
 //! Every command additionally accepts `--trace-out <path>` and
 //! `--metrics-out <path>` to export the run's telemetry as a JSONL trace
 //! and a Prometheus-style text dump (see `docs/OBSERVABILITY.md`);
 //! `observe` records a fast + robust inference and prints the per-layer
-//! skip/fallback table.
+//! skip/fallback table. `serve-batch` serves through the resilient layer
+//! (see `docs/RESILIENCE.md`): `--deadline-ms` bounds each request's
+//! wall-clock (expired requests return flagged partial-T means and are
+//! excluded from the bit-identity check), `--retry-max` caps retries of
+//! transient failures and `--breaker-threshold` sets the circuit
+//! breaker's error-rate trip point.
 
 use fast_bcnn::report::{format_table, pct, speedup};
 use fast_bcnn::{
     synth_input, BaselineSim, BatchConfig, BatchEngine, BatchRequest, CnvlutinSim, Engine,
-    EngineConfig, FastBcnnSim, HwConfig, IdealSim, SkipMode,
+    EngineConfig, FastBcnnSim, HwConfig, IdealSim, ResilienceConfig, ResilientBatchEngine,
+    SkipMode,
 };
 use fbcnn_nn::models::{ModelKind, ModelScale};
 
@@ -31,6 +38,9 @@ struct Args {
     train_size: usize,
     requests: usize,
     threads: usize,
+    deadline_ms: Option<u64>,
+    retry_max: Option<u32>,
+    breaker_threshold: Option<f64>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
 }
@@ -47,6 +57,9 @@ fn parse() -> Result<Args, String> {
         train_size: 400,
         requests: 8,
         threads: 1,
+        deadline_ms: None,
+        retry_max: None,
+        breaker_threshold: None,
         trace_out: None,
         metrics_out: None,
     };
@@ -100,6 +113,32 @@ fn parse() -> Result<Args, String> {
                     .ok_or("--threads needs a number > 0")?;
                 i += 1;
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&ms: &u64| ms > 0)
+                        .ok_or("--deadline-ms needs a number > 0")?,
+                );
+                i += 1;
+            }
+            "--retry-max" => {
+                args.retry_max = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--retry-max needs a number")?,
+                );
+                i += 1;
+            }
+            "--breaker-threshold" => {
+                args.breaker_threshold = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&x: &f64| x > 0.0 && x <= 1.0)
+                        .ok_or("--breaker-threshold needs a number in (0, 1]")?,
+                );
+                i += 1;
+            }
             "--full" => args.scale = ModelScale::FULL,
             "--trace-out" => {
                 args.trace_out = Some(
@@ -125,11 +164,15 @@ fn parse() -> Result<Args, String> {
 }
 
 fn engine_for(args: &Args) -> Engine {
+    let defaults = EngineConfig::for_model(args.model);
     Engine::new(EngineConfig {
         model: args.model,
         scale: args.scale,
         samples: args.samples,
-        ..EngineConfig::for_model(args.model)
+        deadline_ms: args.deadline_ms.or(defaults.deadline_ms),
+        retry_max: args.retry_max.unwrap_or(defaults.retry_max),
+        breaker_threshold: args.breaker_threshold.unwrap_or(defaults.breaker_threshold),
+        ..defaults
     })
 }
 
@@ -292,9 +335,13 @@ fn cmd_observe(args: &Args) {
     }
 }
 
-/// Serves a synthetic request queue through a [`BatchEngine`] and checks
-/// it against sequential `predict_robust_seeded` calls — a smoke-testable
-/// demonstration of the serving path's bit-identity contract.
+/// Serves a synthetic request queue through the resilient serving layer
+/// ([`ResilientBatchEngine`] over a [`BatchEngine`]) and checks it
+/// against sequential `predict_robust_seeded` calls — a smoke-testable
+/// demonstration of the serving path's bit-identity contract. Requests
+/// whose `--deadline-ms` budget expired return flagged partial-T means
+/// and are excluded from the comparison (a partial mean cannot equal a
+/// full-T one).
 fn cmd_serve_batch(args: &Args) {
     let registry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
     let guard = fast_bcnn::telemetry::install(registry.clone());
@@ -318,6 +365,7 @@ fn cmd_serve_batch(args: &Args) {
         .collect();
     let sequential_ns = sequential_start.elapsed().as_nanos() as u64;
 
+    let rcfg = ResilienceConfig::from_engine_config(engine.config());
     let batch = BatchEngine::new(
         engine,
         BatchConfig {
@@ -325,19 +373,31 @@ fn cmd_serve_batch(args: &Args) {
             ..BatchConfig::default()
         },
     );
-    let report = batch.run_batch(&requests);
+    let resilient = ResilientBatchEngine::new(batch, rcfg);
+    let report = resilient.run_batch(&requests);
     drop(guard);
 
-    let matched = report
-        .outcomes
-        .iter()
-        .zip(&sequential)
-        .filter(|(b, s)| match (&b.result, s) {
-            (Ok(a), Ok(b)) => a == b,
-            (Err(_), Err(_)) => true,
-            _ => false,
-        })
-        .count();
+    let mut matched = 0usize;
+    let mut compared = 0usize;
+    let mut cache_hits = 0usize;
+    let mut cache_misses = 0usize;
+    for (r, s) in report.outcomes.iter().zip(&sequential) {
+        if r.outcome.cache_hit {
+            cache_hits += 1;
+        } else {
+            cache_misses += 1;
+        }
+        if r.expired {
+            continue;
+        }
+        compared += 1;
+        match (&r.outcome.result, s) {
+            (Ok(a), Ok(b)) if a == b => matched += 1,
+            (Err(_), Err(_)) => matched += 1,
+            _ => {}
+        }
+    }
+    let t = &report.totals;
     println!(
         "{} | T = {} | {} requests | {} threads",
         args.model.bayesian_name(),
@@ -349,15 +409,33 @@ fn cmd_serve_batch(args: &Args) {
         "sequential: {:.1} ms | batch: {:.1} ms ({:.1} req/s)",
         sequential_ns as f64 / 1e6,
         report.elapsed_ns as f64 / 1e6,
-        report.throughput_rps()
+        if report.elapsed_ns == 0 {
+            0.0
+        } else {
+            report.outcomes.len() as f64 / (report.elapsed_ns as f64 / 1e9)
+        }
     );
     println!(
-        "bit-identical to sequential: {matched}/{} | cache hits {} / misses {}",
-        report.depth, report.cache_hits, report.cache_misses
+        "bit-identical to sequential: {matched}/{compared}{} | cache hits {cache_hits} / \
+         misses {cache_misses}",
+        if compared < report.outcomes.len() {
+            format!(" ({} expired, excluded)", report.outcomes.len() - compared)
+        } else {
+            String::new()
+        }
     );
-    for outcome in &report.outcomes {
-        if let Err(e) = &outcome.result {
-            println!("request {} failed: {e}", outcome.id);
+    println!(
+        "resilience: retries {} (healed {}, exhausted {}) | deadline expiries {} | \
+         breaker {}",
+        t.retries,
+        t.retry_successes,
+        t.retry_exhausted,
+        t.expired,
+        report.breaker_state.name()
+    );
+    for r in &report.outcomes {
+        if let Err(e) = &r.outcome.result {
+            println!("request {} failed: {e}", r.outcome.id);
         }
     }
     println!();
@@ -378,7 +456,7 @@ fn cmd_serve_batch(args: &Args) {
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
-    if matched != report.depth {
+    if matched != compared {
         eprintln!("error: batch results diverged from sequential");
         std::process::exit(1);
     }
@@ -412,7 +490,12 @@ fn main() {
                 "usage: fastbcnn <demo|simulate|characterize|train|observe|serve-batch> \
                  [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
                  [--epochs N] [--train-size N] [--requests N] [--threads N] \
+                 [--deadline-ms N] [--retry-max N] [--breaker-threshold X] \
                  [--trace-out <path>] [--metrics-out <path>]"
+            );
+            println!(
+                "serve-batch resilience defaults: no deadline (--deadline-ms unset), \
+                 --retry-max 2, --breaker-threshold 0.5"
             );
         }
     }

@@ -1,0 +1,590 @@
+//! Chaos soak driver for the resilient serving layer.
+//!
+//! [`run_chaos`] hammers a [`crate::ResilientBatchEngine`] with rounds of
+//! seeded faults — injected sample panics, poisoned thresholds, NaN
+//! weights, latency stalls, queue overload and deadline pressure — and
+//! checks the robustness contract end to end:
+//!
+//! * **zero hangs, zero aborts** — every request returns, every failure
+//!   is a typed [`crate::InferenceError`] (never a panic past the
+//!   isolation, never a silent truncation);
+//! * **exact accounting** — the per-request outcomes, the aggregate
+//!   [`crate::ResilienceTotals`] and the `breaker_*` / `shed_*` /
+//!   `retry_*` / `deadline_*` telemetry counters all reconcile with each
+//!   other, with no slack;
+//! * **determinism** — the whole campaign derives from one seed, so a
+//!   failing run replays exactly. In deterministic mode (wall-clock
+//!   faults excluded, sample-budget deadlines only) the breaker
+//!   transition sequence and shed counts are stable enough to pin in a
+//!   golden fixture.
+//!
+//! The driver installs its own private telemetry [`Registry`] for the
+//! duration of the run (callers must not hold their own install guard —
+//! the telemetry install lock is not reentrant) and snapshots the
+//! resilience counters into the report before restoring the previous
+//! recorder.
+//!
+//! [`Registry`]: fbcnn_telemetry::Registry
+
+use crate::batch::{BatchConfig, BatchEngine, BatchRequest};
+use crate::engine::{synth_input, Engine, EngineConfig};
+use crate::faults::{FaultInjector, ThresholdFault};
+use crate::resilience::{
+    error_reason_name, BreakerConfig, CircuitBreaker, NoJitter, ResilienceConfig, ResilienceTotals,
+    ResilientBatchEngine, RetryPolicy, ShedPolicy,
+};
+use fbcnn_nn::models::ModelKind;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One fault class the soak rotates through. Each round applies exactly
+/// one class, so per-class behavior is attributable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosClass {
+    /// No fault: the control group — every request must be healthy and
+    /// bit-identical to the unwrapped engine.
+    Calm,
+    /// Seeded per-sample stalls through the sample hook; perturbs time
+    /// only, never numerics.
+    Latency,
+    /// The sample hook panics on every sample of a request's first
+    /// attempt: total contained loss ([`crate::InferenceError::AllSamplesFailed`]),
+    /// the typed-transient class a retry heals.
+    SamplePanic,
+    /// Truncated threshold vectors: a structural poisoning caught by
+    /// validation as a typed, permanent error.
+    ThresholdTruncate,
+    /// A NaN convolution weight: pre-inference screening reports a typed
+    /// numeric error; permanent failures open the breaker.
+    WeightNan,
+    /// Twice the queue capacity is offered; admission control sheds or
+    /// degrades the overflow under the round's shed policy.
+    Overload,
+    /// A sample budget of half the configured `T`: every request expires
+    /// mid-run and returns a flagged partial-T mean.
+    Deadline,
+}
+
+impl ChaosClass {
+    /// Stable lowercase class name — the report key.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChaosClass::Calm => "calm",
+            ChaosClass::Latency => "latency",
+            ChaosClass::SamplePanic => "sample_panic",
+            ChaosClass::ThresholdTruncate => "threshold_truncate",
+            ChaosClass::WeightNan => "weight_nan",
+            ChaosClass::Overload => "overload",
+            ChaosClass::Deadline => "deadline",
+        }
+    }
+
+    /// The classes a campaign rotates through. Wall-clock latency faults
+    /// are excluded in deterministic mode (they cannot change numerics,
+    /// but their stalls make run time seed-dependent).
+    pub fn roster(include_latency: bool) -> Vec<ChaosClass> {
+        let mut classes = vec![
+            ChaosClass::Calm,
+            ChaosClass::SamplePanic,
+            ChaosClass::ThresholdTruncate,
+            ChaosClass::WeightNan,
+            ChaosClass::Overload,
+            ChaosClass::Deadline,
+        ];
+        if include_latency {
+            classes.insert(1, ChaosClass::Latency);
+        }
+        classes
+    }
+}
+
+/// Knobs of a chaos campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Master seed; the whole campaign (faults, inputs, schedules) is a
+    /// function of it.
+    pub seed: u64,
+    /// Fault rounds; each uses one class from the roster, round-robin.
+    pub rounds: usize,
+    /// Requests offered per round (the overload class offers double).
+    pub requests_per_round: usize,
+    /// Include wall-clock latency faults (off in deterministic mode).
+    pub include_latency: bool,
+    /// MC sample count `T` of the engine under test.
+    pub samples: usize,
+}
+
+impl ChaosConfig {
+    /// The full soak: ≥ 200 requests over every fault class including
+    /// latency and deadline pressure.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            rounds: 28,
+            requests_per_round: 8,
+            include_latency: true,
+            samples: 6,
+        }
+    }
+
+    /// A CI smoke: every deterministic class once, a few requests each.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            rounds: 6,
+            requests_per_round: 4,
+            include_latency: false,
+            samples: 4,
+        }
+    }
+
+    /// The golden-pinned campaign: no wall-clock faults, sample-budget
+    /// deadlines only, sized so the breaker walks a full
+    /// Closed → Open → HalfOpen → Closed cycle.
+    pub fn deterministic(seed: u64) -> Self {
+        Self {
+            seed,
+            rounds: 12,
+            requests_per_round: 4,
+            include_latency: false,
+            samples: 4,
+        }
+    }
+
+    /// Total requests this campaign offers (overload rounds offer 2×).
+    pub fn offered_requests(&self) -> usize {
+        let roster = ChaosClass::roster(self.include_latency);
+        (0..self.rounds)
+            .map(|r| match roster[r % roster.len()] {
+                ChaosClass::Overload => self.requests_per_round * 2,
+                _ => self.requests_per_round,
+            })
+            .sum()
+    }
+}
+
+/// Per-round aggregates of a chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosRoundSummary {
+    /// The fault class applied ([`ChaosClass::name`]).
+    pub class: String,
+    /// Requests offered this round.
+    pub offered: usize,
+    /// Requests that produced a prediction.
+    pub ok: usize,
+    /// Requests that failed with a typed error.
+    pub failed: usize,
+    /// Requests whose sample budget expired (partial or empty).
+    pub expired: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Retry attempts spent this round.
+    pub retries: u64,
+}
+
+/// The outcome of one [`run_chaos`] campaign.
+#[derive(Debug)]
+pub struct ChaosReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Requests offered across all rounds.
+    pub requests_total: usize,
+    /// Requests that produced a prediction.
+    pub ok_total: usize,
+    /// Requests that failed with a typed error.
+    pub failed_total: usize,
+    /// Distinct fault classes exercised, in roster order.
+    pub classes: Vec<String>,
+    /// Per-round summaries, in order.
+    pub rounds: Vec<ChaosRoundSummary>,
+    /// Campaign-wide resilience totals (the fold of every round's).
+    pub totals: ResilienceTotals,
+    /// Failed-request counts bucketed by typed reason; an unrecognized
+    /// reason cannot occur (the bucket names come from
+    /// [`error_reason_name`]).
+    pub loss_reasons: BTreeMap<String, u64>,
+    /// The breaker's full transition sequence, as `(from, to)` names.
+    pub transitions: Vec<(String, String)>,
+    /// The breaker state after the campaign.
+    pub final_breaker_state: String,
+    /// Snapshot of the resilience telemetry counters (summed over label
+    /// sets, except where a labeled cell is named explicitly).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-round [`crate::ResilientBatchReport::reconcile`] failures —
+    /// must be empty.
+    pub round_reconcile_errors: Vec<String>,
+    /// Wall-clock of the campaign, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ChaosReport {
+    /// Cross-checks the telemetry counter snapshot against the aggregate
+    /// totals — the "counters reconcile exactly" half of the soak's
+    /// acceptance criteria (the per-round outcome/total reconciliation is
+    /// in `round_reconcile_errors`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatching quantity as a message.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if let Some(e) = self.round_reconcile_errors.first() {
+            return Err(format!("round reconcile failed: {e}"));
+        }
+        let get = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let checks = [
+            ("shed_requests", self.totals.shed as u64),
+            ("retry_attempts", self.totals.retries),
+            ("retry_successes", self.totals.retry_successes),
+            ("retry_exhausted", self.totals.retry_exhausted),
+            ("breaker_forced_exact", self.totals.forced_exact),
+            ("breaker_probes_issued", self.totals.probes),
+            ("breaker_transitions", self.transitions.len() as u64),
+            ("deadline_expired", self.totals.expired as u64),
+        ];
+        for (name, want) in checks {
+            let got = get(name);
+            if got != want {
+                return Err(format!("counter {name} = {got}, totals say {want}"));
+            }
+        }
+        let losses: u64 = self.loss_reasons.values().sum();
+        if losses != self.failed_total as u64 {
+            return Err(format!(
+                "loss_reasons sum to {losses}, failed_total is {}",
+                self.failed_total
+            ));
+        }
+        if self.ok_total + self.failed_total != self.requests_total {
+            return Err(format!(
+                "ok {} + failed {} != offered {}",
+                self.ok_total, self.failed_total, self.requests_total
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// RAII filter over the global panic hook that swallows the chaos
+/// harness's own injected panics (payloads starting with `"chaos:"`) so a
+/// soak does not flood stderr; every other panic still prints through the
+/// previous hook. Restores the previous hook on drop.
+struct SilencedChaosPanics;
+
+impl SilencedChaosPanics {
+    fn install() -> Self {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| s.starts_with("chaos:"))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<String>()
+                        .map(|s| s.starts_with("chaos:"))
+                })
+                .unwrap_or(false);
+            if !injected {
+                previous(info);
+            }
+        }));
+        Self
+    }
+}
+
+impl Drop for SilencedChaosPanics {
+    fn drop(&mut self) {
+        // Restore the default hook; the previous one is owned by the
+        // filtering closure and cannot be recovered, but the default is
+        // what every test environment starts from.
+        let _ = std::panic::take_hook();
+    }
+}
+
+/// Runs a chaos campaign; see the module docs. Installs a private
+/// telemetry registry for the duration — the caller must not hold a
+/// [`fbcnn_telemetry::install`] guard across this call.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    run_chaos_with_registry(cfg).0
+}
+
+/// [`run_chaos`], additionally handing back the private [`Registry`] the
+/// campaign recorded into so a harness can export the raw spans and
+/// counters (`Registry::write_jsonl` / `write_prometheus`) without ever
+/// holding the global install lock itself.
+///
+/// [`Registry`]: fbcnn_telemetry::Registry
+pub fn run_chaos_with_registry(cfg: &ChaosConfig) -> (ChaosReport, Arc<fbcnn_telemetry::Registry>) {
+    let start = Instant::now();
+    let registry = Arc::new(fbcnn_telemetry::Registry::new());
+    let telemetry_guard =
+        fbcnn_telemetry::install(Arc::clone(&registry) as Arc<dyn fbcnn_telemetry::Recorder>);
+    let _silencer = SilencedChaosPanics::install();
+
+    let engine_cfg = EngineConfig {
+        samples: cfg.samples.max(2),
+        calibration_samples: 3,
+        seed: cfg.seed,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    };
+    let pristine = Engine::new(engine_cfg);
+    let input_shape = pristine.network().input_shape();
+
+    // One breaker across all rounds, so permanent-fault rounds open it
+    // and later healthy rounds walk it through cooldown, probes and
+    // closure — the full state machine in one campaign.
+    let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+        window: 8,
+        min_observations: 4,
+        threshold: 0.5,
+        cooldown_requests: 4,
+        probes: 2,
+    }));
+    let mut injector = FaultInjector::new(cfg.seed ^ 0xC4A0_5EED);
+    let roster = ChaosClass::roster(cfg.include_latency);
+    let shed_policies = [
+        ShedPolicy::RejectNewest,
+        ShedPolicy::RejectOldest,
+        ShedPolicy::DegradeToFewerSamples,
+    ];
+
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    let mut totals = ResilienceTotals::default();
+    let mut loss_reasons: BTreeMap<String, u64> = BTreeMap::new();
+    let mut round_reconcile_errors = Vec::new();
+    let mut overload_rounds = 0usize;
+
+    for round in 0..cfg.rounds {
+        let class = roster[round % roster.len()];
+
+        let mut engine = pristine.clone();
+        match class {
+            ChaosClass::ThresholdTruncate => {
+                let net = engine.network().clone();
+                injector.poison_thresholds(engine.thresholds_mut(), &net, ThresholdFault::Truncate);
+            }
+            ChaosClass::WeightNan => {
+                injector.poison_conv_weight_nan(engine.bayesian_network_mut().network_mut());
+            }
+            _ => {}
+        }
+        let batch = BatchEngine::new(
+            engine,
+            BatchConfig {
+                threads: 1,
+                cache_capacity: 8,
+                ..BatchConfig::default()
+            },
+        );
+
+        let mut rcfg = ResilienceConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_micros(400),
+                seed: cfg.seed,
+            },
+            queue_capacity: cfg.requests_per_round,
+            shed_policy: shed_policies[overload_rounds % shed_policies.len()],
+            breaker: *breaker.config(),
+            ..ResilienceConfig::default()
+        };
+        if class == ChaosClass::Deadline {
+            rcfg.sample_budget = Some((engine_cfg.samples / 2).max(1) as u64);
+        }
+        let mut resilient = ResilientBatchEngine::with_breaker(batch, rcfg, Arc::clone(&breaker))
+            .with_jitter(Arc::new(NoJitter));
+        match class {
+            ChaosClass::SamplePanic => {
+                resilient = resilient.with_request_sample_hook(Arc::new(|_id, attempt, _s| {
+                    if attempt == 0 {
+                        panic!("chaos: injected sample fault");
+                    }
+                }));
+            }
+            ChaosClass::Latency => {
+                let schedule = injector.latency_schedule(0.3, Duration::from_micros(200));
+                resilient = resilient.with_request_sample_hook(Arc::new(move |_id, _a, s| {
+                    let d = schedule.delay_for(s);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }));
+            }
+            _ => {}
+        }
+
+        let offered = match class {
+            ChaosClass::Overload => {
+                overload_rounds += 1;
+                cfg.requests_per_round * 2
+            }
+            _ => cfg.requests_per_round,
+        };
+        let requests: Vec<BatchRequest> = (0..offered)
+            .map(|i| {
+                let id = (round * 1000 + i) as u64;
+                BatchRequest::new(id, synth_input(input_shape, cfg.seed ^ id.wrapping_mul(41)))
+            })
+            .collect();
+
+        let report = resilient.run_batch(&requests);
+        if let Err(e) = report.reconcile() {
+            round_reconcile_errors.push(format!("round {round} ({}): {e}", class.name()));
+        }
+
+        let mut summary = ChaosRoundSummary {
+            class: class.name().to_string(),
+            offered,
+            ok: 0,
+            failed: 0,
+            expired: 0,
+            shed: 0,
+            retries: report.totals.retries,
+        };
+        for o in &report.outcomes {
+            match &o.outcome.result {
+                Ok(_) => summary.ok += 1,
+                Err(e) => {
+                    summary.failed += 1;
+                    *loss_reasons
+                        .entry(error_reason_name(e).to_string())
+                        .or_insert(0) += 1;
+                }
+            }
+            if o.expired {
+                summary.expired += 1;
+            }
+            if o.shed {
+                summary.shed += 1;
+            }
+        }
+        let t = &report.totals;
+        totals.offered += t.offered;
+        totals.shed += t.shed;
+        totals.degraded += t.degraded;
+        totals.expired += t.expired;
+        totals.retries += t.retries;
+        totals.retry_successes += t.retry_successes;
+        totals.retry_exhausted += t.retry_exhausted;
+        totals.forced_exact += t.forced_exact;
+        totals.probes += t.probes;
+        totals.requeues += t.requeues;
+        totals.abandoned += t.abandoned;
+        rounds.push(summary);
+    }
+
+    let transitions: Vec<(String, String)> = breaker
+        .transitions()
+        .into_iter()
+        .map(|(from, to)| (from.name().to_string(), to.name().to_string()))
+        .collect();
+    let final_breaker_state = breaker.state().name().to_string();
+    drop(telemetry_guard);
+
+    let mut counters = BTreeMap::new();
+    for name in [
+        "shed_requests",
+        "shed_degraded_requests",
+        "retry_attempts",
+        "retry_successes",
+        "retry_exhausted",
+        "breaker_transitions",
+        "breaker_forced_exact",
+        "deadline_expired",
+        "engine_lost_samples",
+        "engine_canary_trips",
+        "watchdog_requeues",
+        "watchdog_abandoned",
+    ] {
+        counters.insert(name.to_string(), registry.counter_total(name));
+    }
+    counters.insert(
+        "breaker_probes_issued".to_string(),
+        registry
+            .counter_value("breaker_probes", &[("phase", "issued")])
+            .unwrap_or(0),
+    );
+
+    let ok_total = rounds.iter().map(|r| r.ok).sum();
+    let failed_total = rounds.iter().map(|r| r.failed).sum();
+    let report = ChaosReport {
+        seed: cfg.seed,
+        requests_total: totals.offered,
+        ok_total,
+        failed_total,
+        classes: roster.iter().map(|c| c.name().to_string()).collect(),
+        rounds,
+        totals,
+        loss_reasons,
+        transitions,
+        final_breaker_state,
+        counters,
+        round_reconcile_errors,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+    };
+    (report, registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_reconciles_and_types_every_loss() {
+        let report = run_chaos(&ChaosConfig::quick(5));
+        assert_eq!(
+            report.requests_total,
+            ChaosConfig::quick(5).offered_requests()
+        );
+        assert!(report.round_reconcile_errors.is_empty(), "{report:?}");
+        report.reconcile().unwrap();
+        assert!(report.classes.len() >= 5);
+        // Every class left a footprint: panics healed by retry, poisoned
+        // rounds failed typed, deadline rounds expired, overload shed.
+        assert!(report.totals.retries > 0, "sample_panic retried");
+        assert!(report.totals.expired > 0, "deadline rounds expired");
+        assert!(
+            report.totals.shed > 0,
+            "overload round shed under RejectNewest"
+        );
+        assert!(report.loss_reasons.contains_key("thresholds"));
+        assert!(report.loss_reasons.contains_key("numeric"));
+    }
+
+    #[test]
+    fn campaigns_replay_exactly_from_their_seed() {
+        let a = run_chaos(&ChaosConfig::deterministic(9));
+        let b = run_chaos(&ChaosConfig::deterministic(9));
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.final_breaker_state, b.final_breaker_state);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.loss_reasons, b.loss_reasons);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(
+                (ra.ok, ra.failed, ra.expired, ra.shed, ra.retries),
+                (rb.ok, rb.failed, rb.expired, rb.shed, rb.retries),
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_campaign_walks_the_breaker_through_a_full_cycle() {
+        let report = run_chaos(&ChaosConfig::deterministic(5));
+        report.reconcile().unwrap();
+        let seq = &report.transitions;
+        assert!(
+            seq.iter().any(|(f, t)| f == "closed" && t == "open"),
+            "breaker never opened: {seq:?}"
+        );
+        assert!(
+            seq.iter().any(|(f, t)| f == "open" && t == "half_open"),
+            "breaker never half-opened: {seq:?}"
+        );
+        assert!(
+            seq.iter().any(|(f, t)| f == "half_open" && t == "closed"),
+            "breaker never recovered: {seq:?}"
+        );
+    }
+}

@@ -1,4 +1,5 @@
 use crate::error::{EngineError, InferenceError};
+use crate::resilience::RunControl;
 use fbcnn_accel::{RunReport, Workload};
 use fbcnn_bayes::{BayesianNetwork, McDropout, Prediction};
 use fbcnn_nn::models::{ModelKind, ModelScale};
@@ -28,6 +29,17 @@ pub struct EngineConfig {
     /// Worker threads for exact MC-dropout passes (1 = sequential;
     /// results are identical either way).
     pub threads: usize,
+    /// Per-request wall-clock deadline in milliseconds for resilient
+    /// serving (`None` = no deadline). An expired request returns its
+    /// partial-T mean flagged [`DegradedMode::PartialSamples`]; see
+    /// `docs/RESILIENCE.md`.
+    pub deadline_ms: Option<u64>,
+    /// Maximum retry attempts (beyond the first) for typed-transient
+    /// failures in resilient serving.
+    pub retry_max: u32,
+    /// Fast-path circuit-breaker trip threshold: the sliding-window
+    /// error rate above which the breaker opens, in (0, 1].
+    pub breaker_threshold: f64,
 }
 
 impl EngineConfig {
@@ -43,6 +55,9 @@ impl EngineConfig {
             calibration_samples: 8,
             seed: 0xFB_C0DE,
             threads: 1,
+            deadline_ms: None,
+            retry_max: 2,
+            breaker_threshold: 0.5,
         }
     }
 }
@@ -70,6 +85,15 @@ impl EngineConfig {
         }
         if !(self.confidence > 0.0 && self.confidence <= 1.0) {
             return fail(format!("confidence {} out of (0, 1]", self.confidence));
+        }
+        if self.deadline_ms == Some(0) {
+            return fail("deadline_ms must be > 0 when set".into());
+        }
+        if !(self.breaker_threshold > 0.0 && self.breaker_threshold <= 1.0) {
+            return fail(format!(
+                "breaker_threshold {} out of (0, 1]",
+                self.breaker_threshold
+            ));
         }
         Ok(())
     }
@@ -131,6 +155,11 @@ pub enum DegradedMode {
     PartialFallback,
     /// The canary tripped: the entire run used the exact path.
     FullFallback,
+    /// The sample budget was cut short by a deadline/cancellation or an
+    /// admission-control sample cap: the prediction is a valid partial-T
+    /// mean over fewer samples than configured (never silently — this
+    /// flag and [`RobustReport::used_samples`] say exactly how many).
+    PartialSamples,
 }
 
 impl DegradedMode {
@@ -140,6 +169,7 @@ impl DegradedMode {
             DegradedMode::Healthy => "healthy",
             DegradedMode::PartialFallback => "partial_fallback",
             DegradedMode::FullFallback => "full_fallback",
+            DegradedMode::PartialSamples => "partial_samples",
         }
     }
 }
@@ -159,6 +189,9 @@ pub struct RobustReport {
     pub repaired_values: usize,
     /// Whether the sample budget was cut short by mean convergence.
     pub early_exit: bool,
+    /// Whether a deadline/cancellation expired the run before its full
+    /// sample budget (the prediction is then a partial-T mean).
+    pub expired: bool,
     /// The overall degradation verdict.
     pub mode: DegradedMode,
     /// Aggregate skip statistics over the fast-path samples.
@@ -351,7 +384,34 @@ impl Engine {
         self.thresholds.validate(net)?;
         let fast = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
         let mut ws = Workspace::new();
-        self.robust_core(&fast, input, seed, rc, &mut ws)
+        self.robust_core(&fast, input, seed, rc, &mut ws, &RunControl::none())
+    }
+
+    /// [`Engine::predict_robust_seeded_with`] under an explicit
+    /// [`RunControl`] — the entry point the resilience layer uses to
+    /// thread a deadline/cancellation token, a sample cap or a forced
+    /// exact path into the staged pipeline. With [`RunControl::none`]
+    /// this is bit-identical to [`Engine::predict_robust_seeded_with`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::predict_robust_with`]; additionally
+    /// [`InferenceError::Expired`] when the token expires before even one
+    /// sample completes.
+    pub fn predict_robust_controlled(
+        &self,
+        input: &Tensor,
+        seed: u64,
+        rc: &RobustConfig,
+        ctl: &RunControl,
+    ) -> Result<(Prediction, RobustReport), InferenceError> {
+        let _span = fbcnn_telemetry::span("predict_robust");
+        let net = self.network();
+        net.check_input(input)?;
+        self.thresholds.validate(net)?;
+        let fast = PredictiveInference::new(&self.bnet, input, self.thresholds.clone());
+        let mut ws = Workspace::new();
+        self.robust_core(&fast, input, seed, rc, &mut ws, ctl)
     }
 
     /// The shared immutable half of the skipping predictor (thresholds,
@@ -409,7 +469,13 @@ impl Engine {
     /// code with the same `(input, seed, rc)`, a batched request is
     /// bit-identical to its sequential counterpart by construction.
     /// `ws` is caller-provided scratch (a serving layer pools it);
-    /// workspace reuse does not change results.
+    /// workspace reuse does not change results. `ctl` threads the
+    /// resilience layer's run control in: a cancellation/deadline token
+    /// checked at every sample boundary, an optional sample cap
+    /// (admission-control degradation), a forced exact path (open
+    /// circuit breaker) and a per-sample hook (latency-fault injection);
+    /// [`RunControl::none`] reproduces the uncontrolled behavior
+    /// bit-for-bit.
     pub(crate) fn robust_core(
         &self,
         fast: &PredictiveInference<'_>,
@@ -417,7 +483,15 @@ impl Engine {
         seed: u64,
         rc: &RobustConfig,
         ws: &mut Workspace,
+        ctl: &RunControl,
     ) -> Result<(Prediction, RobustReport), InferenceError> {
+        if ctl.cancel.expired() {
+            // Already expired on arrival: refuse before spending any work.
+            fbcnn_telemetry::counter_add("deadline_expired", &[("outcome", "empty")], 1);
+            return Err(InferenceError::Expired {
+                samples_completed: 0,
+            });
+        }
         for (node, act) in fast.pre_inference().activations.iter().enumerate() {
             if let Some(fault) = rc.guard.find_fault(node, act) {
                 // Both paths share these weights: nothing to fall back to.
@@ -430,31 +504,44 @@ impl Engine {
             }
         }
 
-        let requested = self.cfg.samples;
+        let configured = self.cfg.samples;
+        // An admission-control cap (DegradeToFewerSamples) shrinks the
+        // sample budget but never below one; the report still carries the
+        // configured ask so the degradation is visible.
+        let requested = ctl
+            .max_samples
+            .map_or(configured, |cap| cap.clamp(1, configured));
+        let capped = requested < configured;
 
         // Canary: run sample 0 through both paths. The exact row is the
         // reference; a fast row that diverges beyond tolerance means the
-        // thresholds are structurally fine but semantically poisoned.
-        let canary_masks = self.bnet.generate_masks(seed, 0);
-        let exact_probs = stats::softmax(self.bnet.forward_sample(input, &canary_masks).logits());
-        let mut full_fallback = false;
-        if ActivationGuard::probs_are_sane(&exact_probs) {
-            full_fallback = match catch_unwind(AssertUnwindSafe(|| fast.run_sample(&canary_masks)))
-            {
-                Ok(run) => {
-                    let fast_probs = stats::softmax(run.logits());
-                    let l1: f32 = exact_probs
-                        .iter()
-                        .zip(&fast_probs)
-                        .map(|(a, b)| (a - b).abs())
-                        .sum();
-                    !ActivationGuard::probs_are_sane(&fast_probs) || l1 > rc.canary_tolerance
-                }
-                Err(_) => true,
-            };
-        }
-        if full_fallback {
-            fbcnn_telemetry::counter_add("engine_canary_trips", &[], 1);
+        // thresholds are structurally fine but semantically poisoned. An
+        // open circuit breaker (`force_exact`) skips the canary — the
+        // verdict is already in.
+        let mut full_fallback = ctl.force_exact;
+        if !ctl.force_exact {
+            let canary_masks = self.bnet.generate_masks(seed, 0);
+            let exact_probs =
+                stats::softmax(self.bnet.forward_sample(input, &canary_masks).logits());
+            if ActivationGuard::probs_are_sane(&exact_probs) {
+                full_fallback = match catch_unwind(AssertUnwindSafe(|| {
+                    fast.run_sample(&canary_masks)
+                })) {
+                    Ok(run) => {
+                        let fast_probs = stats::softmax(run.logits());
+                        let l1: f32 = exact_probs
+                            .iter()
+                            .zip(&fast_probs)
+                            .map(|(a, b)| (a - b).abs())
+                            .sum();
+                        !ActivationGuard::probs_are_sane(&fast_probs) || l1 > rc.canary_tolerance
+                    }
+                    Err(_) => true,
+                };
+            }
+            if full_fallback {
+                fbcnn_telemetry::counter_add("engine_canary_trips", &[], 1);
+            }
         }
 
         let mut rows: Vec<Vec<f32>> = Vec::with_capacity(requested);
@@ -464,14 +551,24 @@ impl Engine {
         let mut repaired_values = 0usize;
         let mut skip = SkipStats::default();
         let mut early_exit = false;
+        let mut expired = false;
         let mut stable = 0usize;
 
         for s in 0..requested {
+            if ctl.cancel.checkpoint() {
+                // Deadline/cancellation at a sample boundary: the rows
+                // already collected form a valid partial-T mean.
+                expired = true;
+                break;
+            }
             let masks = self.bnet.generate_masks(seed, s);
             let mut row: Option<Vec<f32>> = None;
 
             if !full_fallback {
-                if let Ok(run) = catch_unwind(AssertUnwindSafe(|| fast.run_sample(&masks))) {
+                if let Ok(run) = catch_unwind(AssertUnwindSafe(|| {
+                    ctl.fire_sample_hook(s);
+                    fast.run_sample(&masks)
+                })) {
                     let sample_stats = run.stats();
                     let probs = stats::softmax(run.logits());
                     if ActivationGuard::probs_are_sane(&probs)
@@ -486,11 +583,19 @@ impl Engine {
             if row.is_none() {
                 fallback_samples += 1;
                 fbcnn_telemetry::counter_add("engine_fallback_samples", &[], 1);
-                match self
-                    .bnet
-                    .forward_sample_checked(input, &masks, &mut *ws, &rc.guard)
-                {
-                    Ok((run, repaired)) => {
+                // The exact fallback runs under the same panic isolation
+                // as the fast attempt: a hook or library panic here is a
+                // contained lost sample, never an aborted request.
+                let fallback = catch_unwind(AssertUnwindSafe(|| {
+                    // The hook fires once per execution attempt (fast and
+                    // fallback alike): a panicking hook therefore kills
+                    // both paths and the sample is a contained loss.
+                    ctl.fire_sample_hook(s);
+                    self.bnet
+                        .forward_sample_checked(input, &masks, &mut *ws, &rc.guard)
+                }));
+                match fallback {
+                    Ok(Ok((run, repaired))) => {
                         repaired_values += repaired;
                         if repaired > 0 {
                             fbcnn_telemetry::counter_add(
@@ -507,10 +612,17 @@ impl Engine {
                             fbcnn_telemetry::counter_add("engine_lost_samples", &[], 1);
                         }
                     }
-                    Err(e) => {
+                    Ok(Err(e)) => {
                         if rc.guard.policy == GuardPolicy::Fail {
                             return Err(e.into());
                         }
+                        lost_samples += 1;
+                        fbcnn_telemetry::counter_add("engine_lost_samples", &[], 1);
+                    }
+                    Err(_) => {
+                        // The panic may have torn the scratch buffers;
+                        // start the next sample clean.
+                        *ws = Workspace::new();
                         lost_samples += 1;
                         fbcnn_telemetry::counter_add("engine_lost_samples", &[], 1);
                     }
@@ -549,12 +661,30 @@ impl Engine {
             }
         }
 
+        if expired {
+            fbcnn_telemetry::counter_add(
+                "deadline_expired",
+                &[("outcome", if rows.is_empty() { "empty" } else { "partial" })],
+                1,
+            );
+            fbcnn_telemetry::histogram_record("deadline_samples_completed", &[], rows.len() as f64);
+        }
         if rows.is_empty() {
+            if expired {
+                return Err(InferenceError::Expired {
+                    samples_completed: 0,
+                });
+            }
             return Err(InferenceError::AllSamplesFailed { requested });
         }
         let used_samples = rows.len();
         let prediction = McDropout::try_summarize(rows)?;
-        let mode = if full_fallback {
+        // Mode precedence: a shortened sample budget (deadline or
+        // admission cap) outranks the fallback verdicts — it is the one
+        // degradation a caller must never mistake for a full-T result.
+        let mode = if expired || capped {
+            DegradedMode::PartialSamples
+        } else if full_fallback {
             DegradedMode::FullFallback
         } else if fallback_samples > 0 {
             DegradedMode::PartialFallback
@@ -565,12 +695,13 @@ impl Engine {
         Ok((
             prediction,
             RobustReport {
-                requested_samples: requested,
+                requested_samples: configured,
                 used_samples,
                 fallback_samples,
                 lost_samples,
                 repaired_values,
                 early_exit,
+                expired,
                 mode,
                 skip,
             },

@@ -62,6 +62,32 @@ pub enum InferenceError {
         /// Samples requested.
         requested: usize,
     },
+    /// The request's deadline (or cancellation) fired before even one
+    /// sample completed. A deadline that fires *after* at least one
+    /// sample instead returns `Ok` with the partial-T mean, flagged
+    /// [`crate::DegradedMode::PartialSamples`] — expiry is only an error
+    /// when there is nothing valid to return.
+    Expired {
+        /// Samples that completed before expiry (always 0 in the error
+        /// form; carried for symmetry with the report).
+        samples_completed: usize,
+    },
+    /// Admission control shed the request: the batch exceeded the bounded
+    /// queue's capacity and the shed policy rejected this request rather
+    /// than degrade it.
+    Overloaded {
+        /// Requests submitted in the offered batch.
+        queue_depth: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The worker serving this request hung past the watchdog timeout on
+    /// every attempt; the work unit was requeued `requeues` times before
+    /// the batch gave up on it.
+    WorkerHung {
+        /// Times the watchdog requeued the unit before abandoning it.
+        requeues: u32,
+    },
 }
 
 impl fmt::Display for InferenceError {
@@ -73,6 +99,20 @@ impl fmt::Display for InferenceError {
             InferenceError::Bayes(e) => write!(f, "bayesian layer error: {e}"),
             InferenceError::AllSamplesFailed { requested } => {
                 write!(f, "all {requested} samples failed")
+            }
+            InferenceError::Expired { samples_completed } => write!(
+                f,
+                "deadline expired with {samples_completed} samples completed"
+            ),
+            InferenceError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "request shed: batch depth {queue_depth} exceeds queue capacity {capacity}"
+            ),
+            InferenceError::WorkerHung { requeues } => {
+                write!(f, "worker hung; unit requeued {requeues} times, abandoned")
             }
         }
     }
@@ -116,6 +156,9 @@ impl From<BayesError> for InferenceError {
             BayesError::AllSamplesFailed { requested } => {
                 InferenceError::AllSamplesFailed { requested }
             }
+            BayesError::Expired => InferenceError::Expired {
+                samples_completed: 0,
+            },
             other => InferenceError::Bayes(other),
         }
     }
@@ -142,6 +185,14 @@ mod tests {
             })),
             Box::new(InferenceError::Bayes(BayesError::NoSamples)),
             Box::new(InferenceError::AllSamplesFailed { requested: 4 }),
+            Box::new(InferenceError::Expired {
+                samples_completed: 0,
+            }),
+            Box::new(InferenceError::Overloaded {
+                queue_depth: 12,
+                capacity: 8,
+            }),
+            Box::new(InferenceError::WorkerHung { requeues: 2 }),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());
@@ -156,5 +207,12 @@ mod tests {
         assert_eq!(e, InferenceError::AllSamplesFailed { requested: 9 });
         let e: InferenceError = BayesError::NoSamples.into();
         assert_eq!(e, InferenceError::Bayes(BayesError::NoSamples));
+        let e: InferenceError = BayesError::Expired.into();
+        assert_eq!(
+            e,
+            InferenceError::Expired {
+                samples_completed: 0
+            }
+        );
     }
 }

@@ -101,6 +101,7 @@ pub fn run_with_network(
             calibration_samples: 6,
             seed: cfg.seed,
             threads: cfg.threads,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
         },
     );
 

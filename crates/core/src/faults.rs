@@ -18,6 +18,63 @@ use fbcnn_bayes::BayesianNetwork;
 use fbcnn_nn::{Network, NodeId};
 use fbcnn_predictor::ThresholdSet;
 use fbcnn_tensor::{BitMask, Shape, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A seeded per-sample latency schedule: some samples stall for a
+/// deterministic delay, the rest run untouched. Latency faults perturb
+/// *time only* — the regression suite asserts the numerics are
+/// bit-identical with and without the schedule installed.
+#[derive(Debug, Clone)]
+pub struct LatencySchedule {
+    /// `delays[s % delays.len()]` is sample `s`'s stall (possibly zero).
+    delays: Vec<Duration>,
+}
+
+impl LatencySchedule {
+    /// The period of the precomputed delay table.
+    const PERIOD: usize = 64;
+
+    /// Builds the schedule from precomputed injector draws: each of the
+    /// 64 table slots stalls with probability `rate`, for a uniform
+    /// duration in `(0, max_delay]`.
+    fn from_injector(inj: &mut FaultInjector, rate: f64, max_delay: Duration) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        let delays = (0..Self::PERIOD)
+            .map(|_| {
+                let roll = (inj.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                if roll < rate && !max_delay.is_zero() {
+                    let frac = (inj.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    Duration::from_nanos(((max_delay.as_nanos() as f64) * frac).max(1.0) as u64)
+                } else {
+                    Duration::ZERO
+                }
+            })
+            .collect();
+        Self { delays }
+    }
+
+    /// The stall scheduled for sample index `s` (zero for most).
+    pub fn delay_for(&self, sample: usize) -> Duration {
+        self.delays[sample % self.delays.len()]
+    }
+
+    /// Samples with a nonzero stall in one table period.
+    pub fn stalled_slots(&self) -> usize {
+        self.delays.iter().filter(|d| !d.is_zero()).count()
+    }
+
+    /// Wraps the schedule as a sample hook that sleeps the scheduled
+    /// stall — pluggable into `RunControl::sample_hook`.
+    pub fn into_hook(self) -> Arc<dyn Fn(usize) + Send + Sync> {
+        Arc::new(move |s| {
+            let d = self.delay_for(s);
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        })
+    }
+}
 
 /// A record of one injected bit flip (for logs and assertions).
 #[derive(Debug, Clone, PartialEq)]
@@ -235,6 +292,14 @@ impl FaultInjector {
         }
     }
 
+    /// Draws a seeded per-sample [`LatencySchedule`]: each slot of the
+    /// 64-entry table stalls with probability `rate` for a uniform
+    /// duration up to `max_delay`. Consumes injector draws, so schedules
+    /// drawn from one injector differ (but replay exactly per seed).
+    pub fn latency_schedule(&mut self, rate: f64, max_delay: Duration) -> LatencySchedule {
+        LatencySchedule::from_injector(self, rate, max_delay)
+    }
+
     /// Masks that kill the worker of any sample they are applied to: the
     /// first dropout node receives a mask of the wrong shape, which the
     /// mask-application path rejects by panicking. Used to exercise the
@@ -348,6 +413,20 @@ mod tests {
             ThresholdFault::Misaddress,
         );
         assert!(misaddressed.validate(bnet.network()).is_err());
+    }
+
+    #[test]
+    fn latency_schedule_is_seeded_and_bounded() {
+        let cap = Duration::from_millis(3);
+        let a = FaultInjector::new(77).latency_schedule(0.25, cap);
+        let b = FaultInjector::new(77).latency_schedule(0.25, cap);
+        for s in 0..200 {
+            assert_eq!(a.delay_for(s), b.delay_for(s));
+            assert!(a.delay_for(s) <= cap);
+        }
+        assert!(a.stalled_slots() > 0, "rate 0.25 over 64 slots");
+        let none = FaultInjector::new(77).latency_schedule(0.0, cap);
+        assert_eq!(none.stalled_slots(), 0);
     }
 
     #[test]

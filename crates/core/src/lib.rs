@@ -30,18 +30,26 @@
 //! ```
 
 mod batch;
+pub mod chaos;
 mod engine;
 mod error;
 pub mod experiments;
 pub mod faults;
 pub mod io;
 pub mod report;
+mod resilience;
 mod telemetry_report;
 
 pub use batch::{BatchConfig, BatchEngine, BatchOutcome, BatchReport, BatchRequest};
 pub use engine::{synth_input, DegradedMode, Engine, EngineConfig, RobustConfig, RobustReport};
 pub use error::{EngineError, InferenceError};
-pub use faults::{BitFlip, FaultInjector, ThresholdFault};
+pub use faults::{BitFlip, FaultInjector, LatencySchedule, ThresholdFault};
+pub use resilience::{
+    error_reason_name, retry_class, BreakerConfig, BreakerState, CircuitBreaker, Jitter, NoJitter,
+    PathDecision, RequestSampleHook, ResilienceConfig, ResilienceTotals, ResilientBatchEngine,
+    ResilientBatchReport, ResilientOutcome, RetryClass, RetryPolicy, RunControl, SampleHook,
+    SeededJitter, ShedPolicy,
+};
 pub use telemetry_report::{LayerSkipRow, TelemetryReport};
 
 /// The workspace telemetry layer (spans, counters, histograms, exporters)
@@ -56,8 +64,8 @@ pub use fbcnn_accel::{
     RunReport, SkipMode, Workload,
 };
 pub use fbcnn_bayes::{
-    BayesError, BayesianNetwork, Brng, IsolatedRun, Lfsr32, McDropout, Prediction,
-    SoftwareBernoulli,
+    BayesError, BayesianNetwork, Brng, CancelToken, IsolatedRun, Lfsr32, McDropout, PartialRun,
+    Prediction, SoftwareBernoulli,
 };
 pub use fbcnn_nn::{models, ActivationGuard, GuardPolicy, Network, NumericFault};
 pub use fbcnn_predictor::{

@@ -56,6 +56,25 @@ pub struct TelemetryReport {
     pub batch_cache_hits: u64,
     /// `batch_cache_misses` total — pre-inference cache misses.
     pub batch_cache_misses: u64,
+    /// `breaker_transitions` by `(from, to)` label pair, in label order.
+    pub breaker_transitions: Vec<(String, u64)>,
+    /// `breaker_forced_exact` total — attempts served exact by an open
+    /// breaker.
+    pub breaker_forced_exact: u64,
+    /// `shed_requests` total — requests rejected by admission control.
+    pub shed_requests: u64,
+    /// `retry_attempts` total — retries of typed-transient failures.
+    pub retry_attempts: u64,
+    /// `retry_successes` total — requests that healed on a retry.
+    pub retry_successes: u64,
+    /// `retry_exhausted` total — retryable failures that survived every
+    /// allowed attempt.
+    pub retry_exhausted: u64,
+    /// `deadline_expired` total — requests cut short by a deadline or
+    /// cancellation (partial and empty outcomes alike).
+    pub deadline_expired: u64,
+    /// `watchdog_requeues` total — hung units requeued to fresh workers.
+    pub watchdog_requeues: u64,
 }
 
 impl TelemetryReport {
@@ -63,8 +82,21 @@ impl TelemetryReport {
     pub fn from_registry(registry: &Registry) -> Self {
         let mut layers: BTreeMap<String, LayerSkipRow> = BTreeMap::new();
         let mut degraded: BTreeMap<String, u64> = BTreeMap::new();
+        let mut transitions: BTreeMap<String, u64> = BTreeMap::new();
         for c in registry.counters() {
             match c.name.as_str() {
+                "breaker_transitions" => {
+                    let label = |key: &str| {
+                        c.labels
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_else(|| "unknown".into())
+                    };
+                    *transitions
+                        .entry(format!("{}->{}", label("from"), label("to")))
+                        .or_default() += c.value;
+                }
                 "skip_neurons_considered"
                 | "skip_neurons_dropped"
                 | "skip_neurons_predicted"
@@ -103,6 +135,14 @@ impl TelemetryReport {
             batch_requests: registry.counter_total("batch_requests"),
             batch_cache_hits: registry.counter_total("batch_cache_hits"),
             batch_cache_misses: registry.counter_total("batch_cache_misses"),
+            breaker_transitions: transitions.into_iter().collect(),
+            breaker_forced_exact: registry.counter_total("breaker_forced_exact"),
+            shed_requests: registry.counter_total("shed_requests"),
+            retry_attempts: registry.counter_total("retry_attempts"),
+            retry_successes: registry.counter_total("retry_successes"),
+            retry_exhausted: registry.counter_total("retry_exhausted"),
+            deadline_expired: registry.counter_total("deadline_expired"),
+            watchdog_requeues: registry.counter_total("watchdog_requeues"),
         }
     }
 
@@ -180,6 +220,40 @@ impl TelemetryReport {
                 self.batch_cache_hit_rate() * 100.0,
             ));
         }
+        // Resilience lines appear only when the layer was active, so
+        // sessions without deadlines/retries/breakers render unchanged.
+        let resilience_active = self.shed_requests
+            + self.retry_attempts
+            + self.retry_successes
+            + self.retry_exhausted
+            + self.deadline_expired
+            + self.watchdog_requeues
+            + self.breaker_forced_exact
+            > 0
+            || !self.breaker_transitions.is_empty();
+        if resilience_active {
+            out.push_str(&format!(
+                "resilience: shed {} | retries {} (healed {}, exhausted {}) | deadline expiries {} | watchdog requeues {}\n",
+                self.shed_requests,
+                self.retry_attempts,
+                self.retry_successes,
+                self.retry_exhausted,
+                self.deadline_expired,
+                self.watchdog_requeues,
+            ));
+        }
+        if !self.breaker_transitions.is_empty() {
+            let moves: Vec<String> = self
+                .breaker_transitions
+                .iter()
+                .map(|(t, n)| format!("{t}={n}"))
+                .collect();
+            out.push_str(&format!(
+                "breaker: forced exact {} | transitions {}\n",
+                self.breaker_forced_exact,
+                moves.join(", "),
+            ));
+        }
         out
     }
 }
@@ -232,6 +306,58 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("batch requests 8"));
         assert!(rendered.contains("75.0% hit rate"));
+    }
+
+    #[test]
+    fn report_reads_resilience_counters() {
+        let r = Registry::new();
+        r.counter_add("shed_requests", &[("policy", "reject_newest")], 3);
+        r.counter_add("retry_attempts", &[("reason", "transient")], 4);
+        r.counter_add("retry_successes", &[], 2);
+        r.counter_add("retry_exhausted", &[("reason", "transient")], 1);
+        r.counter_add("deadline_expired", &[("outcome", "partial")], 5);
+        r.counter_add("watchdog_requeues", &[], 1);
+        r.counter_add("breaker_forced_exact", &[], 6);
+        r.counter_add(
+            "breaker_transitions",
+            &[("from", "closed"), ("to", "open")],
+            1,
+        );
+        r.counter_add(
+            "breaker_transitions",
+            &[("from", "open"), ("to", "half_open")],
+            1,
+        );
+        let report = TelemetryReport::from_registry(&r);
+        assert_eq!(report.shed_requests, 3);
+        assert_eq!(report.retry_attempts, 4);
+        assert_eq!(report.retry_successes, 2);
+        assert_eq!(report.retry_exhausted, 1);
+        assert_eq!(report.deadline_expired, 5);
+        assert_eq!(report.watchdog_requeues, 1);
+        assert_eq!(report.breaker_forced_exact, 6);
+        assert_eq!(
+            report.breaker_transitions,
+            vec![
+                ("closed->open".to_string(), 1),
+                ("open->half_open".to_string(), 1)
+            ]
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("resilience: shed 3"));
+        assert!(rendered.contains("retries 4 (healed 2, exhausted 1)"));
+        assert!(rendered.contains("deadline expiries 5"));
+        assert!(rendered.contains("breaker: forced exact 6"));
+        assert!(rendered.contains("closed->open=1"));
+    }
+
+    #[test]
+    fn quiet_sessions_render_without_resilience_lines() {
+        let r = Registry::new();
+        r.counter_add("batch_requests", &[], 2);
+        let rendered = TelemetryReport::from_registry(&r).render();
+        assert!(!rendered.contains("resilience:"));
+        assert!(!rendered.contains("breaker:"));
     }
 
     #[test]

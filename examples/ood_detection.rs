@@ -48,6 +48,7 @@ fn main() {
             calibration_samples: 6,
             seed: 7,
             threads: 1,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
         },
     );
 

@@ -53,6 +53,7 @@ fn main() {
             calibration_samples: 6,
             seed: 42,
             threads: 1,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
         },
     );
 

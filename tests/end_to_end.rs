@@ -18,6 +18,7 @@ fn quick_engine(kind: ModelKind) -> Engine {
         calibration_samples: 3,
         seed: 99,
         threads: 1,
+        ..EngineConfig::for_model(kind)
     })
 }
 

@@ -27,6 +27,7 @@ fn quantized_alexnet_pipeline_end_to_end() {
             calibration_samples: 2,
             seed: 3,
             threads: 1,
+            ..EngineConfig::for_model(ModelKind::AlexNet)
         },
     );
     let input = synth_input(engine.network().input_shape(), 5);

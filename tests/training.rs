@@ -39,6 +39,7 @@ fn trained_bcnn_keeps_its_accuracy_under_skipping() {
             calibration_samples: 4,
             seed: 33,
             threads: 1,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
         },
     );
 
@@ -131,6 +132,7 @@ fn bayesian_uncertainty_separates_in_and_out_of_distribution() {
             calibration_samples: 4,
             seed: 5,
             threads: 1,
+            ..EngineConfig::for_model(ModelKind::LeNet5)
         },
     );
     let runner = McDropout::new(8, 5);

@@ -334,6 +334,28 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Map(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected map, got {other:?}"))),
+        }
+    }
+}
+
 macro_rules! tuple_impl {
     ($(($($n:tt $t:ident),+))*) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
@@ -379,6 +401,17 @@ mod tests {
             Vec::<u16>::from_value(&vec![1u16, 2, 3].to_value()).unwrap(),
             vec![1, 2, 3]
         );
+    }
+
+    #[test]
+    fn string_keyed_maps_roundtrip_as_objects() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let v = m.to_value();
+        assert!(matches!(&v, Value::Map(entries) if entries.len() == 2));
+        let back = std::collections::BTreeMap::<String, u64>::from_value(&v).unwrap();
+        assert_eq!(back, m);
     }
 
     #[test]
