@@ -151,6 +151,30 @@ mod tests {
     }
 
     #[test]
+    fn masks_serde_round_trip_is_bit_exact() {
+        // Masks travel inside serialized model artifacts and sample
+        // transcripts; a single flipped bit after the round trip would
+        // silently change which neurons a replayed sample drops.
+        let mut masks = DropoutMasks::empty(6);
+        let mut dense = BitMask::zeros(Shape::new(2, 3, 3));
+        for i in 0..dense.len() {
+            dense.set(i, i % 3 == 0);
+        }
+        masks.insert(NodeId(1), dense);
+        masks.insert(NodeId(4), BitMask::ones(Shape::new(1, 2, 2)));
+
+        let json = serde_json::to_string(&masks).expect("serialize masks");
+        let back: DropoutMasks = serde_json::from_str(&json).expect("reload masks");
+        assert_eq!(back, masks, "mask container drifted through serde");
+        let original = masks.get(NodeId(1)).expect("mask present");
+        let reloaded = back.get(NodeId(1)).expect("mask survives");
+        for i in 0..original.len() {
+            assert_eq!(original.get(i), reloaded.get(i), "bit {i} flipped");
+        }
+        assert_eq!(back.total_dropped(), masks.total_dropped());
+    }
+
+    #[test]
     fn masks_container_roundtrip() {
         let mut masks = DropoutMasks::empty(5);
         assert!(masks.is_empty());

@@ -5,6 +5,10 @@
 //!   — accounting reconciled exactly, every loss typed, nothing
 //!   abandoned, and (for full soaks) the ≥ 200-request / ≥ 5-class
 //!   coverage floors;
+//! * a record carrying `"schema": "swap-v1"` parses back through
+//!   [`fbcnn_bench::SwapBenchReport`] — zero lost requests under
+//!   hot-swap, every healthy rollout promoted, every crashing rollout
+//!   rolled back, and per-version request counters reconciled exactly;
 //! * anything else parses as the `throughput` harness's
 //!   [`fbcnn_bench::BatchBenchReport`] — every point bit-identical to
 //!   sequential, positive timings, and (only on a multi-CPU host running
@@ -12,9 +16,9 @@
 //!
 //! Exits non-zero on missing, malformed or failing records.
 //!
-//! Usage: `bench_check <BENCH_batch.json | BENCH_chaos.json> [min_speedup]`
+//! Usage: `bench_check <BENCH_batch.json | BENCH_chaos.json | BENCH_swap.json> [min_speedup]`
 
-use fbcnn_bench::{BatchBenchReport, ChaosBenchReport, CHAOS_SCHEMA};
+use fbcnn_bench::{BatchBenchReport, ChaosBenchReport, SwapBenchReport, CHAOS_SCHEMA, SWAP_SCHEMA};
 
 fn fail(msg: String) -> ! {
     eprintln!("bench_check: {msg}");
@@ -38,6 +42,27 @@ fn check_chaos(path: &str, text: &str) {
         report.ok_total,
         report.failed_total,
         report.transitions.len(),
+        if report.quick { " [quick smoke]" } else { "" },
+    );
+}
+
+fn check_swap(path: &str, text: &str) {
+    let report: SwapBenchReport = match serde_json::from_str(text) {
+        Ok(report) => report,
+        Err(e) => fail(format!("{path}: malformed swap record: {e}")),
+    };
+    if let Err(reason) = report.validate() {
+        fail(format!("{path}: {reason}"));
+    }
+    println!(
+        "bench_check: ok — swap campaign seed {}: {} requests over {} rounds, \
+         {} promotions / {} rollbacks, {} responses bit-checked, reconciled exactly{}",
+        report.seed,
+        report.requests_total,
+        report.rounds.len(),
+        report.promotions,
+        report.rollbacks,
+        report.compared_outputs,
         if report.quick { " [quick smoke]" } else { "" },
     );
 }
@@ -92,10 +117,12 @@ fn main() {
         Ok(text) => text,
         Err(e) => fail(format!("{path}: {e}")),
     };
-    // The chaos record is the only bench artifact carrying a schema tag;
-    // its presence in the text decides which parser's errors to surface.
+    // Chaos and swap records carry schema tags; their presence in the
+    // text decides which parser's errors to surface.
     if text.contains(&format!("\"{CHAOS_SCHEMA}\"")) {
         check_chaos(&path, &text);
+    } else if text.contains(&format!("\"{SWAP_SCHEMA}\"")) {
+        check_swap(&path, &text);
     } else {
         check_batch(&path, &text, min_speedup);
     }

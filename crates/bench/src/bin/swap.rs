@@ -1,0 +1,115 @@
+//! Hot-swap-under-fire harness: runs the chaos soak's traffic pattern
+//! against a [`fast_bcnn::ModelRegistry`] that deploys a new model
+//! version every round — healthy versions promoted mid-traffic,
+//! crashing versions auto-rolled back by the canary verdict — and
+//! proves zero lost requests, bit-identical intact responses and exact
+//! `version_requests{version}` counter reconciliation.
+//!
+//! Emits `BENCH_swap.json` (override the path with `--json`); `--seed`
+//! sets the campaign seed and `--quick` the CI smoke configuration. The
+//! campaign records into its own telemetry registry, so `--trace-out` /
+//! `--metrics-out` export from that registry after the run.
+
+use fast_bcnn::chaos::{run_swap_chaos_into, SwapChaosConfig};
+use fbcnn_bench::SwapBenchReport;
+use std::sync::Arc;
+
+fn main() {
+    let args = fbcnn_bench::parse_args();
+    let quick = args.cfg.t <= 4;
+    let cfg = if quick {
+        SwapChaosConfig::quick(args.cfg.seed)
+    } else {
+        SwapChaosConfig::full(args.cfg.seed)
+    };
+
+    let registry = Arc::new(fast_bcnn::telemetry::Registry::new());
+    let report = match run_swap_chaos_into(&cfg, &registry) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("swap: campaign failed to run: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bench = SwapBenchReport::from_report(&report, quick);
+
+    println!(
+        "== swap under fire (seed {}, {} rounds, {} requests, {} shards) ==",
+        bench.seed,
+        bench.rounds.len(),
+        bench.requests_total,
+        cfg.shards
+    );
+    for r in &bench.rounds {
+        println!(
+            "round {:>2} {:<12} v{:<3} offered {:>3} | ok {:>3} | failed {:>3} | {}",
+            r.round,
+            r.action,
+            r.deployed_version,
+            r.offered,
+            r.ok,
+            r.failed,
+            if r.promoted {
+                "promoted"
+            } else if r.rolled_back {
+                "rolled back"
+            } else {
+                "abandoned"
+            }
+        );
+    }
+    println!(
+        "totals: ok {} / failed {} | deploys {} | promotions {} | rollbacks {} | \
+         active v{} | {} responses bit-checked ({} diverged)",
+        bench.ok_total,
+        bench.failed_total,
+        bench.deploys,
+        bench.promotions,
+        bench.rollbacks,
+        bench.final_version,
+        bench.compared_outputs,
+        bench.mismatched_outputs,
+    );
+    for (version, cell) in &bench.version_requests {
+        println!(
+            "version_requests[v{version}] = {} (ok {}, failed {}, canary {})",
+            cell.requests, cell.ok, cell.failed, cell.canary
+        );
+    }
+
+    if let Some(p) = &args.trace_out {
+        match registry.write_jsonl(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(p) = &args.metrics_out {
+        match registry.write_prometheus(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_swap.json".into());
+    match fast_bcnn::report::save_json(&path, &bench) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(reason) = bench.validate() {
+        eprintln!("swap: FAIL — {reason}");
+        std::process::exit(1);
+    }
+    println!("swap: ok — zero lost requests, version counters reconciled exactly");
+}

@@ -20,9 +20,11 @@ use fast_bcnn::experiments::ExpConfig;
 
 mod batch_report;
 mod chaos_report;
+mod swap_report;
 
 pub use batch_report::{BatchBenchReport, BatchPoint};
 pub use chaos_report::{ChaosBenchReport, ChaosRound, CHAOS_SCHEMA};
+pub use swap_report::{SwapBenchReport, SwapBenchRound, SwapVersionCell, SWAP_SCHEMA};
 
 /// Command-line options shared by every harness binary.
 #[derive(Debug, Clone, PartialEq)]

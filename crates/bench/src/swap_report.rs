@@ -1,0 +1,364 @@
+//! The `BENCH_swap.json` record shared by the `swap` hot-swap-under-fire
+//! harness (writer) and the `bench_check` CI validator (reader).
+//!
+//! Like `BENCH_chaos.json` the record carries a `schema` tag
+//! ([`SWAP_SCHEMA`]) so `bench_check` can dispatch on file contents
+//! alone. It flattens the in-memory
+//! `fast_bcnn::chaos::SwapChaosReport` into plain serializable fields
+//! and keeps both halves of the acceptance evidence: the reconciliation
+//! verdict computed at run time and the per-version request accounting
+//! a reader needs to re-derive it.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The `schema` tag every swap record carries.
+pub const SWAP_SCHEMA: &str = "swap-v1";
+
+/// One deploy round of the campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapBenchRound {
+    /// Round index.
+    pub round: usize,
+    /// `"rollout_good"` or `"rollout_bad"`.
+    pub action: String,
+    /// Model version deployed this round.
+    pub deployed_version: u64,
+    /// Requests offered this round.
+    pub offered: usize,
+    /// Requests that produced a prediction.
+    pub ok: usize,
+    /// Requests that failed with a typed error.
+    pub failed: usize,
+    /// Whether the canary verdict rolled the rollout back.
+    pub rolled_back: bool,
+    /// Whether the rollout was promoted.
+    pub promoted: bool,
+}
+
+/// Per-version request accounting, flattened for JSON (keys of the
+/// containing map are the decimal version numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapVersionCell {
+    /// Requests routed to this version.
+    pub requests: u64,
+    /// Requests that produced a prediction.
+    pub ok: u64,
+    /// Requests that ended in a typed error.
+    pub failed: u64,
+    /// Requests served as canaries of an in-flight rollout.
+    pub canary: u64,
+}
+
+/// The full `BENCH_swap.json` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwapBenchReport {
+    /// Always [`SWAP_SCHEMA`]; lets `bench_check` dispatch on content.
+    pub schema: String,
+    /// The campaign seed — replaying with it reproduces the run.
+    pub seed: u64,
+    /// Whether the quick (smoke) configuration ran; the full-soak
+    /// floors in [`SwapBenchReport::validate`] only bind when false.
+    pub quick: bool,
+    /// Requests offered across all rounds.
+    pub requests_total: usize,
+    /// Requests that produced a prediction.
+    pub ok_total: usize,
+    /// Requests that failed with a typed error (crashing canaries only).
+    pub failed_total: usize,
+    /// Deploys staged.
+    pub deploys: u64,
+    /// Rollouts promoted.
+    pub promotions: u64,
+    /// Rollouts rolled back by the canary verdict.
+    pub rollbacks: u64,
+    /// Model version active after the campaign.
+    pub final_version: u64,
+    /// Per-version accounting (keys are decimal version numbers).
+    pub version_requests: BTreeMap<String, SwapVersionCell>,
+    /// The `version_requests{version}` telemetry counter deltas — must
+    /// equal the accounting, request for request.
+    pub version_request_counters: BTreeMap<String, u64>,
+    /// Campaign deltas of the swap lifecycle counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Intact fast-path responses compared bit-for-bit against a
+    /// reference engine.
+    pub compared_outputs: usize,
+    /// Compared responses that differed — must be zero.
+    pub mismatched_outputs: usize,
+    /// Per-round summaries, in order.
+    pub rounds: Vec<SwapBenchRound>,
+    /// Whether outcome/accounting/counter reconciliation passed at run
+    /// time.
+    pub reconciled: bool,
+    /// The first reconciliation failure, when `reconciled` is false.
+    pub reconcile_error: Option<String>,
+    /// Wall-clock of the campaign, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl SwapBenchReport {
+    /// Flattens an in-memory campaign report into the JSON record,
+    /// stamping the reconciliation verdict.
+    pub fn from_report(report: &fast_bcnn::chaos::SwapChaosReport, quick: bool) -> Self {
+        let reconcile = report.reconcile();
+        Self {
+            schema: SWAP_SCHEMA.to_string(),
+            seed: report.seed,
+            quick,
+            requests_total: report.requests_total,
+            ok_total: report.ok_total,
+            failed_total: report.failed_total,
+            deploys: report.deploys,
+            promotions: report.promotions,
+            rollbacks: report.rollbacks,
+            final_version: report.final_version,
+            version_requests: report
+                .version_requests
+                .iter()
+                .map(|(v, c)| {
+                    (
+                        v.to_string(),
+                        SwapVersionCell {
+                            requests: c.requests,
+                            ok: c.ok,
+                            failed: c.failed,
+                            canary: c.canary,
+                        },
+                    )
+                })
+                .collect(),
+            version_request_counters: report
+                .version_request_counters
+                .iter()
+                .map(|(v, n)| (v.to_string(), *n))
+                .collect(),
+            counters: report.counters.clone(),
+            compared_outputs: report.compared_outputs,
+            mismatched_outputs: report.mismatched_outputs,
+            rounds: report
+                .rounds
+                .iter()
+                .map(|r| SwapBenchRound {
+                    round: r.round,
+                    action: r.action.clone(),
+                    deployed_version: r.deployed_version,
+                    offered: r.offered,
+                    ok: r.ok,
+                    failed: r.failed,
+                    rolled_back: r.rolled_back,
+                    promoted: r.promoted,
+                })
+                .collect(),
+            reconciled: reconcile.is_ok(),
+            reconcile_error: reconcile.err(),
+            elapsed_ns: report.elapsed_ns,
+        }
+    }
+
+    /// Validates the record for CI. Every run must have reconciled
+    /// exactly, lost nothing untyped, kept all compared responses
+    /// bit-identical, promoted every healthy rollout and rolled back
+    /// every crashing one; a full (non `--quick`) campaign must
+    /// additionally have offered ≥ 150 requests and exercised at least
+    /// two promotions and two rollbacks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SWAP_SCHEMA {
+            return Err(format!(
+                "schema `{}`, expected `{SWAP_SCHEMA}`",
+                self.schema
+            ));
+        }
+        if !self.reconciled {
+            return Err(format!(
+                "accounting did not reconcile: {}",
+                self.reconcile_error.as_deref().unwrap_or("unknown")
+            ));
+        }
+        if self.ok_total + self.failed_total != self.requests_total {
+            return Err(format!(
+                "ok {} + failed {} != offered {}",
+                self.ok_total, self.failed_total, self.requests_total
+            ));
+        }
+        if self.mismatched_outputs != 0 {
+            return Err(format!(
+                "{} of {} compared responses diverged bit-for-bit",
+                self.mismatched_outputs, self.compared_outputs
+            ));
+        }
+        if self.rounds.is_empty() {
+            return Err("no deploy rounds".into());
+        }
+        for r in &self.rounds {
+            match r.action.as_str() {
+                "rollout_good" if !r.promoted || r.rolled_back => {
+                    return Err(format!(
+                        "healthy round {} was not promoted cleanly",
+                        r.round
+                    ));
+                }
+                "rollout_good" if r.failed != 0 => {
+                    return Err(format!(
+                        "healthy round {} lost {} requests",
+                        r.round, r.failed
+                    ));
+                }
+                "rollout_bad" if !r.rolled_back || r.promoted => {
+                    return Err(format!(
+                        "crashing round {} was not rolled back automatically",
+                        r.round
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if self.promotions + self.rollbacks != self.deploys {
+            return Err(format!(
+                "{} deploys but {} promotions + {} rollbacks",
+                self.deploys, self.promotions, self.rollbacks
+            ));
+        }
+        if !self.quick {
+            if self.requests_total < 150 {
+                return Err(format!(
+                    "full campaign offered {} requests, floor is 150",
+                    self.requests_total
+                ));
+            }
+            if self.promotions < 2 || self.rollbacks < 2 {
+                return Err(format!(
+                    "full campaign exercised {} promotions / {} rollbacks, floor is 2 each",
+                    self.promotions, self.rollbacks
+                ));
+            }
+            if self.compared_outputs == 0 {
+                return Err("full campaign never ran the bit-identity sweep".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(quick: bool) -> SwapBenchReport {
+        SwapBenchReport {
+            schema: SWAP_SCHEMA.to_string(),
+            seed: 7,
+            quick,
+            requests_total: 192,
+            ok_total: 180,
+            failed_total: 12,
+            deploys: 8,
+            promotions: 4,
+            rollbacks: 4,
+            final_version: 8,
+            version_requests: [(
+                "1".to_string(),
+                SwapVersionCell {
+                    requests: 192,
+                    ok: 180,
+                    failed: 12,
+                    canary: 90,
+                },
+            )]
+            .into_iter()
+            .collect(),
+            version_request_counters: [("1".to_string(), 192u64)].into_iter().collect(),
+            counters: [
+                ("swap_deploys".to_string(), 8u64),
+                ("swap_promotions".to_string(), 4),
+                ("rollback_total".to_string(), 4),
+            ]
+            .into_iter()
+            .collect(),
+            compared_outputs: 120,
+            mismatched_outputs: 0,
+            rounds: vec![
+                SwapBenchRound {
+                    round: 0,
+                    action: "rollout_good".into(),
+                    deployed_version: 2,
+                    offered: 24,
+                    ok: 24,
+                    failed: 0,
+                    rolled_back: false,
+                    promoted: true,
+                },
+                SwapBenchRound {
+                    round: 1,
+                    action: "rollout_bad".into(),
+                    deployed_version: 3,
+                    offered: 24,
+                    ok: 18,
+                    failed: 6,
+                    rolled_back: true,
+                    promoted: false,
+                },
+            ],
+            reconciled: true,
+            reconcile_error: None,
+            elapsed_ns: 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record(false);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SwapBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn a_clean_full_campaign_passes() {
+        assert!(record(false).validate().is_ok());
+    }
+
+    #[test]
+    fn reconcile_failures_always_fail_validation() {
+        let mut r = record(true);
+        r.reconciled = false;
+        r.reconcile_error = Some("version_requests counter is 3, accounting says 4".into());
+        assert!(r.validate().unwrap_err().contains("reconcile"));
+    }
+
+    #[test]
+    fn output_divergence_fails_validation() {
+        let mut r = record(true);
+        r.mismatched_outputs = 1;
+        assert!(r.validate().unwrap_err().contains("diverged"));
+    }
+
+    #[test]
+    fn unrolled_crashing_round_fails_validation() {
+        let mut r = record(true);
+        r.rounds[1].rolled_back = false;
+        assert!(r.validate().unwrap_err().contains("rolled back"));
+    }
+
+    #[test]
+    fn full_floors_do_not_bind_quick_runs() {
+        let mut r = record(true);
+        r.requests_total = 64;
+        r.ok_total = 58;
+        r.failed_total = 6;
+        assert!(r.validate().is_ok());
+        r.quick = false;
+        assert!(r.validate().unwrap_err().contains("floor is 150"));
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_rejected() {
+        let mut r = record(true);
+        r.schema = "chaos-v1".into();
+        assert!(r.validate().unwrap_err().contains("schema"));
+    }
+}

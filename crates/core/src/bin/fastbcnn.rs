@@ -8,6 +8,10 @@
 //! fastbcnn observe      [--model ...] [--samples N] [--full]
 //! fastbcnn serve-batch  [--model ...] [--samples N] [--requests N] [--threads N] [--full]
 //!                       [--deadline-ms N] [--retry-max N] [--breaker-threshold X]
+//! fastbcnn export-model --out <path> [--model ...] [--samples N] [--model-version N] [--label S]
+//! fastbcnn serve        [--artifact <path>] [--requests N] [--shards N] [--canary-percent N]
+//! fastbcnn swap         [--artifact <path>] [--next <path>] [--requests N] [--shards N]
+//!                       [--canary-percent N]
 //! ```
 //!
 //! Every command additionally accepts `--trace-out <path>` and
@@ -24,8 +28,8 @@
 use fast_bcnn::report::{format_table, pct, speedup};
 use fast_bcnn::{
     synth_input, BaselineSim, BatchConfig, BatchEngine, BatchRequest, CnvlutinSim, Engine,
-    EngineConfig, FastBcnnSim, HwConfig, IdealSim, ResilienceConfig, ResilientBatchEngine,
-    SkipMode,
+    EngineConfig, FastBcnnSim, HwConfig, IdealSim, ModelArtifact, ModelRegistry, RegistryConfig,
+    ResilienceConfig, ResilientBatchEngine, SkipMode,
 };
 use fbcnn_nn::models::{ModelKind, ModelScale};
 
@@ -43,6 +47,13 @@ struct Args {
     breaker_threshold: Option<f64>,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    artifact: Option<String>,
+    next: Option<String>,
+    out: Option<String>,
+    model_version: u64,
+    label: Option<String>,
+    shards: usize,
+    canary_percent: u32,
 }
 
 fn parse() -> Result<Args, String> {
@@ -62,6 +73,13 @@ fn parse() -> Result<Args, String> {
         breaker_threshold: None,
         trace_out: None,
         metrics_out: None,
+        artifact: None,
+        next: None,
+        out: None,
+        model_version: 1,
+        label: None,
+        shards: 2,
+        canary_percent: 20,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -137,6 +155,50 @@ fn parse() -> Result<Args, String> {
                         .filter(|&x: &f64| x > 0.0 && x <= 1.0)
                         .ok_or("--breaker-threshold needs a number in (0, 1]")?,
                 );
+                i += 1;
+            }
+            "--artifact" => {
+                args.artifact = Some(
+                    argv.get(i + 1)
+                        .ok_or("--artifact needs a path")?
+                        .to_string(),
+                );
+                i += 1;
+            }
+            "--next" => {
+                args.next = Some(argv.get(i + 1).ok_or("--next needs a path")?.to_string());
+                i += 1;
+            }
+            "--out" => {
+                args.out = Some(argv.get(i + 1).ok_or("--out needs a path")?.to_string());
+                i += 1;
+            }
+            "--model-version" => {
+                args.model_version = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &u64| v > 0)
+                    .ok_or("--model-version needs a number > 0")?;
+                i += 1;
+            }
+            "--label" => {
+                args.label = Some(argv.get(i + 1).ok_or("--label needs a value")?.to_string());
+                i += 1;
+            }
+            "--shards" => {
+                args.shards = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&s: &usize| s > 0)
+                    .ok_or("--shards needs a number > 0")?;
+                i += 1;
+            }
+            "--canary-percent" => {
+                args.canary_percent = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&p: &u32| p <= 100)
+                    .ok_or("--canary-percent needs a number in 0..=100")?;
                 i += 1;
             }
             "--full" => args.scale = ModelScale::FULL,
@@ -462,6 +524,288 @@ fn cmd_serve_batch(args: &Args) {
     }
 }
 
+/// Label for a freshly exported artifact when `--label` was not given.
+fn default_label(args: &Args) -> String {
+    args.label
+        .clone()
+        .unwrap_or_else(|| format!("{:?}-T{}", args.model, args.samples))
+}
+
+/// The serving model: the `--artifact` file when given (any load or
+/// validation failure is a typed [`fast_bcnn::ArtifactError`], printed
+/// and fatal), otherwise a fresh export of the `--model` engine.
+fn base_artifact(args: &Args) -> ModelArtifact {
+    match &args.artifact {
+        Some(path) => match ModelArtifact::load(path) {
+            Ok(artifact) => artifact,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            ModelArtifact::from_engine(&engine_for(args), args.model_version, default_label(args))
+        }
+    }
+}
+
+/// Registry configuration from the CLI flags and the artifact's own
+/// engine configuration (deadline/retry/breaker travel with the model).
+fn registry_cfg(args: &Args, engine_cfg: &EngineConfig) -> RegistryConfig {
+    RegistryConfig {
+        shards: args.shards,
+        canary_percent: args.canary_percent,
+        batch: BatchConfig {
+            threads: args.threads,
+            ..BatchConfig::default()
+        },
+        resilience: ResilienceConfig::from_engine_config(engine_cfg),
+        ..RegistryConfig::default()
+    }
+}
+
+fn print_version_table(registry: &ModelRegistry) {
+    let rows: Vec<Vec<String>> = registry
+        .version_counters()
+        .iter()
+        .map(|(v, c)| {
+            vec![
+                format!("v{v}"),
+                c.requests.to_string(),
+                c.ok.to_string(),
+                c.failed.to_string(),
+                c.canary.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["version", "requests", "ok", "failed", "canary"], &rows)
+    );
+}
+
+/// Exports the configured engine as a versioned model artifact and
+/// immediately proves the round trip by reloading and validating it.
+fn cmd_export_model(args: &Args) {
+    let Some(out) = &args.out else {
+        eprintln!("error: export-model needs --out <path>");
+        std::process::exit(2);
+    };
+    let engine = engine_for(args);
+    let artifact = ModelArtifact::from_engine(&engine, args.model_version, default_label(args));
+    let digest = artifact.digest;
+    if let Err(e) = artifact.save(out) {
+        eprintln!("error: {out}: {e}");
+        std::process::exit(1);
+    }
+    let bytes = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "exported {} v{} (label `{}`) to {out}: {bytes} bytes, digest {digest:016x}",
+        args.model.bayesian_name(),
+        args.model_version,
+        default_label(args),
+    );
+    match ModelArtifact::load(out) {
+        Ok(back) if back.digest == digest => println!("verified: artifact reloads and validates"),
+        Ok(back) => {
+            eprintln!(
+                "error: reloaded digest {:016x} != exported {digest:016x}",
+                back.digest
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: exported artifact does not reload: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Serves a synthetic request queue through a [`ModelRegistry`] booted
+/// from an artifact (`--artifact`, or a fresh in-memory export) and
+/// prints the per-version request accounting.
+fn cmd_serve(args: &Args) {
+    let registry_telemetry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let guard = fast_bcnn::telemetry::install(registry_telemetry.clone());
+    let artifact = base_artifact(args);
+    let shape = artifact.network.input_shape();
+    let seed = artifact.config.seed;
+    let version = artifact.model_version;
+    let label = artifact.label.clone();
+    let cfg = registry_cfg(args, &artifact.config);
+    let registry = match ModelRegistry::new(artifact, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: refusing to serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let requests: Vec<BatchRequest> = (0..args.requests)
+        .map(|i| {
+            BatchRequest::new(
+                i as u64,
+                synth_input(shape, seed ^ (i as u64).wrapping_mul(41)),
+            )
+        })
+        .collect();
+    let report = registry.run_batch(&requests);
+    drop(guard);
+
+    println!(
+        "serving v{version} (label `{label}`) over {} shards, {}% canary fraction",
+        args.shards, args.canary_percent
+    );
+    let ok = report
+        .outcomes
+        .iter()
+        .filter(|o| o.outcome.outcome.result.is_ok())
+        .count();
+    println!(
+        "{} requests: {ok} ok / {} failed in {:.1} ms",
+        report.outcomes.len(),
+        report.outcomes.len() - ok,
+        report.elapsed_ns as f64 / 1e6
+    );
+    print_version_table(&registry);
+    match report.reconcile() {
+        Ok(()) => println!("accounting reconciled exactly"),
+        Err(e) => {
+            eprintln!("error: accounting did not reconcile: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!();
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(&registry_telemetry).render()
+    );
+    if let Some(path) = &args.trace_out {
+        match registry_telemetry.write_jsonl(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match registry_telemetry.write_prometheus(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Demonstrates a drain-free hot swap: serves traffic on the base
+/// artifact, deploys the `--next` artifact mid-stream (or a version bump
+/// of the base when `--next` is omitted), keeps serving while the canary
+/// fraction exercises the candidate, then promotes it on every shard.
+fn cmd_swap(args: &Args) {
+    let registry_telemetry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let guard = fast_bcnn::telemetry::install(registry_telemetry.clone());
+    let base = base_artifact(args);
+    let shape = base.network.input_shape();
+    let seed = base.config.seed;
+    let base_version = base.model_version;
+    let next = match &args.next {
+        Some(path) => match ModelArtifact::load(path) {
+            Ok(artifact) => artifact,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            // The digest covers weights/thresholds/indicators but not the
+            // version or label, so a relabeled version bump stays valid.
+            let mut bump = base.clone();
+            bump.model_version = base_version + 1;
+            bump.label = format!("{}-next", bump.label);
+            bump
+        }
+    };
+    let next_version = next.model_version;
+    let cfg = registry_cfg(args, &base.config);
+    let registry = match ModelRegistry::new(base, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: refusing to serve: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let per_phase = (args.requests / 3).max(1);
+    let serve = |phase: u64, n: usize| -> fast_bcnn::RegistryReport {
+        let requests: Vec<BatchRequest> = (0..n)
+            .map(|i| {
+                let id = phase * 10_000 + i as u64;
+                BatchRequest::new(id, synth_input(shape, seed ^ id.wrapping_mul(41)))
+            })
+            .collect();
+        registry.run_batch(&requests)
+    };
+
+    println!("phase 1: {per_phase} requests on v{base_version}");
+    let mut reports = vec![serve(0, per_phase)];
+    if let Err(e) = registry.deploy(next) {
+        eprintln!("error: deploy refused: {e}");
+        std::process::exit(1);
+    }
+    println!("deployed v{next_version} as rollout candidate (canary fraction serving)");
+    println!("phase 2: {per_phase} requests with the rollout in flight");
+    reports.push(serve(1, per_phase));
+    if let Some(status) = registry.rollout_status() {
+        println!(
+            "canary: {} observed, {} failures, {} trips",
+            status.observed, status.failures, status.canary_trips
+        );
+    }
+    match registry.promote() {
+        Some(v) => println!("promoted v{v} on all {} shards", args.shards),
+        None => println!(
+            "rollout was already resolved (rolled back automatically); still on v{}",
+            registry.active_version()
+        ),
+    }
+    println!(
+        "phase 3: {per_phase} requests on v{}",
+        registry.active_version()
+    );
+    reports.push(serve(2, per_phase));
+    drop(guard);
+
+    println!();
+    print_version_table(&registry);
+    println!(
+        "deploys {} | promotions {} | rollbacks {} | active v{}",
+        registry.deploys(),
+        registry.promotions(),
+        registry.rollbacks(),
+        registry.active_version()
+    );
+    for (i, report) in reports.iter().enumerate() {
+        if let Err(e) = report.reconcile() {
+            eprintln!("error: phase {} accounting did not reconcile: {e}", i + 1);
+            std::process::exit(1);
+        }
+    }
+    println!("accounting reconciled exactly across all phases");
+    println!();
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(&registry_telemetry).render()
+    );
+    if let Some(path) = &args.trace_out {
+        match registry_telemetry.write_jsonl(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match registry_telemetry.write_prometheus(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -470,10 +814,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // `observe` and `serve-batch` manage their own registry (they print
-    // the digest before the exporters run); every other command uses the
-    // drop-to-export sink.
-    let _telemetry = if args.command == "observe" || args.command == "serve-batch" {
+    // `observe`, `serve-batch`, `serve` and `swap` manage their own
+    // registry (they print the digest before the exporters run); every
+    // other command uses the drop-to-export sink.
+    let own_registry = matches!(
+        args.command.as_str(),
+        "observe" | "serve-batch" | "serve" | "swap"
+    );
+    let _telemetry = if own_registry {
         None
     } else {
         fast_bcnn::telemetry::FileSink::new(args.trace_out.as_deref(), args.metrics_out.as_deref())
@@ -485,9 +833,13 @@ fn main() {
         "train" => cmd_train(&args),
         "observe" => cmd_observe(&args),
         "serve-batch" => cmd_serve_batch(&args),
+        "export-model" => cmd_export_model(&args),
+        "serve" => cmd_serve(&args),
+        "swap" => cmd_swap(&args),
         _ => {
             println!(
-                "usage: fastbcnn <demo|simulate|characterize|train|observe|serve-batch> \
+                "usage: fastbcnn <demo|simulate|characterize|train|observe|serve-batch\
+                 |export-model|serve|swap> \
                  [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
                  [--epochs N] [--train-size N] [--requests N] [--threads N] \
                  [--deadline-ms N] [--retry-max N] [--breaker-threshold X] \
@@ -496,6 +848,12 @@ fn main() {
             println!(
                 "serve-batch resilience defaults: no deadline (--deadline-ms unset), \
                  --retry-max 2, --breaker-threshold 0.5"
+            );
+            println!(
+                "artifact flags: export-model --out <path> [--model-version N] [--label S]; \
+                 serve/swap [--artifact <path>] [--next <path>] [--shards N] \
+                 [--canary-percent N] (no --artifact: a fresh in-memory export; \
+                 no --next: a version bump of the base)"
             );
         }
     }

@@ -26,15 +26,18 @@
 //!
 //! [`Registry`]: fbcnn_telemetry::Registry
 
+use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::batch::{BatchConfig, BatchEngine, BatchRequest};
-use crate::engine::{synth_input, Engine, EngineConfig};
+use crate::engine::{synth_input, DegradedMode, Engine, EngineConfig};
 use crate::faults::{FaultInjector, ThresholdFault};
+use crate::registry::{ModelRegistry, RegistryConfig, RegistryReport, VersionCounters};
 use crate::resilience::{
     error_reason_name, BreakerConfig, CircuitBreaker, NoJitter, ResilienceConfig, ResilienceTotals,
     ResilientBatchEngine, RetryPolicy, ShedPolicy,
 };
 use fbcnn_nn::models::ModelKind;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -269,10 +272,10 @@ impl ChaosReport {
 /// harness's own injected panics (payloads starting with `"chaos:"`) so a
 /// soak does not flood stderr; every other panic still prints through the
 /// previous hook. Restores the previous hook on drop.
-struct SilencedChaosPanics;
+pub(crate) struct SilencedChaosPanics;
 
 impl SilencedChaosPanics {
-    fn install() -> Self {
+    pub(crate) fn install() -> Self {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             let injected = info
@@ -302,9 +305,8 @@ impl Drop for SilencedChaosPanics {
     }
 }
 
-/// Runs a chaos campaign; see the module docs. Installs a private
-/// telemetry registry for the duration — the caller must not hold a
-/// [`fbcnn_telemetry::install`] guard across this call.
+/// Runs a chaos campaign into a fresh private telemetry registry; see
+/// the module docs.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     run_chaos_with_registry(cfg).0
 }
@@ -316,10 +318,29 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
 ///
 /// [`Registry`]: fbcnn_telemetry::Registry
 pub fn run_chaos_with_registry(cfg: &ChaosConfig) -> (ChaosReport, Arc<fbcnn_telemetry::Registry>) {
-    let start = Instant::now();
     let registry = Arc::new(fbcnn_telemetry::Registry::new());
-    let telemetry_guard =
-        fbcnn_telemetry::install(Arc::clone(&registry) as Arc<dyn fbcnn_telemetry::Recorder>);
+    let report = run_chaos_into(cfg, &registry);
+    (report, registry)
+}
+
+/// Runs a chaos campaign recording into a *caller-owned* telemetry
+/// [`Registry`]. If `registry` is already the globally installed
+/// recorder (the caller holds its own [`fbcnn_telemetry::install`]
+/// guard), the campaign records through it directly; otherwise it is
+/// installed just for the duration. Either way the reported counter
+/// snapshot is the campaign's own delta, so pre-existing counts in the
+/// registry never leak into the report.
+///
+/// [`Registry`]: fbcnn_telemetry::Registry
+pub fn run_chaos_into(cfg: &ChaosConfig, registry: &Arc<fbcnn_telemetry::Registry>) -> ChaosReport {
+    let start = Instant::now();
+    let recorder = Arc::clone(registry) as Arc<dyn fbcnn_telemetry::Recorder>;
+    let telemetry_guard = if fbcnn_telemetry::is_installed(&recorder) {
+        None
+    } else {
+        Some(fbcnn_telemetry::install(recorder))
+    };
+    let counters_before = snapshot_resilience_counters(registry);
     let _silencer = SilencedChaosPanics::install();
 
     let engine_cfg = EngineConfig {
@@ -483,6 +504,469 @@ pub fn run_chaos_with_registry(cfg: &ChaosConfig) -> (ChaosReport, Arc<fbcnn_tel
     let final_breaker_state = breaker.state().name().to_string();
     drop(telemetry_guard);
 
+    let mut counters = snapshot_resilience_counters(registry);
+    for (name, value) in counters.iter_mut() {
+        *value -= counters_before.get(name).copied().unwrap_or(0);
+    }
+
+    let ok_total = rounds.iter().map(|r| r.ok).sum();
+    let failed_total = rounds.iter().map(|r| r.failed).sum();
+    ChaosReport {
+        seed: cfg.seed,
+        requests_total: totals.offered,
+        ok_total,
+        failed_total,
+        classes: roster.iter().map(|c| c.name().to_string()).collect(),
+        rounds,
+        totals,
+        loss_reasons,
+        transitions,
+        final_breaker_state,
+        counters,
+        round_reconcile_errors,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Knobs of a swap-under-fire campaign: the chaos soak's traffic
+/// pattern pointed at a [`ModelRegistry`] that deploys a new model
+/// version every round — healthy versions are promoted mid-traffic,
+/// crashing versions must be rolled back automatically by the canary
+/// verdict, and nothing may be lost either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapChaosConfig {
+    /// Master seed; traffic, routing and fault arming derive from it.
+    pub seed: u64,
+    /// Deploy rounds. Even rounds stage a healthy version (promoted
+    /// after its traffic); odd rounds stage a version that crashes on
+    /// every canary sample (must auto-roll back mid-round).
+    pub rounds: usize,
+    /// Requests offered per round.
+    pub requests_per_round: usize,
+    /// MC sample count `T` of the engines under test.
+    pub samples: usize,
+    /// Registry shards.
+    pub shards: usize,
+}
+
+impl SwapChaosConfig {
+    /// The full soak: several promote/rollback cycles under load.
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            rounds: 8,
+            requests_per_round: 24,
+            samples: 4,
+            shards: 2,
+        }
+    }
+
+    /// A CI smoke: two promotions and two rollbacks, a few requests
+    /// each.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            rounds: 4,
+            requests_per_round: 16,
+            samples: 3,
+            shards: 2,
+        }
+    }
+
+    /// Total requests the campaign offers.
+    pub fn offered_requests(&self) -> usize {
+        self.rounds * self.requests_per_round
+    }
+}
+
+/// Per-round aggregates of a swap-under-fire campaign.
+#[derive(Debug, Clone)]
+pub struct SwapRoundSummary {
+    /// Round index.
+    pub round: usize,
+    /// `"rollout_good"` or `"rollout_bad"`.
+    pub action: String,
+    /// Model version deployed this round.
+    pub deployed_version: u64,
+    /// Requests offered this round.
+    pub offered: usize,
+    /// Requests that produced a prediction.
+    pub ok: usize,
+    /// Requests that failed with a typed error (bad rounds only: the
+    /// crashing candidate's canaries before the rollback).
+    pub failed: usize,
+    /// Whether the canary verdict rolled the round's rollout back.
+    pub rolled_back: bool,
+    /// Whether the round's rollout was promoted.
+    pub promoted: bool,
+}
+
+/// The outcome of one [`run_swap_chaos`] campaign.
+#[derive(Debug)]
+pub struct SwapChaosReport {
+    /// The campaign seed.
+    pub seed: u64,
+    /// Requests offered across all rounds.
+    pub requests_total: usize,
+    /// Requests that produced a prediction.
+    pub ok_total: usize,
+    /// Requests that failed with a typed error.
+    pub failed_total: usize,
+    /// Deploys staged (one per round).
+    pub deploys: u64,
+    /// Rollouts promoted (the healthy rounds).
+    pub promotions: u64,
+    /// Rollouts rolled back (the crashing rounds).
+    pub rollbacks: u64,
+    /// Model version active after the campaign.
+    pub final_version: u64,
+    /// Per-round summaries, in order.
+    pub rounds: Vec<SwapRoundSummary>,
+    /// The registry's exact per-version accounting over the campaign.
+    pub version_requests: BTreeMap<u64, VersionCounters>,
+    /// The `version_requests{version}` telemetry counter cells
+    /// (campaign delta) — must equal the accounting, request for
+    /// request.
+    pub version_request_counters: BTreeMap<u64, u64>,
+    /// Campaign deltas of the swap lifecycle counters
+    /// (`swap_deploys`, `swap_promotions`, `rollback_total`).
+    pub counters: BTreeMap<String, u64>,
+    /// Per-round accounting reconciliation failures — must be empty.
+    pub round_reconcile_errors: Vec<String>,
+    /// Intact fast-path responses compared bit-for-bit against a
+    /// reference engine.
+    pub compared_outputs: usize,
+    /// Compared responses that differed — must be zero.
+    pub mismatched_outputs: usize,
+    /// Wall-clock of the campaign, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl SwapChaosReport {
+    /// Cross-checks the whole campaign: per-round outcome folds, the
+    /// registry accounting, the telemetry counters and the bit-identity
+    /// sweep must all agree exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatching quantity as a message.
+    pub fn reconcile(&self) -> Result<(), String> {
+        if let Some(e) = self.round_reconcile_errors.first() {
+            return Err(e.clone());
+        }
+        if self.ok_total + self.failed_total != self.requests_total {
+            return Err(format!(
+                "ok {} + failed {} != offered {}",
+                self.ok_total, self.failed_total, self.requests_total
+            ));
+        }
+        let accounted: u64 = self.version_requests.values().map(|c| c.requests).sum();
+        if accounted != self.requests_total as u64 {
+            return Err(format!(
+                "version accounting holds {accounted} requests, campaign offered {}",
+                self.requests_total
+            ));
+        }
+        for (version, counters) in &self.version_requests {
+            let cell = self
+                .version_request_counters
+                .get(version)
+                .copied()
+                .unwrap_or(0);
+            if cell != counters.requests {
+                return Err(format!(
+                    "version_requests{{version=\"{version}\"}} counter is {cell}, accounting says {}",
+                    counters.requests
+                ));
+            }
+        }
+        for (name, want) in [
+            ("swap_deploys", self.deploys),
+            ("swap_promotions", self.promotions),
+            ("rollback_total", self.rollbacks),
+        ] {
+            let got = self.counters.get(name).copied().unwrap_or(0);
+            if got != want {
+                return Err(format!("counter {name} = {got}, registry says {want}"));
+            }
+        }
+        if self.mismatched_outputs > 0 {
+            return Err(format!(
+                "{} of {} compared responses diverged from the reference engine",
+                self.mismatched_outputs, self.compared_outputs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Runs a swap-under-fire campaign into a fresh private telemetry
+/// registry; see [`SwapChaosConfig`].
+///
+/// # Errors
+///
+/// [`ArtifactError`] when the campaign's own artifact export/reload
+/// round-trip or a deploy fails (a harness bug, not an injected fault).
+pub fn run_swap_chaos(cfg: &SwapChaosConfig) -> Result<SwapChaosReport, ArtifactError> {
+    let registry = Arc::new(fbcnn_telemetry::Registry::new());
+    run_swap_chaos_into(cfg, &registry)
+}
+
+/// [`run_swap_chaos`] recording into a caller-owned telemetry registry
+/// (installed only if it is not already the global recorder, exactly
+/// like [`run_chaos_into`]).
+///
+/// # Errors
+///
+/// [`ArtifactError`] when the artifact round-trip or a deploy fails.
+pub fn run_swap_chaos_into(
+    cfg: &SwapChaosConfig,
+    telemetry: &Arc<fbcnn_telemetry::Registry>,
+) -> Result<SwapChaosReport, ArtifactError> {
+    let start = Instant::now();
+    let recorder = Arc::clone(telemetry) as Arc<dyn fbcnn_telemetry::Recorder>;
+    let telemetry_guard = if fbcnn_telemetry::is_installed(&recorder) {
+        None
+    } else {
+        Some(fbcnn_telemetry::install(recorder))
+    };
+    let _silencer = SilencedChaosPanics::install();
+
+    // Campaign counter baselines, so a reused registry never leaks
+    // pre-existing counts into the report.
+    let campaign_versions: Vec<u64> = (1..=cfg.rounds as u64 + 1).collect();
+    let swap_counter_names = ["swap_deploys", "swap_promotions", "rollback_total"];
+    let cells_before: BTreeMap<u64, u64> = campaign_versions
+        .iter()
+        .map(|v| (*v, version_requests_cell(telemetry, *v)))
+        .collect();
+    let swap_before: BTreeMap<String, u64> = swap_counter_names
+        .iter()
+        .map(|n| ((*n).to_string(), telemetry.counter_total(n)))
+        .collect();
+
+    let engine_cfg = EngineConfig {
+        samples: cfg.samples.max(2),
+        calibration_samples: 3,
+        seed: cfg.seed,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    };
+    let pristine = Engine::new(engine_cfg);
+    let input_shape = pristine.network().input_shape();
+
+    // Boot the registry from an exported-and-reloaded artifact, so the
+    // soak exercises the persistence round-trip, not just in-memory
+    // clones.
+    let path = std::env::temp_dir().join(format!(
+        "fbcnn_swap_chaos_{}_{}.json",
+        cfg.seed,
+        std::process::id()
+    ));
+    ModelArtifact::from_engine(&pristine, 1, "v1").save(&path)?;
+    let booted = ModelArtifact::load(&path);
+    let _ = std::fs::remove_file(&path);
+    let booted = booted?;
+
+    // A version that crashes on the traffic it serves: while a rollout
+    // is in flight only the candidate serves canary ids, so arming the
+    // hook on exactly those ids is a version-correlated fault.
+    let armed = Arc::new(AtomicBool::new(false));
+    let registry_cfg = RegistryConfig {
+        shards: cfg.shards.max(1),
+        routing_seed: cfg.seed ^ 0x5A_A55A,
+        canary_percent: 50,
+        canary_min_requests: 4,
+        canary_trip_threshold: 0.5,
+        batch: BatchConfig {
+            threads: 1,
+            cache_capacity: 8,
+            ..BatchConfig::default()
+        },
+        resilience: ResilienceConfig::default(),
+        sample_hook: {
+            let armed = Arc::clone(&armed);
+            let (routing_seed, percent) = (cfg.seed ^ 0x5A_A55A, 50);
+            Some(Arc::new(move |id: u64, _attempt: u32, _sample: usize| {
+                if armed.load(Ordering::Relaxed)
+                    && crate::registry::is_canary(routing_seed, percent, id)
+                {
+                    panic!("chaos: candidate crashes on every sample it serves");
+                }
+            }))
+        },
+        jitter: Some(Arc::new(NoJitter)),
+    };
+    let registry = ModelRegistry::new(booted, registry_cfg)?;
+
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    let mut round_reconcile_errors = Vec::new();
+    let mut compared_outputs = 0usize;
+    let mut mismatched_outputs = 0usize;
+
+    for round in 0..cfg.rounds {
+        let bad = round % 2 == 1;
+        let version = round as u64 + 2;
+        let label = if bad {
+            format!("v{version}-crashy")
+        } else {
+            format!("v{version}")
+        };
+        registry.deploy(ModelArtifact::from_engine(&pristine, version, label))?;
+        if bad {
+            armed.store(true, Ordering::Relaxed);
+        }
+
+        let before = registry.version_counters();
+        let round_start = Instant::now();
+        let mut outcomes = Vec::with_capacity(cfg.requests_per_round);
+        let mut rolled_back = false;
+        for i in 0..cfg.requests_per_round {
+            let id = (round * 10_000 + i) as u64;
+            let input = synth_input(input_shape, cfg.seed ^ id.wrapping_mul(41));
+            let o = registry.handle(&BatchRequest::new(id, input));
+            if o.rolled_back {
+                rolled_back = true;
+                // The fault dies with the version that carried it.
+                armed.store(false, Ordering::Relaxed);
+            }
+            outcomes.push(o);
+        }
+        armed.store(false, Ordering::Relaxed);
+
+        // Intact fast-path responses must be bit-identical to the
+        // reference engine fed the same input and derived seed.
+        for o in &outcomes {
+            if o.outcome.forced_exact {
+                continue;
+            }
+            if let Ok((pred, report)) = &o.outcome.outcome.result {
+                if report.mode != DegradedMode::Healthy {
+                    continue;
+                }
+                let id = o.outcome.outcome.id;
+                let input = synth_input(input_shape, cfg.seed ^ id.wrapping_mul(41));
+                compared_outputs += 1;
+                match pristine.predict_robust_seeded(&input, o.outcome.outcome.seed) {
+                    Ok((want, _)) => {
+                        let same = want
+                            .mean
+                            .iter()
+                            .map(|x| x.to_bits())
+                            .eq(pred.mean.iter().map(|x| x.to_bits()));
+                        if !same {
+                            mismatched_outputs += 1;
+                        }
+                    }
+                    Err(_) => mismatched_outputs += 1,
+                }
+            }
+        }
+
+        // Exact accounting: the registry's per-version counters must
+        // have moved by precisely this round's outcome fold.
+        let mut version_delta = registry.version_counters();
+        for (v, c) in version_delta.iter_mut() {
+            if let Some(prev) = before.get(v) {
+                c.requests -= prev.requests;
+                c.ok -= prev.ok;
+                c.failed -= prev.failed;
+                c.canary -= prev.canary;
+            }
+        }
+        version_delta.retain(|_, c| c.requests > 0);
+        let ok = outcomes
+            .iter()
+            .filter(|o| o.outcome.outcome.result.is_ok())
+            .count();
+        let failed = outcomes.len() - ok;
+        let fold = RegistryReport {
+            outcomes,
+            version_delta,
+            elapsed_ns: round_start.elapsed().as_nanos() as u64,
+        };
+        if let Err(e) = fold.reconcile() {
+            round_reconcile_errors.push(format!("round {round}: {e}"));
+        }
+
+        let promoted = if bad {
+            if !rolled_back {
+                round_reconcile_errors
+                    .push(format!("round {round}: crashing canary never rolled back"));
+            }
+            false
+        } else {
+            if rolled_back {
+                round_reconcile_errors.push(format!("round {round}: healthy rollout rolled back"));
+            }
+            registry.promote() == Some(version)
+        };
+        rounds.push(SwapRoundSummary {
+            round,
+            action: if bad { "rollout_bad" } else { "rollout_good" }.to_string(),
+            deployed_version: version,
+            offered: cfg.requests_per_round,
+            ok,
+            failed,
+            rolled_back,
+            promoted,
+        });
+    }
+
+    let version_requests = registry.version_counters();
+    let version_request_counters: BTreeMap<u64, u64> = campaign_versions
+        .iter()
+        .map(|v| {
+            let cell = version_requests_cell(telemetry, *v);
+            (*v, cell - cells_before.get(v).copied().unwrap_or(0))
+        })
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    let counters: BTreeMap<String, u64> = swap_counter_names
+        .iter()
+        .map(|n| {
+            let total = telemetry.counter_total(n);
+            (
+                (*n).to_string(),
+                total - swap_before.get(*n).copied().unwrap_or(0),
+            )
+        })
+        .collect();
+    drop(telemetry_guard);
+
+    let ok_total = rounds.iter().map(|r| r.ok).sum();
+    let failed_total = rounds.iter().map(|r| r.failed).sum();
+    Ok(SwapChaosReport {
+        seed: cfg.seed,
+        requests_total: cfg.offered_requests(),
+        ok_total,
+        failed_total,
+        deploys: registry.deploys(),
+        promotions: registry.promotions(),
+        rollbacks: registry.rollbacks(),
+        final_version: registry.active_version(),
+        rounds,
+        version_requests,
+        version_request_counters,
+        counters,
+        round_reconcile_errors,
+        compared_outputs,
+        mismatched_outputs,
+        elapsed_ns: start.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Reads one labeled `version_requests` counter cell.
+fn version_requests_cell(telemetry: &fbcnn_telemetry::Registry, version: u64) -> u64 {
+    let label = version.to_string();
+    telemetry
+        .counter_value("version_requests", &[("version", &label)])
+        .unwrap_or(0)
+}
+
+/// Snapshots every resilience counter the chaos reports reconcile
+/// against (summed over label sets, plus the explicitly labeled
+/// issued-probe cell).
+fn snapshot_resilience_counters(registry: &fbcnn_telemetry::Registry) -> BTreeMap<String, u64> {
     let mut counters = BTreeMap::new();
     for name in [
         "shed_requests",
@@ -506,25 +990,7 @@ pub fn run_chaos_with_registry(cfg: &ChaosConfig) -> (ChaosReport, Arc<fbcnn_tel
             .counter_value("breaker_probes", &[("phase", "issued")])
             .unwrap_or(0),
     );
-
-    let ok_total = rounds.iter().map(|r| r.ok).sum();
-    let failed_total = rounds.iter().map(|r| r.failed).sum();
-    let report = ChaosReport {
-        seed: cfg.seed,
-        requests_total: totals.offered,
-        ok_total,
-        failed_total,
-        classes: roster.iter().map(|c| c.name().to_string()).collect(),
-        rounds,
-        totals,
-        loss_reasons,
-        transitions,
-        final_breaker_state,
-        counters,
-        round_reconcile_errors,
-        elapsed_ns: start.elapsed().as_nanos() as u64,
-    };
-    (report, registry)
+    counters
 }
 
 #[cfg(test)]
@@ -565,6 +1031,62 @@ mod tests {
             assert_eq!(
                 (ra.ok, ra.failed, ra.expired, ra.shed, ra.retries),
                 (rb.ok, rb.failed, rb.expired, rb.shed, rb.retries),
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_into_reuses_an_installed_recorder_and_reports_deltas() {
+        let registry = Arc::new(fbcnn_telemetry::Registry::new());
+        let guard =
+            fbcnn_telemetry::install(Arc::clone(&registry) as Arc<dyn fbcnn_telemetry::Recorder>);
+        // Pre-existing counts in the caller's registry must not leak
+        // into the campaign's reported counters.
+        fbcnn_telemetry::counter_add("retry_attempts", &[], 17);
+        let report = run_chaos_into(&ChaosConfig::quick(5), &registry);
+        drop(guard);
+        report.reconcile().unwrap();
+        let fresh = run_chaos(&ChaosConfig::quick(5));
+        assert_eq!(report.counters, fresh.counters);
+    }
+
+    #[test]
+    fn swap_under_fire_loses_nothing_and_reconciles_exactly() {
+        let report = run_swap_chaos(&SwapChaosConfig::quick(7)).unwrap();
+        report.reconcile().unwrap();
+        assert_eq!(
+            report.requests_total,
+            SwapChaosConfig::quick(7).offered_requests()
+        );
+        // Two healthy rounds promoted, two crashing rounds rolled back.
+        assert_eq!(report.promotions, 2);
+        assert_eq!(report.rollbacks, 2);
+        assert_eq!(report.deploys, 4);
+        // The last good deploy (round 2 → version 4) ends up active.
+        assert_eq!(report.final_version, 4);
+        // Failures only ever came from the crashing candidates.
+        for r in &report.rounds {
+            if r.action == "rollout_good" {
+                assert_eq!(r.failed, 0, "healthy round {} lost requests", r.round);
+                assert!(r.promoted && !r.rolled_back);
+            } else {
+                assert!(r.rolled_back && !r.promoted);
+            }
+        }
+        assert!(report.compared_outputs > 0, "bit-identity sweep never ran");
+        assert_eq!(report.mismatched_outputs, 0);
+    }
+
+    #[test]
+    fn swap_campaigns_replay_exactly_from_their_seed() {
+        let a = run_swap_chaos(&SwapChaosConfig::quick(11)).unwrap();
+        let b = run_swap_chaos(&SwapChaosConfig::quick(11)).unwrap();
+        assert_eq!(a.version_requests, b.version_requests);
+        assert_eq!(a.counters, b.counters);
+        for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(
+                (ra.ok, ra.failed, ra.rolled_back, ra.promoted),
+                (rb.ok, rb.failed, rb.rolled_back, rb.promoted)
             );
         }
     }

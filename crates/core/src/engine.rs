@@ -6,10 +6,11 @@ use fbcnn_nn::models::{ModelKind, ModelScale};
 use fbcnn_nn::{ActivationGuard, GuardPolicy, Network, Workspace};
 use fbcnn_predictor::{PredictiveInference, SkipStats, ThresholdOptimizer, ThresholdSet};
 use fbcnn_tensor::{stats, Shape, Tensor};
+use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Configuration of a Fast-BCNN [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Which network topology to build.
     pub model: ModelKind,
@@ -275,6 +276,35 @@ impl Engine {
             ..ThresholdOptimizer::default()
         };
         let thresholds = optimizer.optimize_batch(&bnet, dataset, cfg.seed ^ 0x7E57);
+        Ok(Self {
+            cfg,
+            bnet,
+            thresholds,
+        })
+    }
+
+    /// Wraps a caller-provided network together with an already
+    /// calibrated threshold set — the deserialization path for model
+    /// artifacts ([`crate::ModelArtifact`]), which must not re-run
+    /// Algorithm 1: recalibrating would silently change the thresholds
+    /// the artifact pinned, breaking bit-identity with the exporter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] when the configuration is
+    /// out of range or the thresholds do not fit the network's graph.
+    pub fn from_calibrated(
+        cfg: EngineConfig,
+        net: Network,
+        thresholds: ThresholdSet,
+    ) -> Result<Self, EngineError> {
+        cfg.validate()?;
+        let bnet = BayesianNetwork::new(net, cfg.drop_rate);
+        if let Err(e) = thresholds.validate(bnet.network()) {
+            return Err(EngineError::InvalidConfig {
+                reason: format!("thresholds do not fit the network: {e}"),
+            });
+        }
         Ok(Self {
             cfg,
             bnet,

@@ -13,11 +13,13 @@
 //! and [`crate::Engine::predict_robust`]; `tests/fault_injection.rs`
 //! closes the loop.
 
+use crate::artifact::ModelArtifact;
 use fbcnn_bayes::mask::DropoutMasks;
 use fbcnn_bayes::BayesianNetwork;
 use fbcnn_nn::{Network, NodeId};
-use fbcnn_predictor::ThresholdSet;
+use fbcnn_predictor::{PolarityIndicators, ThresholdSet};
 use fbcnn_tensor::{BitMask, Shape, Tensor};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -106,6 +108,26 @@ pub enum ThresholdFault {
     /// A threshold vector is reattached to a non-conv node — the
     /// misaddressed-artifact shape of poisoning, also caught structurally.
     Misaddress,
+}
+
+/// How [`FaultInjector::corrupt_artifact_file`] damages a saved model
+/// artifact on disk. Every class must surface as a typed
+/// [`crate::ArtifactError`] at load time — never a panic, never a
+/// silently different model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactFault {
+    /// One high bit of one payload byte flips (storage rot, a bad NIC).
+    /// The flip lands in the payload's back half — the weight/threshold
+    /// bulk covered by the content digest — so it is caught either as a
+    /// parse failure or as a digest mismatch.
+    PayloadBitFlip,
+    /// The file is cut at a random byte (interrupted download / partial
+    /// write): the strict envelope parser or the payload decoder refuses
+    /// the remainder.
+    Truncate,
+    /// The envelope's format version is rewritten to a future number — a
+    /// file from a build this one does not understand.
+    VersionSkew,
 }
 
 /// Deterministic fault source; see the module docs.
@@ -290,6 +312,74 @@ impl FaultInjector {
                 }
             }
         }
+    }
+
+    /// Damages a saved [`ModelArtifact`] file in place (see
+    /// [`ArtifactFault`] for the three byte-level classes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures reading or rewriting the file.
+    pub fn corrupt_artifact_file(
+        &mut self,
+        path: impl AsRef<Path>,
+        fault: ArtifactFault,
+    ) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let damaged = match fault {
+            ArtifactFault::PayloadBitFlip => {
+                let mut b = bytes;
+                if !b.is_empty() {
+                    // The back half of a model artifact is the
+                    // weight/threshold/indicator bulk, all inside the
+                    // digested payload; the front holds the (undigested)
+                    // label and version fields. Only the top two bits
+                    // qualify: a low-bit flip in the decimal tail of a
+                    // printed float can round back to the same f32 — no
+                    // damage at the model's own precision — while a flip
+                    // of bit 6/7 always breaks UTF-8, the JSON grammar or
+                    // a digested value.
+                    let lo = b.len() / 2;
+                    let i = lo + self.below(b.len() - lo);
+                    b[i] ^= 1 << (6 + self.next_u64() % 2);
+                }
+                b
+            }
+            ArtifactFault::Truncate => {
+                let keep = self.below(bytes.len().max(1));
+                bytes[..keep].to_vec()
+            }
+            ArtifactFault::VersionSkew => {
+                let text = String::from_utf8_lossy(&bytes).into_owned();
+                // The envelope's own version field precedes the payload's
+                // `model_version`, so the first match is the right one.
+                let needle = format!("\"version\":{}", crate::io::FORMAT_VERSION);
+                text.replacen(&needle, "\"version\":99", 1).into_bytes()
+            }
+        };
+        std::fs::write(path, damaged)
+    }
+
+    /// Truncates the artifact's threshold vectors and reseals the digest
+    /// — a buggy exporter that shipped shape-mismatched thresholds with
+    /// an honest checksum. Only the structural screen
+    /// (`ThresholdSet::validate`) can refuse this one.
+    pub fn mismatch_artifact_thresholds(&mut self, artifact: &mut ModelArtifact) {
+        let net = artifact.network.clone();
+        self.poison_thresholds(&mut artifact.thresholds, &net, ThresholdFault::Truncate);
+        artifact.digest = artifact.content_digest();
+    }
+
+    /// Grafts a foreign network's weights into the artifact (indicators
+    /// recomputed, digest resealed) while keeping the original
+    /// thresholds — the mixed-model artifact whose thresholds no longer
+    /// fit the weights they ship with. `donor` must differ in topology
+    /// from the artifact's own network for the mismatch to exist.
+    pub fn graft_artifact_network(&mut self, artifact: &mut ModelArtifact, donor: &Network) {
+        artifact.network = donor.clone();
+        artifact.indicators = PolarityIndicators::from_network(donor);
+        artifact.digest = artifact.content_digest();
     }
 
     /// Draws a seeded per-sample [`LatencySchedule`]: each slot of the

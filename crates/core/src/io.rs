@@ -92,7 +92,16 @@ impl From<serde_json::Error> for IoError {
     }
 }
 
-fn save<T: Serialize>(path: impl AsRef<Path>, kind: &str, value: &T) -> Result<(), IoError> {
+/// Artifact kind of a versioned model artifact
+/// ([`crate::ModelArtifact`]): network, thresholds, indicators and
+/// engine configuration in one envelope.
+pub const MODEL_KIND: &str = "model";
+
+pub(crate) fn save<T: Serialize>(
+    path: impl AsRef<Path>,
+    kind: &str,
+    value: &T,
+) -> Result<(), IoError> {
     let payload = serde_json::to_string(value)?;
     let json =
         format!("{{\"artifact\":\"{kind}\",\"version\":{FORMAT_VERSION},\"payload\":{payload}}}");
@@ -129,7 +138,7 @@ fn parse_envelope(json: &str) -> Result<(&str, u32, &str), IoError> {
     Ok((kind, version, payload))
 }
 
-fn load<T: DeserializeOwned>(path: impl AsRef<Path>, kind: &str) -> Result<T, IoError> {
+pub(crate) fn load<T: DeserializeOwned>(path: impl AsRef<Path>, kind: &str) -> Result<T, IoError> {
     let json = std::fs::read_to_string(path)?;
     let (found_kind, version, payload) = parse_envelope(&json)?;
     if found_kind != kind {

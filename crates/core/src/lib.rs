@@ -29,6 +29,7 @@
 //! assert!(stats.skip_rate() > 0.0);
 //! ```
 
+mod artifact;
 mod batch;
 pub mod chaos;
 mod engine;
@@ -36,14 +37,19 @@ mod error;
 pub mod experiments;
 pub mod faults;
 pub mod io;
+mod registry;
 pub mod report;
 mod resilience;
 mod telemetry_report;
 
+pub use artifact::{ArtifactError, ModelArtifact};
 pub use batch::{BatchConfig, BatchEngine, BatchOutcome, BatchReport, BatchRequest};
 pub use engine::{synth_input, DegradedMode, Engine, EngineConfig, RobustConfig, RobustReport};
 pub use error::{EngineError, InferenceError};
-pub use faults::{BitFlip, FaultInjector, LatencySchedule, ThresholdFault};
+pub use faults::{ArtifactFault, BitFlip, FaultInjector, LatencySchedule, ThresholdFault};
+pub use registry::{
+    ModelRegistry, RegistryConfig, RegistryOutcome, RegistryReport, RolloutStatus, VersionCounters,
+};
 pub use resilience::{
     error_reason_name, retry_class, BreakerConfig, BreakerState, CircuitBreaker, Jitter, NoJitter,
     PathDecision, RequestSampleHook, ResilienceConfig, ResilienceTotals, ResilientBatchEngine,
@@ -69,7 +75,7 @@ pub use fbcnn_bayes::{
 };
 pub use fbcnn_nn::{models, ActivationGuard, GuardPolicy, Network, NumericFault};
 pub use fbcnn_predictor::{
-    evaluate_predictions, EvalReport, PredictiveInference, PredictorError, SkipStats,
-    ThresholdError, ThresholdOptimizer, ThresholdSet,
+    evaluate_predictions, EvalReport, PolarityIndicators, PredictiveInference, PredictorError,
+    SkipStats, ThresholdError, ThresholdOptimizer, ThresholdSet,
 };
 pub use fbcnn_tensor::{BitMask, Shape, Tensor};

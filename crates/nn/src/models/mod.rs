@@ -31,9 +31,10 @@ pub use lenet::lenet5;
 pub use vgg::vgg16_scaled;
 
 use crate::Network;
+use serde::{Deserialize, Serialize};
 
 /// Width/resolution scaling applied to a model topology.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ModelScale {
     /// Channel-count multiplier in `(0, 1]`.
     pub width: f32,
@@ -93,7 +94,7 @@ impl Default for ModelScale {
 }
 
 /// The evaluated models (paper §VI-A) plus the AlexNet extension.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ModelKind {
     /// B-LeNet-5 (MNIST).
     LeNet5,

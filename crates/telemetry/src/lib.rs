@@ -187,6 +187,24 @@ fn current() -> Option<Arc<dyn Recorder>> {
         .clone()
 }
 
+/// A handle to the currently installed recorder, if any.
+///
+/// This is the `install`-free threading path: a harness that already
+/// holds the global slot (e.g. a CLI front end with a [`FileSink`]) can
+/// hand its recorder down to library code, and that library code can
+/// check — via [`is_installed`] — whether a registry it was given is
+/// already the global sink instead of trying to re-`install` it, which
+/// would deadlock on the non-reentrant install lock.
+pub fn recorder() -> Option<Arc<dyn Recorder>> {
+    current()
+}
+
+/// Whether `rec` is the recorder currently installed in the global slot
+/// (pointer identity, not value equality).
+pub fn is_installed(rec: &Arc<dyn Recorder>) -> bool {
+    current().is_some_and(|cur| Arc::ptr_eq(&cur, rec))
+}
+
 // ---------------------------------------------------------- free functions
 
 /// Adds `delta` to counter `name` on the installed recorder, if any.
