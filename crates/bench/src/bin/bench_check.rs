@@ -9,16 +9,30 @@
 //!   [`fbcnn_bench::SwapBenchReport`] — zero lost requests under
 //!   hot-swap, every healthy rollout promoted, every crashing rollout
 //!   rolled back, and per-version request counters reconciled exactly;
+//! * a record carrying `"schema": "slo-v1"` parses back through
+//!   [`fbcnn_bench::SloBenchReport`] — the health walk paged on the
+//!   fault burst and recovered, the windowed accounting reconciled
+//!   exactly, every quantile estimate honored the bucket error bound,
+//!   and the postmortem replayed exactly the failed requests;
 //! * anything else parses as the `throughput` harness's
 //!   [`fbcnn_bench::BatchBenchReport`] — every point bit-identical to
 //!   sequential, positive timings, and (only on a multi-CPU host running
 //!   multiple worker threads) the batch-size ≥ 8 speedup target.
 //!
+//! With `--baseline <file>` the checker instead diffs the record's
+//! *headline ratios* (see [`fbcnn_bench::baseline`]) against a committed
+//! baseline and fails on a > 15 % regression — this mode accepts any
+//! record shape carrying ratios (`BENCH_hotpath.json`,
+//! `BENCH_batch.json`), so no schema validation runs.
+//!
 //! Exits non-zero on missing, malformed or failing records.
 //!
-//! Usage: `bench_check <BENCH_batch.json | BENCH_chaos.json | BENCH_swap.json> [min_speedup]`
+//! Usage: `bench_check <BENCH_*.json> [min_speedup] [--baseline <file>]`
 
-use fbcnn_bench::{BatchBenchReport, ChaosBenchReport, SwapBenchReport, CHAOS_SCHEMA, SWAP_SCHEMA};
+use fbcnn_bench::{
+    baseline, BatchBenchReport, ChaosBenchReport, SloBenchReport, SwapBenchReport, CHAOS_SCHEMA,
+    SLO_SCHEMA, SWAP_SCHEMA,
+};
 
 fn fail(msg: String) -> ! {
     eprintln!("bench_check: {msg}");
@@ -67,6 +81,62 @@ fn check_swap(path: &str, text: &str) {
     );
 }
 
+fn check_slo(path: &str, text: &str) {
+    let report: SloBenchReport = match serde_json::from_str(text) {
+        Ok(report) => report,
+        Err(e) => fail(format!("{path}: malformed slo record: {e}")),
+    };
+    if let Err(reason) = report.validate() {
+        fail(format!("{path}: {reason}"));
+    }
+    println!(
+        "bench_check: ok — slo soak seed {}: {} windows, {} requests ({} failed), \
+         {} quantile checks in bound, postmortem `{}` replays {} failed ids, \
+         reconciled exactly{}",
+        report.seed,
+        report.windows,
+        report.registry_requests,
+        report.registry_failed,
+        report.quantiles.len(),
+        report.postmortem_trigger,
+        report.postmortem_failed_ids.len(),
+        if report.quick { " [quick smoke]" } else { "" },
+    );
+}
+
+fn check_baseline(path: &str, text: &str, baseline_path: &str) {
+    let base_text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => fail(format!("{baseline_path}: {e}")),
+    };
+    let current: serde::Value = match serde_json::from_str(text) {
+        Ok(v) => v,
+        Err(e) => fail(format!("{path}: malformed JSON: {e}")),
+    };
+    let base: serde::Value = match serde_json::from_str(&base_text) {
+        Ok(v) => v,
+        Err(e) => fail(format!("{baseline_path}: malformed JSON: {e}")),
+    };
+    let compared = match baseline::diff_ratios(&current, &base, baseline::DEFAULT_TOLERANCE) {
+        Ok(compared) => compared,
+        Err(reason) => fail(format!("{path} vs {baseline_path}: {reason}")),
+    };
+    for d in &compared {
+        println!(
+            "  {:<40} baseline {:>7.3}x  current {:>7.3}x  ({:+.1}%)",
+            d.key,
+            d.baseline,
+            d.current,
+            d.relative_change() * 100.0
+        );
+    }
+    println!(
+        "bench_check: ok — {} headline ratio(s) within {:.0}% of {baseline_path}",
+        compared.len(),
+        baseline::DEFAULT_TOLERANCE * 100.0
+    );
+}
+
 fn check_batch(path: &str, text: &str, min_speedup: f64) {
     let report: BatchBenchReport = match serde_json::from_str(text) {
         Ok(report) => report,
@@ -98,31 +168,53 @@ fn check_batch(path: &str, text: &str, min_speedup: f64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let (path, min_speedup) = match args.as_slice() {
-        [_, path] => (path.clone(), 1.5),
-        [_, path, target] => match target.parse::<f64>() {
-            Ok(v) if v > 0.0 => (path.clone(), v),
-            _ => fail(format!(
-                "min_speedup must be a positive number, got `{target}`"
-            )),
-        },
-        _ => fail(format!(
-            "usage: bench_check <BENCH_batch.json | BENCH_chaos.json> [min_speedup] \
+    let mut path = None;
+    let mut min_speedup = 1.5;
+    let mut baseline_path = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                let Some(value) = args.get(i + 1) else {
+                    fail("--baseline needs a file".to_string());
+                };
+                baseline_path = Some(value.clone());
+                i += 1;
+            }
+            other if path.is_none() => path = Some(other.to_string()),
+            target => match target.parse::<f64>() {
+                Ok(v) if v > 0.0 => min_speedup = v,
+                _ => fail(format!(
+                    "min_speedup must be a positive number, got `{target}`"
+                )),
+            },
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        fail(format!(
+            "usage: bench_check <BENCH_*.json> [min_speedup] [--baseline <file>] \
              (got {} args)",
             args.len() - 1
-        )),
+        ));
     };
 
     let text = match std::fs::read_to_string(&path) {
         Ok(text) => text,
         Err(e) => fail(format!("{path}: {e}")),
     };
-    // Chaos and swap records carry schema tags; their presence in the
-    // text decides which parser's errors to surface.
+    if let Some(baseline_path) = &baseline_path {
+        check_baseline(&path, &text, baseline_path);
+        return;
+    }
+    // Chaos, swap and slo records carry schema tags; their presence in
+    // the text decides which parser's errors to surface.
     if text.contains(&format!("\"{CHAOS_SCHEMA}\"")) {
         check_chaos(&path, &text);
     } else if text.contains(&format!("\"{SWAP_SCHEMA}\"")) {
         check_swap(&path, &text);
+    } else if text.contains(&format!("\"{SLO_SCHEMA}\"")) {
+        check_slo(&path, &text);
     } else {
         check_batch(&path, &text, min_speedup);
     }

@@ -1,0 +1,131 @@
+//! SLO soak harness: drives the versioned registry through calm →
+//! fault burst → recovery under a windowed SLO monitor
+//! ([`fast_bcnn::slo::run_slo_soak`]) and proves the observability
+//! contract — the health walk pages on the burst and recovers, the
+//! windowed accounting reconciles *exactly* against the registry fold
+//! and the embedded chaos campaign, every latency quantile estimate
+//! honors the documented bucket error bound, and the auto-emitted
+//! flight-recorder postmortem replays exactly the failed requests.
+//!
+//! Emits `BENCH_slo.json` (override the path with `--json`); `--seed`
+//! sets the soak seed and `--quick` the CI smoke configuration. The
+//! soak installs its own windowed recorder globally for the duration,
+//! so `--trace-out` / `--metrics-out` are exported from its total
+//! registry after the run.
+
+use fast_bcnn::slo::{run_slo_soak_with_registry, SloSoakConfig};
+use fbcnn_bench::SloBenchReport;
+
+fn main() {
+    let args = fbcnn_bench::parse_args();
+    let quick = args.cfg.t <= 4;
+    let cfg = if quick {
+        SloSoakConfig::quick(args.cfg.seed)
+    } else {
+        SloSoakConfig::full(args.cfg.seed)
+    };
+
+    let (report, windowed) = match run_slo_soak_with_registry(&cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("slo: FAIL — soak could not start: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bench = SloBenchReport::from_report(&report, quick);
+
+    println!(
+        "== slo soak (seed {}, {} windows of {} ns, fast span {}, slow span {}, budget {:.0}%) ==",
+        bench.seed,
+        bench.windows,
+        bench.window_width_ns,
+        bench.fast_windows,
+        bench.slow_windows,
+        bench.error_budget * 100.0
+    );
+    for v in &bench.verdicts {
+        println!(
+            "window {:>2} {:<9} {:>8} | {:>3} requests{}",
+            v.window,
+            v.phase,
+            v.status.to_uppercase(),
+            v.requests,
+            if v.violations.is_empty() {
+                String::new()
+            } else {
+                format!(" | {}", v.violations.join("; "))
+            }
+        );
+    }
+    println!(
+        "registry: {} requests, {} ok / {} failed | windowed view agrees cell by cell",
+        bench.registry_requests, bench.registry_ok, bench.registry_failed
+    );
+    if let Some(chaos) = &bench.chaos {
+        println!(
+            "chaos (class `default`): {} requests, {} ok / {} failed | windowed view agrees",
+            chaos.requests, chaos.ok, chaos.failed
+        );
+    }
+    for q in &bench.quantiles {
+        println!(
+            "quantile {:>4}: estimate {:>12.0} ns vs exact {:>12} ns [{}]",
+            q.name,
+            q.estimate_ns,
+            q.exact_ns,
+            if q.within_bound {
+                "in bound"
+            } else {
+                "OUT OF BOUND"
+            }
+        );
+    }
+    println!(
+        "postmortem: trigger `{}`, {} records ({} degraded), replays failed ids {:?}",
+        bench.postmortem_trigger,
+        bench.postmortem_records,
+        bench.postmortem_degraded,
+        bench.postmortem_failed_ids
+    );
+
+    // The soak recorded into its own windowed registry; export the
+    // artifacts from its total view instead of installing a global
+    // FileSink (the install lock is not reentrant across the soak).
+    if let Some(p) = &args.trace_out {
+        match windowed.total().write_jsonl(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(p) = &args.metrics_out {
+        match windowed.total().write_prometheus(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = args.json.clone().unwrap_or_else(|| "BENCH_slo.json".into());
+    match fast_bcnn::report::save_json(&path, &bench) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(reason) = bench.validate() {
+        eprintln!("slo: FAIL — {reason}");
+        std::process::exit(1);
+    }
+    // The acceptance dump was read back and verified; don't leave it in
+    // the temp directory.
+    if let Some(p) = &bench.postmortem_path {
+        let _ = std::fs::remove_file(p);
+    }
+    println!("slo: ok — health walk paged and recovered, accounting reconciled exactly");
+}

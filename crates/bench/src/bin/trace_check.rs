@@ -1,11 +1,14 @@
 //! CI validator for telemetry artifacts: proves that a `--trace-out`
-//! JSONL file round-trips through the versioned envelope reader and that
-//! a `--metrics-out` dump parses back as a well-formed Prometheus-style
+//! JSONL file round-trips through the versioned envelope reader, passes
+//! the structural span lint ([`fbcnn_bench::trace_lint`] — per-thread
+//! end-time monotonicity, parent encloses child), and that a
+//! `--metrics-out` dump parses back as a well-formed Prometheus-style
 //! exposition. Exits non-zero on empty, missing or malformed files.
 //!
 //! Usage: `trace_check <trace.jsonl> <metrics.prom>`
 
 use fast_bcnn::telemetry::parse_exposition;
+use fbcnn_bench::trace_lint::lint_spans;
 
 fn fail(msg: String) -> ! {
     eprintln!("trace_check: {msg}");
@@ -31,6 +34,10 @@ fn main() {
     let spans = events.iter().filter(|e| e.kind == "span").count();
     let counters = events.iter().filter(|e| e.kind == "counter").count();
     let histograms = events.iter().filter(|e| e.kind == "histogram").count();
+    let lint = match lint_spans(&events) {
+        Ok(stats) => stats,
+        Err(e) => fail(format!("{trace_path}: {e}")),
+    };
 
     let text = match std::fs::read_to_string(metrics_path) {
         Ok(text) => text,
@@ -46,8 +53,12 @@ fn main() {
 
     println!(
         "trace_check: ok — {} trace events ({spans} spans, {counters} counters, \
-         {histograms} histograms), {} exposition samples",
+         {histograms} histograms), {} exposition samples; span lint: {} thread(s), \
+         {} parent link(s) enclosed, {} evicted parent(s) skipped",
         events.len(),
-        samples.len()
+        samples.len(),
+        lint.threads,
+        lint.parent_links,
+        lint.missing_parents
     );
 }

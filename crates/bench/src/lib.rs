@@ -18,12 +18,18 @@
 
 use fast_bcnn::experiments::ExpConfig;
 
+pub mod baseline;
 mod batch_report;
 mod chaos_report;
+mod slo_report;
 mod swap_report;
+pub mod trace_lint;
 
 pub use batch_report::{BatchBenchReport, BatchPoint};
 pub use chaos_report::{ChaosBenchReport, ChaosRound, CHAOS_SCHEMA};
+pub use slo_report::{
+    SloBenchReport, SloChaosCell, SloClassCell, SloQuantileCell, SloWindow, SLO_SCHEMA,
+};
 pub use swap_report::{SwapBenchReport, SwapBenchRound, SwapVersionCell, SWAP_SCHEMA};
 
 /// Command-line options shared by every harness binary.

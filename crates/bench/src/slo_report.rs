@@ -1,0 +1,439 @@
+//! The `BENCH_slo.json` record shared by the `slo` soak harness
+//! (writer) and the `bench_check` CI validator (reader).
+//!
+//! Like `BENCH_chaos.json` the record carries a `schema` tag
+//! ([`SLO_SCHEMA`]) so `bench_check` can dispatch from the file contents
+//! alone. It flattens the in-memory `fast_bcnn::slo::SloSoakReport` and
+//! keeps both halves of the acceptance evidence: the exact-accounting
+//! verdict computed at run time (against the registry fold and the
+//! chaos campaign's own report) and the raw quantities — per-window
+//! health walk, per-class totals, quantile checks, postmortem replay —
+//! a reader needs to re-derive it.
+
+use serde::{Deserialize, Serialize};
+
+/// The `schema` tag every SLO record carries.
+pub const SLO_SCHEMA: &str = "slo-v1";
+
+/// One window of the soak's health walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloWindow {
+    /// Window index on the manual clock.
+    pub window: u64,
+    /// `"calm"`, `"burst"` or `"recovery"`.
+    pub phase: String,
+    /// Evaluated health (`"ok"`, `"warning"`, `"critical"`).
+    pub status: String,
+    /// Rendered violations behind the status.
+    pub violations: Vec<String>,
+    /// Registry requests driven in this window.
+    pub requests: usize,
+}
+
+/// Per-deadline-class request totals from one view of the accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloClassCell {
+    /// Deadline class label.
+    pub class: String,
+    /// `request_outcomes{class,result="ok"}`.
+    pub ok: u64,
+    /// `request_outcomes{class,result="failed"}`.
+    pub failed: u64,
+}
+
+/// One quantile acceptance check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloQuantileCell {
+    /// Quantile name (`"p50"` … `"p999"`).
+    pub name: String,
+    /// The quantile in `(0, 1]`.
+    pub q: f64,
+    /// The windowed bucket-edge estimate, nanoseconds.
+    pub estimate_ns: f64,
+    /// The exact same-rank value from the sorted latencies.
+    pub exact_ns: u64,
+    /// Whether the estimate honors the documented bucket error bound.
+    pub within_bound: bool,
+}
+
+/// Totals of the chaos campaign embedded in the burst window.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloChaosCell {
+    /// Requests the campaign offered.
+    pub requests: u64,
+    /// Requests that produced a prediction.
+    pub ok: u64,
+    /// Requests that failed with a typed error.
+    pub failed: u64,
+}
+
+/// The full `BENCH_slo.json` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBenchReport {
+    /// Always [`SLO_SCHEMA`]; lets `bench_check` dispatch on content.
+    pub schema: String,
+    /// The soak seed — replaying with it reproduces the walk.
+    pub seed: u64,
+    /// Whether the quick (smoke) configuration ran.
+    pub quick: bool,
+    /// Manual-clock window width, nanoseconds.
+    pub window_width_ns: u64,
+    /// Windows the soak spanned.
+    pub windows: usize,
+    /// Windows evicted from the ring — must be 0 for exact accounting.
+    pub evicted_windows: u64,
+    /// Error budget of the judging policy.
+    pub error_budget: f64,
+    /// Fast alerting span, windows.
+    pub fast_windows: usize,
+    /// Slow alerting span, windows.
+    pub slow_windows: usize,
+    /// Registry requests driven across the soak.
+    pub registry_requests: u64,
+    /// Registry requests that produced a prediction.
+    pub registry_ok: u64,
+    /// Registry requests that failed.
+    pub registry_failed: u64,
+    /// Per-class totals as the windowed view summed them.
+    pub windowed: Vec<SloClassCell>,
+    /// The same classes read from the total (unwindowed) registry.
+    pub totals: Vec<SloClassCell>,
+    /// Chaos campaign totals, when the burst embedded one.
+    pub chaos: Option<SloChaosCell>,
+    /// Quantile acceptance checks for the soak class.
+    pub quantiles: Vec<SloQuantileCell>,
+    /// The per-window health walk, in soak order.
+    pub verdicts: Vec<SloWindow>,
+    /// Where the auto-emitted postmortem dump landed.
+    pub postmortem_path: Option<String>,
+    /// The dump's recorded trigger (`"canary_spike"` normally).
+    pub postmortem_trigger: String,
+    /// Failed request ids the dump replays, in recording order.
+    pub postmortem_failed_ids: Vec<u64>,
+    /// Failed registry request ids at dump time — what the dump must
+    /// replay.
+    pub expected_failed_ids: Vec<u64>,
+    /// Records in the dump's live ring.
+    pub postmortem_records: u64,
+    /// Degraded records in the dump.
+    pub postmortem_degraded: u64,
+    /// Whether every exact-accounting invariant held at run time.
+    pub reconciled: bool,
+    /// The first failed invariant, when `reconciled` is false.
+    pub reconcile_error: Option<String>,
+    /// Wall-clock of the soak, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl SloBenchReport {
+    /// Flattens an in-memory soak report into the JSON record, stamping
+    /// the reconciliation verdict computed against the live telemetry.
+    pub fn from_report(report: &fast_bcnn::slo::SloSoakReport, quick: bool) -> Self {
+        let reconcile = report.reconcile();
+        Self {
+            schema: SLO_SCHEMA.to_string(),
+            seed: report.seed,
+            quick,
+            window_width_ns: report.window_width_ns,
+            windows: report.windows,
+            evicted_windows: report.evicted_windows,
+            error_budget: report.error_budget,
+            fast_windows: report.fast_windows,
+            slow_windows: report.slow_windows,
+            registry_requests: report.registry_requests,
+            registry_ok: report.registry_ok,
+            registry_failed: report.registry_failed,
+            windowed: report
+                .windowed
+                .iter()
+                .map(|c| SloClassCell {
+                    class: c.class.clone(),
+                    ok: c.ok,
+                    failed: c.failed,
+                })
+                .collect(),
+            totals: report
+                .totals
+                .iter()
+                .map(|c| SloClassCell {
+                    class: c.class.clone(),
+                    ok: c.ok,
+                    failed: c.failed,
+                })
+                .collect(),
+            chaos: report.chaos.as_ref().map(|c| SloChaosCell {
+                requests: c.requests,
+                ok: c.ok,
+                failed: c.failed,
+            }),
+            quantiles: report
+                .quantiles
+                .iter()
+                .map(|q| SloQuantileCell {
+                    name: q.name.clone(),
+                    q: q.q,
+                    estimate_ns: q.estimate_ns,
+                    exact_ns: q.exact_ns,
+                    within_bound: q.within_bound,
+                })
+                .collect(),
+            verdicts: report
+                .verdicts
+                .iter()
+                .map(|v| SloWindow {
+                    window: v.window,
+                    phase: v.phase.clone(),
+                    status: v.status.name().to_string(),
+                    violations: v.violations.clone(),
+                    requests: v.requests,
+                })
+                .collect(),
+            postmortem_path: report
+                .postmortem_path
+                .as_ref()
+                .map(|p| p.display().to_string()),
+            postmortem_trigger: report.postmortem_trigger.clone(),
+            postmortem_failed_ids: report.postmortem_failed_ids.clone(),
+            expected_failed_ids: report.expected_failed_ids.clone(),
+            postmortem_records: report.postmortem_records,
+            postmortem_degraded: report.postmortem_degraded,
+            reconciled: reconcile.is_ok(),
+            reconcile_error: reconcile.err(),
+            elapsed_ns: report.elapsed_ns,
+        }
+    }
+
+    /// Validates the record for CI. Every run must have reconciled
+    /// exactly, walked Ok → Critical → Warning → Ok, kept every
+    /// quantile estimate inside the bucket error bound, and emitted a
+    /// postmortem that replays exactly the failed requests; a full (non
+    /// `--quick`) soak must additionally embed a chaos campaign and
+    /// drive ≥ 120 registry requests over ≥ 12 windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SLO_SCHEMA {
+            return Err(format!("schema `{}`, expected `{SLO_SCHEMA}`", self.schema));
+        }
+        if !self.reconciled {
+            return Err(format!(
+                "accounting did not reconcile: {}",
+                self.reconcile_error.as_deref().unwrap_or("unknown")
+            ));
+        }
+        if self.registry_ok + self.registry_failed != self.registry_requests {
+            return Err(format!(
+                "ok {} + failed {} != offered {}",
+                self.registry_ok, self.registry_failed, self.registry_requests
+            ));
+        }
+        if self.evicted_windows != 0 {
+            return Err(format!("{} windows were evicted", self.evicted_windows));
+        }
+        if self.verdicts.is_empty() {
+            return Err("no health walk".into());
+        }
+        if !self.verdicts.iter().any(|v| v.status == "critical") {
+            return Err("the fault burst never drove health to critical".into());
+        }
+        match self.verdicts.last() {
+            Some(last) if last.status == "ok" => {}
+            Some(last) => {
+                return Err(format!(
+                    "the soak ended `{}` instead of recovering to ok",
+                    last.status
+                ));
+            }
+            None => unreachable!("verdicts checked non-empty above"),
+        }
+        if self.quantiles.is_empty() {
+            return Err("no quantile checks".into());
+        }
+        if let Some(q) = self.quantiles.iter().find(|q| !q.within_bound) {
+            return Err(format!(
+                "{} estimate {:.0}ns violates the bucket bound of exact {}ns",
+                q.name, q.estimate_ns, q.exact_ns
+            ));
+        }
+        if self.postmortem_path.is_none() || self.postmortem_trigger.is_empty() {
+            return Err("no postmortem dump was emitted".into());
+        }
+        if self.postmortem_failed_ids != self.expected_failed_ids {
+            return Err(format!(
+                "postmortem replays failed ids {:?}, the soak recorded {:?}",
+                self.postmortem_failed_ids, self.expected_failed_ids
+            ));
+        }
+        if !self.quick {
+            if self.chaos.is_none() {
+                return Err("full soak embedded no chaos campaign".into());
+            }
+            if self.registry_requests < 120 {
+                return Err(format!(
+                    "full soak drove {} registry requests, floor is 120",
+                    self.registry_requests
+                ));
+            }
+            if self.windows < 12 {
+                return Err(format!(
+                    "full soak spanned {} windows, floor is 12",
+                    self.windows
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(quick: bool) -> SloBenchReport {
+        let walk = [
+            ("calm", "ok"),
+            ("calm", "ok"),
+            ("calm", "ok"),
+            ("burst", "critical"),
+            ("recovery", "critical"),
+            ("recovery", "warning"),
+            ("recovery", "warning"),
+            ("recovery", "warning"),
+            ("recovery", "warning"),
+            ("recovery", "warning"),
+            ("recovery", "ok"),
+            ("recovery", "ok"),
+        ];
+        SloBenchReport {
+            schema: SLO_SCHEMA.to_string(),
+            seed: 9,
+            quick,
+            window_width_ns: 1_000_000_000,
+            windows: walk.len(),
+            evicted_windows: 0,
+            error_budget: 0.02,
+            fast_windows: 2,
+            slow_windows: 8,
+            registry_requests: 150,
+            registry_ok: 146,
+            registry_failed: 4,
+            windowed: vec![SloClassCell {
+                class: "soak".into(),
+                ok: 146,
+                failed: 4,
+            }],
+            totals: vec![SloClassCell {
+                class: "soak".into(),
+                ok: 146,
+                failed: 4,
+            }],
+            chaos: Some(SloChaosCell {
+                requests: 28,
+                ok: 16,
+                failed: 12,
+            }),
+            quantiles: vec![SloQuantileCell {
+                name: "p99".into(),
+                q: 0.99,
+                estimate_ns: 1024.0,
+                exact_ns: 900,
+                within_bound: true,
+            }],
+            verdicts: walk
+                .iter()
+                .enumerate()
+                .map(|(i, (phase, status))| SloWindow {
+                    window: i as u64,
+                    phase: phase.to_string(),
+                    status: status.to_string(),
+                    violations: Vec::new(),
+                    requests: 30,
+                })
+                .collect(),
+            postmortem_path: Some("/tmp/pm.json".into()),
+            postmortem_trigger: "canary_spike".into(),
+            postmortem_failed_ids: vec![500_001, 500_004],
+            expected_failed_ids: vec![500_001, 500_004],
+            postmortem_records: 40,
+            postmortem_degraded: 4,
+            reconciled: true,
+            reconcile_error: None,
+            elapsed_ns: 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record(false);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SloBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn a_clean_full_soak_passes() {
+        assert!(record(false).validate().is_ok());
+    }
+
+    #[test]
+    fn reconcile_failures_always_fail_validation() {
+        let mut r = record(true);
+        r.reconciled = false;
+        r.reconcile_error = Some("windowed soak class disagrees".into());
+        assert!(r.validate().unwrap_err().contains("reconcile"));
+    }
+
+    #[test]
+    fn a_walk_without_critical_fails() {
+        let mut r = record(true);
+        for v in &mut r.verdicts {
+            if v.status == "critical" {
+                v.status = "warning".into();
+            }
+        }
+        assert!(r.validate().unwrap_err().contains("critical"));
+    }
+
+    #[test]
+    fn an_unrecovered_walk_fails() {
+        let mut r = record(true);
+        if let Some(last) = r.verdicts.last_mut() {
+            last.status = "warning".into();
+        }
+        assert!(r.validate().unwrap_err().contains("recovering"));
+    }
+
+    #[test]
+    fn a_postmortem_replay_mismatch_fails() {
+        let mut r = record(true);
+        r.postmortem_failed_ids.pop();
+        assert!(r.validate().unwrap_err().contains("postmortem"));
+    }
+
+    #[test]
+    fn out_of_bound_quantiles_fail() {
+        let mut r = record(true);
+        r.quantiles[0].within_bound = false;
+        assert!(r.validate().unwrap_err().contains("bucket bound"));
+    }
+
+    #[test]
+    fn full_soak_floors_do_not_bind_quick_runs() {
+        let mut r = record(true);
+        r.registry_requests = 82;
+        r.registry_ok = 78;
+        r.registry_failed = 4;
+        assert!(r.validate().is_ok());
+        r.quick = false;
+        assert!(r.validate().unwrap_err().contains("floor is 120"));
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_rejected() {
+        let mut r = record(true);
+        r.schema = "chaos-v1".into();
+        assert!(r.validate().unwrap_err().contains("schema"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Structural lint for JSONL telemetry traces, run by `trace_check`.
+//!
+//! Spans are recorded when they *end*, so two invariants must hold for
+//! any well-formed trace:
+//!
+//! 1. **Per-thread end-time monotonicity** — within one thread, span
+//!    end times (`start_ns + duration_ns`) never decrease in recording
+//!    order. A regression means events were reordered or a clock ran
+//!    backwards.
+//! 2. **Parent encloses child** — a child span's `[start, end]`
+//!    interval lies inside its parent's. A child escaping its parent
+//!    means the span ids were linked wrongly or the timing is corrupt.
+//!
+//! The raw span buffer is capacity-bounded (`SPAN_CAP`), so a recorded
+//! `parent` id may reference an evicted span; those links are counted
+//! as skipped, not failed. Violations are typed and name the offending
+//! trace line (1-based over the parsed event list).
+
+use fast_bcnn::io::TraceEvent;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A structural violation found in a trace, naming the offending line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceLintError {
+    /// A span on one thread ended before the previous span recorded on
+    /// the same thread — recording order must be end-time order.
+    EndTimeRegression {
+        /// 1-based line of the offending span event.
+        line: usize,
+        /// 1-based line of the previously recorded span on the thread.
+        prev_line: usize,
+        /// Recording thread.
+        thread: u64,
+        /// Offending span name.
+        span: String,
+        /// Its end time, ns since the registry epoch.
+        end_ns: u64,
+        /// The previous span's (larger) end time.
+        prev_end_ns: u64,
+    },
+    /// A child span's interval is not contained in its parent's.
+    ChildEscapesParent {
+        /// 1-based line of the child span event.
+        line: usize,
+        /// 1-based line of the parent span event.
+        parent_line: usize,
+        /// Child span name.
+        child: String,
+        /// Parent span name.
+        parent: String,
+        /// Child interval, ns.
+        child_span_ns: (u64, u64),
+        /// Parent interval, ns.
+        parent_span_ns: (u64, u64),
+    },
+}
+
+impl fmt::Display for TraceLintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceLintError::EndTimeRegression {
+                line,
+                prev_line,
+                thread,
+                span,
+                end_ns,
+                prev_end_ns,
+            } => write!(
+                f,
+                "line {line}: span `{span}` on thread {thread} ends at {end_ns}ns, \
+                 before the span recorded at line {prev_line} ended ({prev_end_ns}ns)"
+            ),
+            TraceLintError::ChildEscapesParent {
+                line,
+                parent_line,
+                child,
+                parent,
+                child_span_ns,
+                parent_span_ns,
+            } => write!(
+                f,
+                "line {line}: span `{child}` [{}, {}]ns escapes its parent `{parent}` \
+                 [{}, {}]ns at line {parent_line}",
+                child_span_ns.0, child_span_ns.1, parent_span_ns.0, parent_span_ns.1
+            ),
+        }
+    }
+}
+
+/// What a clean lint pass covered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceLintStats {
+    /// Span events checked.
+    pub spans: usize,
+    /// Distinct recording threads seen.
+    pub threads: usize,
+    /// Parent-encloses-child links verified.
+    pub parent_links: usize,
+    /// Parent links skipped because the parent's raw event was evicted
+    /// by the span-buffer cap.
+    pub missing_parents: usize,
+}
+
+/// Verifies both structural invariants over a parsed trace.
+///
+/// # Errors
+///
+/// Returns the first violation, typed and naming the offending line.
+pub fn lint_spans(events: &[TraceEvent]) -> Result<TraceLintStats, TraceLintError> {
+    let spans: Vec<(usize, &TraceEvent)> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.kind == "span")
+        .map(|(i, e)| (i + 1, e))
+        .collect();
+
+    // 1. Per-thread end-time monotonicity, in recording order.
+    let mut last_end: HashMap<u64, (usize, u64)> = HashMap::new();
+    for &(line, e) in &spans {
+        let end_ns = e.start_ns.saturating_add(e.duration_ns);
+        if let Some(&(prev_line, prev_end_ns)) = last_end.get(&e.thread) {
+            if end_ns < prev_end_ns {
+                return Err(TraceLintError::EndTimeRegression {
+                    line,
+                    prev_line,
+                    thread: e.thread,
+                    span: e.name.clone(),
+                    end_ns,
+                    prev_end_ns,
+                });
+            }
+        }
+        last_end.insert(e.thread, (line, end_ns));
+    }
+
+    // 2. Parent encloses child, for every link whose parent survived
+    // the span-buffer cap.
+    let by_id: HashMap<u64, (usize, &TraceEvent)> =
+        spans.iter().map(|&(line, e)| (e.id, (line, e))).collect();
+    let mut parent_links = 0;
+    let mut missing_parents = 0;
+    for &(line, e) in &spans {
+        if e.parent == 0 {
+            continue;
+        }
+        let Some(&(parent_line, p)) = by_id.get(&e.parent) else {
+            missing_parents += 1;
+            continue;
+        };
+        let child_span_ns = (e.start_ns, e.start_ns.saturating_add(e.duration_ns));
+        let parent_span_ns = (p.start_ns, p.start_ns.saturating_add(p.duration_ns));
+        if child_span_ns.0 < parent_span_ns.0 || child_span_ns.1 > parent_span_ns.1 {
+            return Err(TraceLintError::ChildEscapesParent {
+                line,
+                parent_line,
+                child: e.name.clone(),
+                parent: p.name.clone(),
+                child_span_ns,
+                parent_span_ns,
+            });
+        }
+        parent_links += 1;
+    }
+
+    Ok(TraceLintStats {
+        spans: spans.len(),
+        threads: last_end.len(),
+        parent_links,
+        missing_parents,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, thread: u64, start_ns: u64, duration_ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind: "span".into(),
+            name: format!("span{id}"),
+            labels: Vec::new(),
+            id,
+            parent,
+            thread,
+            start_ns,
+            duration_ns,
+            value: 0.0,
+            count: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn counter() -> TraceEvent {
+        TraceEvent {
+            kind: "counter".into(),
+            name: "c".into(),
+            labels: Vec::new(),
+            id: 0,
+            parent: 0,
+            thread: 0,
+            start_ns: 0,
+            duration_ns: 0,
+            value: 1.0,
+            count: 1,
+            buckets: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn a_clean_nested_trace_passes() {
+        // Child ends (and records) before its parent; both nested in time.
+        let events = vec![
+            counter(),
+            span(2, 1, 7, 10, 30), // child [10, 40]
+            span(1, 0, 7, 0, 50),  // parent [0, 50]
+            span(3, 0, 9, 5, 10),  // another thread entirely
+        ];
+        let stats = lint_spans(&events).unwrap();
+        assert_eq!(stats.spans, 3);
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.parent_links, 1);
+        assert_eq!(stats.missing_parents, 0);
+    }
+
+    #[test]
+    fn end_time_regression_names_the_line() {
+        let events = vec![
+            span(1, 0, 7, 0, 100), // ends at 100
+            span(2, 0, 7, 10, 20), // ends at 30 — recorded later, impossible
+        ];
+        let err = lint_spans(&events).unwrap_err();
+        match &err {
+            TraceLintError::EndTimeRegression {
+                line,
+                prev_line,
+                thread,
+                ..
+            } => {
+                assert_eq!((*line, *prev_line, *thread), (2, 1, 7));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn threads_are_independent_timelines() {
+        // Interleaved threads each monotone; the merge is not — fine.
+        let events = vec![
+            span(1, 0, 7, 0, 100),
+            span(2, 0, 9, 0, 10),
+            span(3, 0, 9, 20, 10),
+        ];
+        assert!(lint_spans(&events).is_ok());
+    }
+
+    #[test]
+    fn a_child_escaping_its_parent_names_both_lines() {
+        let events = vec![
+            span(2, 1, 7, 0, 45), // child [0, 45] starts before parent
+            span(1, 0, 7, 5, 50), // parent [5, 55]
+        ];
+        let err = lint_spans(&events).unwrap_err();
+        match &err {
+            TraceLintError::ChildEscapesParent {
+                line, parent_line, ..
+            } => assert_eq!((*line, *parent_line), (1, 2)),
+            other => panic!("wrong error: {other}"),
+        }
+        assert!(err.to_string().contains("escapes"));
+    }
+
+    #[test]
+    fn evicted_parents_are_skipped_not_failed() {
+        let events = vec![span(2, 99, 7, 10, 10)];
+        let stats = lint_spans(&events).unwrap();
+        assert_eq!(stats.missing_parents, 1);
+        assert_eq!(stats.parent_links, 0);
+    }
+}

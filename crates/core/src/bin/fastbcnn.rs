@@ -12,6 +12,9 @@
 //! fastbcnn serve        [--artifact <path>] [--requests N] [--shards N] [--canary-percent N]
 //! fastbcnn swap         [--artifact <path>] [--next <path>] [--requests N] [--shards N]
 //!                       [--canary-percent N]
+//! fastbcnn watch        [--windows N] [--window-ms N] [--requests N] [--chaos]
+//!                       [--postmortem-out <path>]
+//! fastbcnn postmortem   <file> [--id N]
 //! ```
 //!
 //! Every command additionally accepts `--trace-out <path>` and
@@ -54,6 +57,12 @@ struct Args {
     label: Option<String>,
     shards: usize,
     canary_percent: u32,
+    windows: usize,
+    window_ms: u64,
+    chaos: bool,
+    postmortem_out: Option<String>,
+    input: Option<String>,
+    id: Option<u64>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -80,6 +89,12 @@ fn parse() -> Result<Args, String> {
         label: None,
         shards: 2,
         canary_percent: 20,
+        windows: 6,
+        window_ms: 1_000,
+        chaos: false,
+        postmortem_out: None,
+        input: None,
+        id: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -217,6 +232,42 @@ fn parse() -> Result<Args, String> {
                         .to_string(),
                 );
                 i += 1;
+            }
+            "--windows" => {
+                args.windows = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w: &usize| w > 0)
+                    .ok_or("--windows needs a number > 0")?;
+                i += 1;
+            }
+            "--window-ms" => {
+                args.window_ms = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&ms: &u64| ms > 0)
+                    .ok_or("--window-ms needs a number > 0")?;
+                i += 1;
+            }
+            "--chaos" => args.chaos = true,
+            "--postmortem-out" => {
+                args.postmortem_out = Some(
+                    argv.get(i + 1)
+                        .ok_or("--postmortem-out needs a path")?
+                        .to_string(),
+                );
+                i += 1;
+            }
+            "--id" => {
+                args.id = Some(
+                    argv.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--id needs a number")?,
+                );
+                i += 1;
+            }
+            other if !other.starts_with("--") && args.input.is_none() => {
+                args.input = Some(other.to_string());
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -806,6 +857,411 @@ fn cmd_swap(args: &Args) {
     }
 }
 
+/// Serves traffic window by window under a [`WindowedRegistry`] and an
+/// SLO policy, rendering the operator view after every window: latency
+/// quantiles, error-budget burn, and breaker/shed/swap activity. A
+/// healthy version bump is swapped in mid-watch, and `--chaos` runs a
+/// quick fault campaign (deadline class `default`) through the same
+/// windowed recorder. `--postmortem-out` arms the flight recorder: the
+/// first `Critical` window freezes the flight log to that path.
+///
+/// [`WindowedRegistry`]: fast_bcnn::telemetry::WindowedRegistry
+fn cmd_watch(args: &Args) {
+    use fast_bcnn::telemetry::{
+        HealthStatus, LatencyObjective, ManualClock, SloPolicy, WindowedRegistry,
+        REQUEST_LATENCY_METRIC, STANDARD_QUANTILES,
+    };
+    use std::sync::Arc;
+
+    let clock = Arc::new(ManualClock::new());
+    let width_ns = args.window_ms.saturating_mul(1_000_000).max(1);
+    let windowed = Arc::new(WindowedRegistry::new(
+        width_ns,
+        args.windows + 8,
+        Arc::clone(&clock) as Arc<dyn fast_bcnn::telemetry::Clock>,
+    ));
+    let guard = fast_bcnn::telemetry::install(
+        Arc::clone(&windowed) as Arc<dyn fast_bcnn::telemetry::Recorder>
+    );
+
+    let base = base_artifact(args);
+    let shape = base.network.input_shape();
+    let seed = base.config.seed;
+    let base_version = base.model_version;
+    let flight = Arc::new(fast_bcnn::FlightRecorder::default());
+    if let Some(path) = &args.postmortem_out {
+        flight.arm_postmortem(path);
+    }
+    let mut cfg = registry_cfg(args, &base.config);
+    cfg.resilience.deadline_class = "serve".to_string();
+    cfg.flight = Some(Arc::clone(&flight));
+    let bump = {
+        let mut bump = base.clone();
+        bump.model_version = base_version + 1;
+        bump.label = format!("{}-next", bump.label);
+        bump
+    };
+    let registry = match ModelRegistry::new(base, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: refusing to serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let policy = SloPolicy {
+        objectives: vec![LatencyObjective {
+            class: "serve".to_string(),
+            quantile: 0.99,
+            // Tie the objective to the serving deadline when one is
+            // set; otherwise keep it above the histogram's top bucket.
+            threshold_ns: args.deadline_ms.map(|ms| ms as f64 * 1e6).unwrap_or(4e9),
+        }],
+        classes: Some(vec!["serve".to_string(), "default".to_string()]),
+        ..SloPolicy::default()
+    };
+
+    println!(
+        "watching {} windows of {} requests ({} ms windows, fast span {}, slow span {})",
+        args.windows, args.requests, args.window_ms, policy.fast_windows, policy.slow_windows
+    );
+    for w in 0..args.windows as u64 {
+        clock.set(w * width_ns);
+        if w == 1 && args.windows >= 3 {
+            match registry.deploy(bump.clone()) {
+                Ok(()) => println!("-- deployed v{} as rollout candidate", base_version + 1),
+                Err(e) => println!("-- deploy refused: {e}"),
+            }
+        }
+        if w == 2 && args.windows >= 3 {
+            if let Some(v) = registry.promote() {
+                println!("-- promoted v{v}");
+            }
+        }
+        if args.chaos && w == args.windows as u64 / 2 {
+            println!("-- chaos campaign running in this window (class `default`)");
+            let report = fast_bcnn::chaos::run_chaos_into(
+                &fast_bcnn::chaos::ChaosConfig::quick(seed),
+                windowed.total(),
+            );
+            println!(
+                "-- chaos: {} requests, {} ok / {} failed",
+                report.requests_total, report.ok_total, report.failed_total
+            );
+        }
+        for i in 0..args.requests {
+            let id = w * 10_000 + i as u64;
+            registry.handle(&BatchRequest::new(
+                id,
+                synth_input(shape, seed ^ id.wrapping_mul(41)),
+            ));
+        }
+
+        let health = policy.evaluate(&windowed);
+        println!("window {w}: health {}", health.status.name().to_uppercase());
+        let mut rows = Vec::new();
+        for class in ["serve", "default"] {
+            let qs: Vec<f64> = STANDARD_QUANTILES.iter().map(|&(_, q)| q).collect();
+            if let Some(est) = windowed.windowed_quantiles(
+                policy.fast_windows,
+                REQUEST_LATENCY_METRIC,
+                &[("class", class)],
+                &qs,
+            ) {
+                let mut row = vec![class.to_string()];
+                row.extend(est.iter().map(|ns| format!("{:.2}", ns / 1e6)));
+                rows.push(row);
+            }
+        }
+        if !rows.is_empty() {
+            let mut headers = vec!["class"];
+            headers.extend(STANDARD_QUANTILES.iter().map(|&(name, _)| name));
+            print!("{}", format_table(&headers, &rows));
+            println!("  (bucket-edge estimates over the fast span, ms)");
+        }
+        for b in &health.burns {
+            println!(
+                "  burn {}: fast {:.2}x ({}/{} failed) | slow {:.2}x ({}/{} failed)",
+                b.class,
+                b.fast_burn,
+                b.failed_fast,
+                b.total_fast,
+                b.slow_burn,
+                b.failed_slow,
+                b.total_slow
+            );
+        }
+        let activity: Vec<String> = [
+            (
+                "forced exact",
+                windowed.windowed_counter_total(1, "breaker_forced_exact"),
+            ),
+            (
+                "breaker moves",
+                windowed.windowed_counter_total(1, "breaker_transitions"),
+            ),
+            ("shed", windowed.windowed_counter_total(1, "shed_requests")),
+            (
+                "retries",
+                windowed.windowed_counter_total(1, "retry_attempts"),
+            ),
+            (
+                "deploys",
+                windowed.windowed_counter_total(1, "swap_deploys"),
+            ),
+            (
+                "promotions",
+                windowed.windowed_counter_total(1, "swap_promotions"),
+            ),
+            (
+                "rollbacks",
+                windowed.windowed_counter_total(1, "rollback_total"),
+            ),
+        ]
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(name, n)| format!("{name} {n}"))
+        .collect();
+        if !activity.is_empty() {
+            println!("  activity: {}", activity.join(" | "));
+        }
+        for v in &health.violations {
+            println!("  !! {}", v.render());
+        }
+        if health.status == HealthStatus::Critical {
+            if let Some(result) = flight.trigger_postmortem("slo_critical") {
+                match result {
+                    Ok(path) => println!("  postmortem dump written to {}", path.display()),
+                    Err(e) => println!("  postmortem dump failed: {e}"),
+                }
+            }
+        }
+    }
+    drop(guard);
+    println!();
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(windowed.total()).render()
+    );
+    if let Some(path) = &args.trace_out {
+        match windowed.total().write_jsonl(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match windowed.total().write_prometheus(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// One record's flag summary for the postmortem table.
+fn record_flags(r: &fast_bcnn::FlightRecord) -> String {
+    let mut flags = Vec::new();
+    if r.canary {
+        flags.push("canary");
+    }
+    if r.rolled_back {
+        flags.push("rolled-back");
+    }
+    if r.shed {
+        flags.push("shed");
+    }
+    if r.expired {
+        flags.push("expired");
+    }
+    if r.forced_exact {
+        flags.push("forced-exact");
+    }
+    if r.probe {
+        flags.push("probe");
+    }
+    if r.retry_exhausted {
+        flags.push("retry-exhausted");
+    }
+    if r.cache_hit {
+        flags.push("cache-hit");
+    }
+    if flags.is_empty() {
+        "-".to_string()
+    } else {
+        flags.join(",")
+    }
+}
+
+/// Prints one request's decision timeline: every choice the serving
+/// stack made, in the order it made them.
+fn print_timeline(r: &fast_bcnn::FlightRecord) {
+    println!(
+        "request {} (seed {}, class `{}`, v{} shard {}{}):",
+        r.id,
+        r.seed,
+        r.class,
+        r.version,
+        r.shard,
+        if r.canary { ", canary traffic" } else { "" }
+    );
+    if r.shed {
+        println!("  1. admission: SHED — the queue was full; the request never executed");
+        return;
+    }
+    match r.degraded_to {
+        Some(n) => println!("  1. admission: admitted with a degraded sample cap of {n}"),
+        None => println!("  1. admission: admitted"),
+    }
+    println!(
+        "  2. queued {:.3} ms before execution",
+        r.queue_wait_ns as f64 / 1e6
+    );
+    let mut attempt_notes = Vec::new();
+    if r.attempts > 1 {
+        attempt_notes.push(format!(
+            "{} retries, {:.3} ms deterministic backoff",
+            r.attempts - 1,
+            r.backoff_ns as f64 / 1e6
+        ));
+    }
+    if r.requeues > 0 {
+        attempt_notes.push(format!("{} watchdog requeues", r.requeues));
+    }
+    if r.forced_exact {
+        attempt_notes.push("breaker forced the exact path".to_string());
+    }
+    if r.probe {
+        attempt_notes.push("served as a half-open probe".to_string());
+    }
+    println!(
+        "  3. executed {} attempt(s){}{}",
+        r.attempts,
+        if attempt_notes.is_empty() {
+            ""
+        } else {
+            " — "
+        },
+        attempt_notes.join(", ")
+    );
+    if r.cache_hit {
+        println!("  4. pre-inference served from cache");
+    }
+    if r.ok {
+        let skip = if r.skip_total == 0 {
+            0.0
+        } else {
+            r.skip_skipped as f64 * 100.0 / r.skip_total as f64
+        };
+        println!(
+            "  5. outcome: OK in {:.3} ms — mode {}, {}/{} samples used ({} fallback, {} lost), {skip:.1}% neuron work skipped",
+            r.latency_ns as f64 / 1e6,
+            r.mode,
+            r.used_samples,
+            r.requested_samples,
+            r.fallback_samples,
+            r.lost_samples,
+        );
+    } else {
+        println!(
+            "  5. outcome: FAILED in {:.3} ms — typed reason `{}`{}",
+            r.latency_ns as f64 / 1e6,
+            r.reason,
+            if r.expired { " (deadline expired)" } else { "" }
+        );
+    }
+    if r.rolled_back {
+        println!("  6. canary verdict: tripped the version breaker — rollout rolled back");
+    }
+}
+
+/// Reconstructs a postmortem dump: the summary, the degraded-request
+/// table, and (with `--id`) one request's full decision timeline.
+fn cmd_postmortem(args: &Args) {
+    let Some(path) = &args.input else {
+        eprintln!("error: postmortem needs a flight-log file: fastbcnn postmortem <file> [--id N]");
+        std::process::exit(2);
+    };
+    let log = match fast_bcnn::io::read_flight_log(path) {
+        Ok(log) => log,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "flight log {path}: trigger `{}` | {} recorded | ring {}/{} | {} pinned failures ({} dropped) | {} ok evicted",
+        log.trigger,
+        log.recorded,
+        log.records.len(),
+        log.capacity,
+        log.failed_exemplars.len(),
+        log.dropped_failed,
+        log.evicted_ok,
+    );
+    if let Some(worst) = &log.worst_latency {
+        println!(
+            "worst latency: request {} at {:.3} ms ({})",
+            worst.id,
+            worst.latency_ns as f64 / 1e6,
+            if worst.ok {
+                "ok"
+            } else {
+                worst.reason.as_str()
+            }
+        );
+    }
+    println!();
+
+    if let Some(id) = args.id {
+        let found = log
+            .failed_exemplars
+            .iter()
+            .chain(log.records.iter())
+            .find(|r| r.id == id)
+            .or(log.worst_latency.as_ref().filter(|r| r.id == id));
+        match found {
+            Some(r) => print_timeline(r),
+            None => {
+                eprintln!("error: request {id} is not in this flight log");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let degraded = log.degraded();
+    let rows: Vec<Vec<String>> = degraded
+        .iter()
+        .map(|r| {
+            vec![
+                r.id.to_string(),
+                r.class.clone(),
+                format!("v{}", r.version),
+                r.shard.to_string(),
+                format!("{:.2}", r.latency_ns as f64 / 1e6),
+                r.attempts.to_string(),
+                if r.ok { "ok".into() } else { r.reason.clone() },
+                r.mode.clone(),
+                record_flags(r),
+            ]
+        })
+        .collect();
+    if rows.is_empty() {
+        println!("no degraded requests — every replayable request served cleanly");
+    } else {
+        print!(
+            "{}",
+            format_table(
+                &["id", "class", "ver", "shard", "ms", "att", "outcome", "mode", "flags"],
+                &rows
+            )
+        );
+        println!(
+            "{} degraded of {} replayable requests (use --id <n> for one request's timeline)",
+            degraded.len(),
+            log.records.len() + log.failed_exemplars.len(),
+        );
+    }
+}
+
 fn main() {
     let args = match parse() {
         Ok(a) => a,
@@ -814,12 +1270,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    // `observe`, `serve-batch`, `serve` and `swap` manage their own
-    // registry (they print the digest before the exporters run); every
-    // other command uses the drop-to-export sink.
+    // `observe`, `serve-batch`, `serve`, `swap` and `watch` manage
+    // their own registry (they print the digest before the exporters
+    // run); `postmortem` only reads a dump; every other command uses
+    // the drop-to-export sink.
     let own_registry = matches!(
         args.command.as_str(),
-        "observe" | "serve-batch" | "serve" | "swap"
+        "observe" | "serve-batch" | "serve" | "swap" | "watch" | "postmortem"
     );
     let _telemetry = if own_registry {
         None
@@ -836,10 +1293,12 @@ fn main() {
         "export-model" => cmd_export_model(&args),
         "serve" => cmd_serve(&args),
         "swap" => cmd_swap(&args),
+        "watch" => cmd_watch(&args),
+        "postmortem" => cmd_postmortem(&args),
         _ => {
             println!(
                 "usage: fastbcnn <demo|simulate|characterize|train|observe|serve-batch\
-                 |export-model|serve|swap> \
+                 |export-model|serve|swap|watch|postmortem> \
                  [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
                  [--epochs N] [--train-size N] [--requests N] [--threads N] \
                  [--deadline-ms N] [--retry-max N] [--breaker-threshold X] \
@@ -854,6 +1313,10 @@ fn main() {
                  serve/swap [--artifact <path>] [--next <path>] [--shards N] \
                  [--canary-percent N] (no --artifact: a fresh in-memory export; \
                  no --next: a version bump of the base)"
+            );
+            println!(
+                "observability: watch [--windows N] [--window-ms N] [--requests N] \
+                 [--chaos] [--postmortem-out <path>]; postmortem <file> [--id N]"
             );
         }
     }

@@ -335,7 +335,12 @@ pub fn run_chaos_with_registry(cfg: &ChaosConfig) -> (ChaosReport, Arc<fbcnn_tel
 pub fn run_chaos_into(cfg: &ChaosConfig, registry: &Arc<fbcnn_telemetry::Registry>) -> ChaosReport {
     let start = Instant::now();
     let recorder = Arc::clone(registry) as Arc<dyn fbcnn_telemetry::Recorder>;
-    let telemetry_guard = if fbcnn_telemetry::is_installed(&recorder) {
+    // `installed_sink_is` (not `is_installed`): the global slot may hold
+    // a wrapper — e.g. a windowed SLO registry — that aggregates into
+    // this registry. Recording through the wrapper keeps its windowed
+    // view consistent; re-installing would deadlock on the non-reentrant
+    // install lock.
+    let telemetry_guard = if fbcnn_telemetry::installed_sink_is(registry) {
         None
     } else {
         Some(fbcnn_telemetry::install(recorder))
@@ -725,7 +730,12 @@ pub fn run_swap_chaos_into(
 ) -> Result<SwapChaosReport, ArtifactError> {
     let start = Instant::now();
     let recorder = Arc::clone(telemetry) as Arc<dyn fbcnn_telemetry::Recorder>;
-    let telemetry_guard = if fbcnn_telemetry::is_installed(&recorder) {
+    // `installed_sink_is` (not `is_installed`): the global slot may hold
+    // a wrapper — e.g. a windowed SLO registry — that aggregates into
+    // this registry. Recording through the wrapper keeps its windowed
+    // view consistent; re-installing would deadlock on the non-reentrant
+    // install lock.
+    let telemetry_guard = if fbcnn_telemetry::installed_sink_is(telemetry) {
         None
     } else {
         Some(fbcnn_telemetry::install(recorder))
@@ -795,6 +805,7 @@ pub fn run_swap_chaos_into(
             }))
         },
         jitter: Some(Arc::new(NoJitter)),
+        flight: None,
     };
     let registry = ModelRegistry::new(booted, registry_cfg)?;
 

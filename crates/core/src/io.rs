@@ -212,6 +212,30 @@ pub fn load_workload(path: impl AsRef<Path>) -> Result<Workload, IoError> {
     load(path, "workload")
 }
 
+/// Artifact kind of a flight-recorder postmortem dump
+/// ([`crate::FlightLog`]).
+pub const FLIGHT_LOG_KIND: &str = "flight-log";
+
+/// Saves a flight-recorder log (postmortem dump) in the versioned
+/// artifact envelope.
+///
+/// # Errors
+///
+/// Returns [`IoError`] on filesystem or serialization failure.
+pub fn save_flight_log(path: impl AsRef<Path>, log: &crate::FlightLog) -> Result<(), IoError> {
+    save(path, FLIGHT_LOG_KIND, log)
+}
+
+/// Loads a flight log saved by [`save_flight_log`] (or auto-emitted by
+/// the SLO monitor / canary rollback path).
+///
+/// # Errors
+///
+/// As [`load_network`].
+pub fn read_flight_log(path: impl AsRef<Path>) -> Result<crate::FlightLog, IoError> {
+    load(path, FLIGHT_LOG_KIND)
+}
+
 /// One decoded line of a JSONL telemetry trace
 /// ([`fbcnn_telemetry::Registry::to_jsonl`]). Every line carries the full
 /// field set; fields irrelevant to the event's `kind` are zero/empty.
@@ -227,6 +251,9 @@ pub struct TraceEvent {
     pub id: u64,
     /// Enclosing span id (`0` = root).
     pub parent: u64,
+    /// Recording thread id (`0` for metric events; never `0` for
+    /// spans). Span nesting and ordering invariants hold per thread.
+    pub thread: u64,
     /// Span start in nanoseconds since the registry's epoch.
     pub start_ns: u64,
     /// Span duration in nanoseconds.
@@ -433,8 +460,8 @@ mod tests {
     #[test]
     fn read_trace_rejects_foreign_and_stale_lines() {
         let good = "{\"artifact\":\"trace-event\",\"version\":1,\"payload\":{\"kind\":\"counter\",\
-                    \"name\":\"x\",\"labels\":[],\"id\":0,\"parent\":0,\"start_ns\":0,\
-                    \"duration_ns\":0,\"value\":1.0,\"count\":1,\"buckets\":[]}}";
+                    \"name\":\"x\",\"labels\":[],\"id\":0,\"parent\":0,\"thread\":0,\
+                    \"start_ns\":0,\"duration_ns\":0,\"value\":1.0,\"count\":1,\"buckets\":[]}}";
         assert_eq!(read_trace_str(good).unwrap().len(), 1);
         let foreign = good.replacen("trace-event", "network", 1);
         assert!(matches!(

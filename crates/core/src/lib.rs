@@ -36,10 +36,12 @@ mod engine;
 mod error;
 pub mod experiments;
 pub mod faults;
+mod flight;
 pub mod io;
 mod registry;
 pub mod report;
 mod resilience;
+pub mod slo;
 mod telemetry_report;
 
 pub use artifact::{ArtifactError, ModelArtifact};
@@ -47,6 +49,9 @@ pub use batch::{BatchConfig, BatchEngine, BatchOutcome, BatchReport, BatchReques
 pub use engine::{synth_input, DegradedMode, Engine, EngineConfig, RobustConfig, RobustReport};
 pub use error::{EngineError, InferenceError};
 pub use faults::{ArtifactFault, BitFlip, FaultInjector, LatencySchedule, ThresholdFault};
+pub use flight::{
+    FlightLog, FlightRecord, FlightRecorder, DEFAULT_FAILED_CAPACITY, DEFAULT_RING_CAPACITY,
+};
 pub use registry::{
     ModelRegistry, RegistryConfig, RegistryOutcome, RegistryReport, RolloutStatus, VersionCounters,
 };
@@ -56,7 +61,7 @@ pub use resilience::{
     ResilientBatchReport, ResilientOutcome, RetryClass, RetryPolicy, RunControl, SampleHook,
     SeededJitter, ShedPolicy,
 };
-pub use telemetry_report::{LayerSkipRow, TelemetryReport};
+pub use telemetry_report::{LayerSkipRow, SpanQuantileRow, TelemetryReport};
 
 /// The workspace telemetry layer (spans, counters, histograms, exporters)
 /// re-exported under the facade, so binaries and tests need only one

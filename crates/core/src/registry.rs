@@ -64,6 +64,12 @@ pub struct RegistryConfig {
     /// Optional jitter override for retry backoff (tests pin
     /// [`crate::NoJitter`]).
     pub jitter: Option<Arc<dyn Jitter>>,
+    /// Optional flight recorder. The registry records one *enriched*
+    /// [`crate::FlightRecord`] per handled request (version, shard,
+    /// canary and rollback routing filled in); shard engines stay
+    /// recorder-free so nothing records twice. A canary-spike rollback
+    /// fires the recorder's armed postmortem dump.
+    pub flight: Option<Arc<crate::FlightRecorder>>,
 }
 
 impl Default for RegistryConfig {
@@ -78,6 +84,7 @@ impl Default for RegistryConfig {
             resilience: ResilienceConfig::default(),
             sample_hook: None,
             jitter: None,
+            flight: None,
         }
     }
 }
@@ -94,6 +101,7 @@ impl fmt::Debug for RegistryConfig {
             .field("resilience", &self.resilience)
             .field("sample_hook", &self.sample_hook.is_some())
             .field("jitter", &self.jitter.is_some())
+            .field("flight", &self.flight.is_some())
             .finish()
     }
 }
@@ -519,6 +527,40 @@ impl ModelRegistry {
                 Err(_) => false,
             };
             rolled_back = self.observe_canary(engine.version, failed, tripped);
+        }
+        if let Some(flight) = &self.cfg.flight {
+            let mut record = crate::FlightRecord::from_outcome(
+                &outcome,
+                self.cfg.resilience.deadline_class.as_str(),
+            );
+            record.version = engine.version;
+            record.shard = shard_idx as u64;
+            record.canary = canary;
+            record.rolled_back = rolled_back;
+            flight.record(record);
+            // An automatic rollback is exactly the moment operators want
+            // the flight log frozen: fire the armed postmortem dump (if
+            // any) *after* recording the triggering request, so the dump
+            // replays up to and including the verdict that tripped it.
+            if rolled_back {
+                match flight.trigger_postmortem("canary_spike") {
+                    Some(Ok(_)) => {
+                        fbcnn_telemetry::counter_add(
+                            "postmortem_dumps",
+                            &[("trigger", "canary_spike")],
+                            1,
+                        );
+                    }
+                    Some(Err(_)) => {
+                        fbcnn_telemetry::counter_add(
+                            "postmortem_errors",
+                            &[("trigger", "canary_spike")],
+                            1,
+                        );
+                    }
+                    None => {}
+                }
+            }
         }
         RegistryOutcome {
             shard: shard_idx,

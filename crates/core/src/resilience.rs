@@ -462,6 +462,10 @@ pub struct ResilienceConfig {
     /// Times a hung unit is requeued before it is abandoned with a typed
     /// [`InferenceError::WorkerHung`].
     pub max_requeues: u32,
+    /// Deadline class this engine serves — the `class` label on the
+    /// `request_latency_ns` / `request_outcomes` telemetry the SLO
+    /// monitor windows, and the class [`crate::FlightRecord`]s carry.
+    pub deadline_class: String,
 }
 
 impl Default for ResilienceConfig {
@@ -477,6 +481,7 @@ impl Default for ResilienceConfig {
             min_degraded_samples: 1,
             watchdog_timeout: None,
             max_requeues: 2,
+            deadline_class: "default".to_string(),
         }
     }
 }
@@ -532,6 +537,9 @@ pub struct ResilientOutcome {
     pub expired: bool,
     /// Total deterministic backoff this request slept across retries.
     pub backoff_total: Duration,
+    /// End-to-end wall clock of the attempt chain in nanoseconds (0 for
+    /// requests that never executed: shed or abandoned).
+    pub elapsed_ns: u64,
 }
 
 impl ResilientOutcome {
@@ -703,6 +711,37 @@ struct Inner {
     jitter: Arc<dyn Jitter>,
     sleeper: Sleeper,
     hook: Option<RequestSampleHook>,
+    flight: Option<Arc<crate::FlightRecorder>>,
+}
+
+/// Stamps one finished outcome into the request-level observability
+/// surface: exactly one `request_outcomes{class,result}` increment per
+/// [`ResilientOutcome`] (the invariant windowed reconciliation relies
+/// on), a `request_latency_ns{class}` observation when the request
+/// actually executed, and a [`crate::FlightRecord`] when a recorder is
+/// attached.
+fn note_outcome(inner: &Inner, out: &ResilientOutcome) {
+    let class = inner.cfg.deadline_class.as_str();
+    let result = if out.outcome.result.is_ok() {
+        "ok"
+    } else {
+        "failed"
+    };
+    fbcnn_telemetry::counter_add(
+        fbcnn_telemetry::REQUEST_OUTCOME_METRIC,
+        &[("class", class), ("result", result)],
+        1,
+    );
+    if out.attempts > 0 {
+        fbcnn_telemetry::histogram_record(
+            fbcnn_telemetry::REQUEST_LATENCY_METRIC,
+            &[("class", class)],
+            out.elapsed_ns as f64,
+        );
+    }
+    if let Some(flight) = &inner.flight {
+        flight.record(crate::FlightRecord::from_outcome(out, class));
+    }
 }
 
 /// The resilient serving layer over a [`BatchEngine`]; see the module
@@ -746,6 +785,7 @@ impl ResilientBatchEngine {
                     }
                 }),
                 hook: None,
+                flight: None,
             }),
         }
     }
@@ -759,6 +799,7 @@ impl ResilientBatchEngine {
             jitter: Arc::clone(&inner.jitter),
             sleeper: Arc::clone(&inner.sleeper),
             hook: inner.hook.clone(),
+            flight: inner.flight.clone(),
         };
         f(&mut clone);
         Self {
@@ -780,6 +821,18 @@ impl ResilientBatchEngine {
     /// harness's fault injection point.
     pub fn with_request_sample_hook(&self, hook: RequestSampleHook) -> Self {
         self.remake(|i| i.hook = Some(hook))
+    }
+
+    /// Attaches a flight recorder: every request this layer finishes is
+    /// flattened into a [`crate::FlightRecord`]. Without one the
+    /// serving path pays nothing.
+    pub fn with_flight_recorder(&self, flight: Arc<crate::FlightRecorder>) -> Self {
+        self.remake(|i| i.flight = Some(flight))
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&Arc<crate::FlightRecorder>> {
+        self.inner.flight.as_ref()
     }
 
     /// The wrapped batch engine.
@@ -860,7 +913,7 @@ impl ResilientBatchEngine {
         let mut admitted: Vec<usize> = Vec::with_capacity(n);
         for (i, req) in requests.iter().enumerate() {
             if shed_flags[i] {
-                slots[i] = Some(ResilientOutcome {
+                let out = ResilientOutcome {
                     outcome: BatchOutcome {
                         id: req.id,
                         seed: req.resolved_seed(engine_seed),
@@ -880,7 +933,10 @@ impl ResilientBatchEngine {
                     degraded_to: None,
                     expired: false,
                     backoff_total: Duration::ZERO,
-                });
+                    elapsed_ns: 0,
+                };
+                note_outcome(inner, &out);
+                slots[i] = Some(out);
                 totals.shed += 1;
             } else {
                 admitted.push(i);
@@ -905,26 +961,32 @@ impl ResilientBatchEngine {
             .into_iter()
             .enumerate()
             .map(|(i, slot)| {
-                slot.unwrap_or_else(|| ResilientOutcome {
-                    // Unreachable: every admitted slot is written by the
-                    // pool (or its abandonment path) and every shed slot
-                    // above; typed fallback kept instead of a panic.
-                    outcome: BatchOutcome {
-                        id: requests[i].id,
-                        seed: requests[i].resolved_seed(engine_seed),
-                        queue_wait_ns: 0,
-                        cache_hit: false,
-                        result: Err(InferenceError::WorkerHung { requeues: 0 }),
-                    },
-                    attempts: 0,
-                    requeues: 0,
-                    forced_exact: false,
-                    probe: false,
-                    shed: false,
-                    retry_exhausted: false,
-                    degraded_to: None,
-                    expired: false,
-                    backoff_total: Duration::ZERO,
+                slot.unwrap_or_else(|| {
+                    let out = ResilientOutcome {
+                        // Unreachable: every admitted slot is written by
+                        // the pool (or its abandonment path) and every
+                        // shed slot above; typed fallback kept instead
+                        // of a panic.
+                        outcome: BatchOutcome {
+                            id: requests[i].id,
+                            seed: requests[i].resolved_seed(engine_seed),
+                            queue_wait_ns: 0,
+                            cache_hit: false,
+                            result: Err(InferenceError::WorkerHung { requeues: 0 }),
+                        },
+                        attempts: 0,
+                        requeues: 0,
+                        forced_exact: false,
+                        probe: false,
+                        shed: false,
+                        retry_exhausted: false,
+                        degraded_to: None,
+                        expired: false,
+                        backoff_total: Duration::ZERO,
+                        elapsed_ns: 0,
+                    };
+                    note_outcome(inner, &out);
+                    out
                 })
             })
             .collect();
@@ -1077,29 +1139,29 @@ impl ResilientBatchEngine {
                         abandoned: 1,
                         ..ResilienceTotals::default()
                     };
-                    s.done = Some((
-                        ResilientOutcome {
-                            outcome: BatchOutcome {
-                                id: req.id,
-                                seed: req.resolved_seed(inner.batch.engine().config().seed),
-                                queue_wait_ns: 0,
-                                cache_hit: false,
-                                result: Err(InferenceError::WorkerHung {
-                                    requeues: s.requeues - 1,
-                                }),
-                            },
-                            attempts: 0,
-                            requeues: s.requeues - 1,
-                            forced_exact: false,
-                            probe: false,
-                            shed: false,
-                            retry_exhausted: false,
-                            degraded_to: pool.cap,
-                            expired: false,
-                            backoff_total: Duration::ZERO,
+                    let abandoned = ResilientOutcome {
+                        outcome: BatchOutcome {
+                            id: req.id,
+                            seed: req.resolved_seed(inner.batch.engine().config().seed),
+                            queue_wait_ns: 0,
+                            cache_hit: false,
+                            result: Err(InferenceError::WorkerHung {
+                                requeues: s.requeues - 1,
+                            }),
                         },
-                        local,
-                    ));
+                        attempts: 0,
+                        requeues: s.requeues - 1,
+                        forced_exact: false,
+                        probe: false,
+                        shed: false,
+                        retry_exhausted: false,
+                        degraded_to: pool.cap,
+                        expired: false,
+                        backoff_total: Duration::ZERO,
+                        elapsed_ns: 0,
+                    };
+                    note_outcome(inner, &abandoned);
+                    s.done = Some((abandoned, local));
                     pool.completed.fetch_add(1, Ordering::Release);
                 } else {
                     fbcnn_telemetry::counter_add("watchdog_requeues", &[], 1);
@@ -1145,6 +1207,7 @@ fn serve_with_resilience(
     cap: Option<usize>,
     totals: &mut ResilienceTotals,
 ) -> ResilientOutcome {
+    let served_at = Instant::now();
     let cfg = &inner.cfg;
     let engine_seed = inner.batch.engine().config().seed;
     let request_seed = req.resolved_seed(engine_seed);
@@ -1206,8 +1269,8 @@ fn serve_with_resilience(
             totals.expired += 1;
         }
 
-        let finish =
-            move |outcome: BatchOutcome, expired: bool, retry_exhausted: bool| ResilientOutcome {
+        let finish = move |outcome: BatchOutcome, expired: bool, retry_exhausted: bool| {
+            let out = ResilientOutcome {
                 outcome,
                 attempts,
                 requeues: 0,
@@ -1218,7 +1281,11 @@ fn serve_with_resilience(
                 degraded_to: cap,
                 expired,
                 backoff_total,
+                elapsed_ns: served_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             };
+            note_outcome(inner, &out);
+            out
+        };
 
         let retryable = match &outcome.result {
             // Expired partials are final: the budget is spent.

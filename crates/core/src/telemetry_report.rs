@@ -4,7 +4,7 @@
 //! per-layer skip-rate breakdown).
 
 use crate::report::format_table;
-use fbcnn_telemetry::Registry;
+use fbcnn_telemetry::{histogram_quantile, Registry, SPAN_DURATION_METRIC};
 use std::collections::BTreeMap;
 
 /// Per-layer skip accounting pulled from the `skip_neurons_*` counters.
@@ -31,6 +31,23 @@ impl LayerSkipRow {
             self.skipped as f64 / self.considered as f64
         }
     }
+}
+
+/// Latency quantiles of one span name, estimated from its
+/// `span_duration_ns` histogram buckets (upper bucket edges — see
+/// [`histogram_quantile`] for the error bound).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpanQuantileRow {
+    /// Span name (the `span` histogram label).
+    pub span: String,
+    /// Durations recorded.
+    pub count: u64,
+    /// p50 estimate, nanoseconds.
+    pub p50_ns: f64,
+    /// p95 estimate, nanoseconds.
+    pub p95_ns: f64,
+    /// p99 estimate, nanoseconds.
+    pub p99_ns: f64,
 }
 
 /// A digest of one recording session: per-layer skip rates plus the
@@ -75,6 +92,54 @@ pub struct TelemetryReport {
     pub deadline_expired: u64,
     /// `watchdog_requeues` total — hung units requeued to fresh workers.
     pub watchdog_requeues: u64,
+    /// Per-span duration quantiles from the `span_duration_ns`
+    /// histograms, in span-name order.
+    pub span_quantiles: Vec<SpanQuantileRow>,
+}
+
+/// Folds the registry's `span_duration_ns` histogram cells by span name
+/// (cells whose bucket bounds disagree with the first cell of that span
+/// are skipped — only possible if bounds were re-registered mid-run) and
+/// estimates p50/p95/p99 with the shared bucket-edge rule.
+fn span_quantile_rows(registry: &Registry) -> Vec<SpanQuantileRow> {
+    let mut merged: BTreeMap<String, fbcnn_telemetry::HistogramSnapshot> = BTreeMap::new();
+    for h in registry.histograms() {
+        if h.name != SPAN_DURATION_METRIC {
+            continue;
+        }
+        let Some((_, span)) = h.labels.iter().find(|(k, _)| k == "span") else {
+            continue;
+        };
+        match merged.entry(span.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(h);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let m = e.get_mut();
+                if m.bounds != h.bounds {
+                    continue;
+                }
+                for (dst, src) in m.counts.iter_mut().zip(h.counts.iter()) {
+                    *dst += src;
+                }
+                m.sum += h.sum;
+                m.count += h.count;
+            }
+        }
+    }
+    merged
+        .into_iter()
+        .filter_map(|(span, h)| {
+            let q = |q: f64| histogram_quantile(&h.bounds, &h.counts, q);
+            Some(SpanQuantileRow {
+                span,
+                count: h.count,
+                p50_ns: q(0.5)?,
+                p95_ns: q(0.95)?,
+                p99_ns: q(0.99)?,
+            })
+        })
+        .collect()
 }
 
 impl TelemetryReport {
@@ -143,6 +208,7 @@ impl TelemetryReport {
             retry_exhausted: registry.counter_total("retry_exhausted"),
             deadline_expired: registry.counter_total("deadline_expired"),
             watchdog_requeues: registry.counter_total("watchdog_requeues"),
+            span_quantiles: span_quantile_rows(registry),
         }
     }
 
@@ -254,6 +320,26 @@ impl TelemetryReport {
                 moves.join(", "),
             ));
         }
+        if !self.span_quantiles.is_empty() {
+            let rows: Vec<Vec<String>> = self
+                .span_quantiles
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.span.clone(),
+                        r.count.to_string(),
+                        format!("{:.0}", r.p50_ns),
+                        format!("{:.0}", r.p95_ns),
+                        format!("{:.0}", r.p99_ns),
+                    ]
+                })
+                .collect();
+            out.push_str("span latency quantiles (bucket-edge estimates, ns):\n");
+            out.push_str(&format_table(
+                &["span", "count", "p50", "p95", "p99"],
+                &rows,
+            ));
+        }
         out
     }
 }
@@ -349,6 +435,39 @@ mod tests {
         assert!(rendered.contains("deadline expiries 5"));
         assert!(rendered.contains("breaker: forced exact 6"));
         assert!(rendered.contains("closed->open=1"));
+    }
+
+    #[test]
+    fn report_estimates_span_quantiles() {
+        let r = Registry::new();
+        // 100 fast durations and 2 slow ones: p50 lands in the 256-edge
+        // bucket, p99 in the 1024-edge bucket.
+        for _ in 0..100 {
+            r.histogram_record(SPAN_DURATION_METRIC, &[("span", "predict")], 200.0);
+        }
+        for _ in 0..2 {
+            r.histogram_record(SPAN_DURATION_METRIC, &[("span", "predict")], 900.0);
+        }
+        // A second label set for the same span must fold into one row.
+        r.histogram_record(
+            SPAN_DURATION_METRIC,
+            &[("span", "calibrate"), ("layer", "conv1")],
+            60.0,
+        );
+        let report = TelemetryReport::from_registry(&r);
+        assert_eq!(report.span_quantiles.len(), 2);
+        let predict = report
+            .span_quantiles
+            .iter()
+            .find(|row| row.span == "predict")
+            .unwrap();
+        assert_eq!(predict.count, 102);
+        assert_eq!(predict.p50_ns, 256.0);
+        assert_eq!(predict.p99_ns, 1024.0);
+        let rendered = report.render();
+        assert!(rendered.contains("span latency quantiles"));
+        assert!(rendered.contains("predict"));
+        assert!(rendered.contains("calibrate"));
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Property-based tests for the observability layer: quantile
+//! estimates stay inside the documented bucket error bound, the flight
+//! recorder's exemplar retention never loses a failure, and the SLO
+//! burn-rate walk is exactly the arithmetic the policy documents.
+
+use fast_bcnn::telemetry::{
+    histogram_quantile, Clock, HealthStatus, ManualClock, Recorder, Registry, SloPolicy,
+    WindowedRegistry, QUANTILE_WIDTH_RATIO, REQUEST_OUTCOME_METRIC, STANDARD_QUANTILES,
+};
+use fast_bcnn::{FlightRecord, FlightRecorder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// The exact same-rank quantile rule the bucket estimate approximates:
+/// rank = ceil(q·total) clamped to [1, total], 1-based into the sorted
+/// population.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let total = sorted.len() as f64;
+    let rank = (q * total).ceil().clamp(1.0, total) as usize;
+    sorted[rank - 1]
+}
+
+/// A baseline successful record; each property mutates the fields it
+/// exercises.
+fn base_record(id: u64) -> FlightRecord {
+    FlightRecord {
+        id,
+        seed: 0,
+        class: "prop".to_string(),
+        version: 0,
+        shard: 0,
+        canary: false,
+        rolled_back: false,
+        latency_ns: 0,
+        queue_wait_ns: 0,
+        backoff_ns: 0,
+        attempts: 1,
+        requeues: 0,
+        forced_exact: false,
+        probe: false,
+        shed: false,
+        retry_exhausted: false,
+        expired: false,
+        degraded_to: None,
+        cache_hit: false,
+        ok: true,
+        reason: "ok".to_string(),
+        mode: "healthy".to_string(),
+        requested_samples: 1,
+        used_samples: 1,
+        fallback_samples: 0,
+        lost_samples: 0,
+        skip_total: 0,
+        skip_skipped: 0,
+    }
+}
+
+proptest! {
+    /// For any latency population, every standard quantile's
+    /// bucket-edge estimate is within the documented error bound of the
+    /// exact sorted quantile: never below it, and at most one bucket
+    /// width (×`QUANTILE_WIDTH_RATIO`) above — clamping to the
+    /// histogram's edge bounds for populations outside them.
+    #[test]
+    fn quantile_estimates_stay_inside_the_bucket_bound(
+        values in proptest::collection::vec(1u64..8_000_000_000, 1..120),
+    ) {
+        let registry = Registry::new();
+        for &v in &values {
+            registry.histogram_record("lat", &[], v as f64);
+        }
+        let h = registry
+            .histograms()
+            .into_iter()
+            .find(|h| h.name == "lat")
+            .expect("recorded histogram");
+        prop_assert_eq!(h.count, values.len() as u64);
+
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let min_bound = h.bounds.first().copied().expect("bucketed histogram");
+        let max_bound = h.bounds.last().copied().expect("bucketed histogram");
+        for &(name, q) in STANDARD_QUANTILES {
+            let estimate =
+                histogram_quantile(&h.bounds, &h.counts, q).expect("non-empty histogram");
+            let exact = exact_quantile(&sorted, q) as f64;
+            if exact > max_bound {
+                // Overflow rank: the estimate clamps to the top bound.
+                prop_assert_eq!(estimate, max_bound, "{} overflow clamp", name);
+            } else {
+                prop_assert!(
+                    estimate >= exact,
+                    "{}: estimate {} below exact {}",
+                    name, estimate, exact
+                );
+                prop_assert!(
+                    estimate <= (exact * QUANTILE_WIDTH_RATIO).max(min_bound),
+                    "{}: estimate {} beyond x{} of exact {}",
+                    name, estimate, QUANTILE_WIDTH_RATIO, exact
+                );
+            }
+        }
+    }
+
+    /// Whatever the traffic mix and however small the ring, eviction
+    /// only ever forgets *successful* records: every failure stays
+    /// replayable (ring or pinned exemplar), the worst-latency record
+    /// survives, and the first of equal-latency maxima keeps the pin.
+    #[test]
+    fn ring_eviction_never_drops_a_failure_or_the_worst(
+        outcomes in proptest::collection::vec((any::<bool>(), 0u64..1_000_000), 1..200),
+        capacity in 1usize..8,
+    ) {
+        let recorder = FlightRecorder::new(capacity);
+        let mut failed_ids = Vec::new();
+        let mut worst: Option<(u64, u64)> = None;
+        for (i, &(ok, latency_ns)) in outcomes.iter().enumerate() {
+            let id = i as u64;
+            let mut record = base_record(id);
+            record.ok = ok;
+            record.latency_ns = latency_ns;
+            record.reason = if ok { "ok" } else { "numeric" }.to_string();
+            if !ok {
+                failed_ids.push(id);
+            }
+            // Strictly-greater comparison keeps the first of equal maxima.
+            if worst.is_none_or(|(_, w)| latency_ns > w) {
+                worst = Some((id, latency_ns));
+            }
+            recorder.record(record);
+        }
+        let log = recorder.snapshot("prop");
+        prop_assert_eq!(log.recorded, outcomes.len() as u64);
+        prop_assert_eq!(log.dropped_failed, 0);
+        prop_assert!(log.records.len() <= capacity, "ring exceeded its bound");
+
+        // failed() = evicted exemplars (older) then in-ring failures:
+        // chronological, and exactly the failures we fed in.
+        let replayed: Vec<u64> = log.failed().iter().map(|r| r.id).collect();
+        prop_assert_eq!(replayed, failed_ids.clone());
+
+        prop_assert_eq!(
+            log.worst_latency.as_ref().map(|r| (r.id, r.latency_ns)),
+            worst
+        );
+
+        // Eviction accounting: everything not in the ring is either a
+        // retained failure or a counted evicted success.
+        let ring_ok = log.records.iter().filter(|r| r.ok).count() as u64;
+        let total_ok = (outcomes.len() - failed_ids.len()) as u64;
+        prop_assert_eq!(log.evicted_ok, total_ok - ring_ok);
+    }
+
+    /// Feeding a synthetic per-window (ok, failed) stream through the
+    /// windowed registry under an injected clock, the policy verdict
+    /// after every window is exactly the documented burn arithmetic —
+    /// including the Ok → Warning → Critical escalations and the decay
+    /// back to Ok as a burst ages out of the spans.
+    #[test]
+    fn burn_rate_walk_matches_the_documented_arithmetic(
+        stream in proptest::collection::vec((0u64..20, 0u64..6), 1..24),
+        budget_permille in 5u64..200,
+    ) {
+        let clock = Arc::new(ManualClock::new());
+        let width = 1_000u64;
+        let windowed = WindowedRegistry::new(
+            width,
+            stream.len() + 4,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+        );
+        let policy = SloPolicy {
+            error_budget: budget_permille as f64 / 1000.0,
+            classes: Some(vec!["prop".to_string()]),
+            ..SloPolicy::default()
+        };
+
+        for (w, &(ok, failed)) in stream.iter().enumerate() {
+            clock.set(w as u64 * width);
+            if ok > 0 {
+                windowed.counter_add(
+                    REQUEST_OUTCOME_METRIC,
+                    &[("class", "prop"), ("result", "ok")],
+                    ok,
+                );
+            }
+            if failed > 0 {
+                windowed.counter_add(
+                    REQUEST_OUTCOME_METRIC,
+                    &[("class", "prop"), ("result", "failed")],
+                    failed,
+                );
+            }
+            let got = policy.evaluate(&windowed).status;
+
+            // Independent oracle: fold the stream prefix by hand. A
+            // span of n windows covers [w-n+1, w] inclusive.
+            let span = |n: usize| {
+                let lo = (w + 1).saturating_sub(n);
+                stream[lo..=w]
+                    .iter()
+                    .fold((0u64, 0u64), |(f, t), &(o, x)| (f + x, t + o + x))
+            };
+            let burn = |failed: u64, total: u64| {
+                if total == 0 {
+                    0.0
+                } else {
+                    (failed as f64 / total as f64) / policy.error_budget
+                }
+            };
+            let (failed_fast, total_fast) = span(policy.fast_windows);
+            let (failed_slow, total_slow) = span(policy.slow_windows);
+            let expected = if total_fast >= policy.min_requests
+                && burn(failed_fast, total_fast) >= policy.critical_burn
+            {
+                HealthStatus::Critical
+            } else if total_slow >= policy.min_requests
+                && burn(failed_slow, total_slow) >= policy.warning_burn
+            {
+                HealthStatus::Warning
+            } else {
+                HealthStatus::Ok
+            };
+            prop_assert_eq!(
+                got,
+                expected,
+                "window {} of stream {:?} (budget {})",
+                w,
+                stream,
+                policy.error_budget
+            );
+        }
+    }
+}

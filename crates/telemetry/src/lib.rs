@@ -34,10 +34,17 @@
 
 mod exposition;
 mod registry;
+mod windowed;
 
 pub use exposition::{parse_exposition, ExpositionError, Sample};
 pub use registry::{
     CounterSnapshot, HistogramSnapshot, Registry, SpanEvent, DEFAULT_BUCKETS, SPAN_DURATION_METRIC,
+};
+pub use windowed::{
+    histogram_quantile, snapshot_quantile, ClassBurn, Clock, HealthReport, HealthStatus,
+    LatencyObjective, ManualClock, MonotonicClock, SloPolicy, SloViolation, WindowSnapshot,
+    WindowedRegistry, QUANTILE_WIDTH_RATIO, REQUEST_LATENCY_METRIC, REQUEST_OUTCOME_METRIC,
+    STANDARD_QUANTILES,
 };
 
 use std::cell::RefCell;
@@ -60,6 +67,10 @@ pub struct SpanRecord<'a> {
     pub id: u64,
     /// Id of the enclosing span on the same thread, or 0 for a root.
     pub parent: u64,
+    /// Process-unique id (never 0) of the thread that opened and closed
+    /// the span — span stacks are thread-local, so nesting invariants
+    /// only hold per thread.
+    pub thread: u64,
     /// Static span name (e.g. `"mc_run"`).
     pub name: &'static str,
     /// Dynamic labels attached at open time.
@@ -89,6 +100,17 @@ pub trait Recorder: Send + Sync {
 
     /// Receives a span that just closed.
     fn span_record(&self, span: &SpanRecord<'_>);
+
+    /// The cumulative [`Registry`] this recorder ultimately aggregates
+    /// into, if it has one. Wrapper recorders (e.g.
+    /// [`WindowedRegistry`]) return their inner total registry so that
+    /// library code holding an `Arc<Registry>` can recognise — via
+    /// [`installed_sink_is`] — that the global slot already feeds it,
+    /// instead of trying to re-`install` and deadlocking on the
+    /// non-reentrant install lock.
+    fn sink(&self) -> Option<&Registry> {
+        None
+    }
 }
 
 /// A recorder that drops everything — the explicit form of the default
@@ -111,9 +133,18 @@ static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
 // never fight over the global slot.
 static INSTALL: Mutex<()> = Mutex::new(());
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small process-unique id (never 0) for the calling thread, assigned
+/// on first use. Stable for the thread's lifetime; stamped on every
+/// [`SpanRecord`] so trace consumers can check per-thread ordering.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|&id| id)
 }
 
 fn lock_install() -> MutexGuard<'static, ()> {
@@ -203,6 +234,20 @@ pub fn recorder() -> Option<Arc<dyn Recorder>> {
 /// (pointer identity, not value equality).
 pub fn is_installed(rec: &Arc<dyn Recorder>) -> bool {
     current().is_some_and(|cur| Arc::ptr_eq(&cur, rec))
+}
+
+/// Whether the installed recorder ultimately aggregates into `registry`
+/// — either because `registry` *is* the installed recorder, or because
+/// the installed recorder (e.g. a [`WindowedRegistry`]) reports it as
+/// its [`Recorder::sink`]. Library code that is handed an
+/// `Arc<Registry>` should use this, not [`is_installed`], before
+/// deciding whether it needs to `install` — the install lock is not
+/// reentrant.
+pub fn installed_sink_is(registry: &Arc<Registry>) -> bool {
+    current().is_some_and(|cur| {
+        cur.sink()
+            .is_some_and(|sink| std::ptr::eq(sink, Arc::as_ptr(registry)))
+    })
 }
 
 // ---------------------------------------------------------- free functions
@@ -313,6 +358,7 @@ impl Drop for Span {
         active.recorder.span_record(&SpanRecord {
             id: active.id,
             parent: active.parent,
+            thread: thread_id(),
             name: active.name,
             labels: &active.labels,
             start: active.start,

@@ -78,6 +78,8 @@ pub struct SpanEvent {
     pub id: u64,
     /// Enclosing span id on the same thread, 0 for roots.
     pub parent: u64,
+    /// Process-unique id of the recording thread (never 0 for spans).
+    pub thread: u64,
     /// Span name.
     pub name: String,
     /// Labels attached at open time.
@@ -253,11 +255,13 @@ impl Registry {
         for s in &inner.spans {
             let payload = format!(
                 "{{\"kind\":\"span\",\"name\":{},\"labels\":{},\"id\":{},\"parent\":{},\
-                 \"start_ns\":{},\"duration_ns\":{},\"value\":0.0,\"count\":0,\"buckets\":[]}}",
+                 \"thread\":{},\"start_ns\":{},\"duration_ns\":{},\"value\":0.0,\"count\":0,\
+                 \"buckets\":[]}}",
                 json_str(&s.name),
                 json_labels(&s.labels),
                 s.id,
                 s.parent,
+                s.thread,
                 s.start_ns,
                 s.duration_ns
             );
@@ -266,7 +270,8 @@ impl Registry {
         for ((name, labels), &value) in &inner.counters {
             let payload = format!(
                 "{{\"kind\":\"counter\",\"name\":{},\"labels\":{},\"id\":0,\"parent\":0,\
-                 \"start_ns\":0,\"duration_ns\":0,\"value\":{},\"count\":{value},\"buckets\":[]}}",
+                 \"thread\":0,\"start_ns\":0,\"duration_ns\":0,\"value\":{},\"count\":{value},\
+                 \"buckets\":[]}}",
                 json_str(name),
                 json_labels(labels),
                 json_num(value as f64)
@@ -286,7 +291,8 @@ impl Registry {
             buckets.push(']');
             let payload = format!(
                 "{{\"kind\":\"histogram\",\"name\":{},\"labels\":{},\"id\":0,\"parent\":0,\
-                 \"start_ns\":0,\"duration_ns\":0,\"value\":{},\"count\":{},\"buckets\":{buckets}}}",
+                 \"thread\":0,\"start_ns\":0,\"duration_ns\":0,\"value\":{},\"count\":{},\
+                 \"buckets\":{buckets}}}",
                 json_str(name),
                 json_labels(labels),
                 json_num(h.sum),
@@ -401,6 +407,7 @@ impl Recorder for Registry {
                 inner.spans.push(SpanEvent {
                     id: span.id,
                     parent: span.parent,
+                    thread: span.thread,
                     name: span.name.to_string(),
                     labels: span.labels.to_vec(),
                     start_ns,
@@ -415,6 +422,10 @@ impl Recorder for Registry {
         let mut labels: Vec<(&str, &str)> = vec![("span", span.name)];
         labels.extend(span.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())));
         self.histogram_record(SPAN_DURATION_METRIC, &labels, duration_ns as f64);
+    }
+
+    fn sink(&self) -> Option<&Registry> {
+        Some(self)
     }
 }
 
@@ -562,6 +573,7 @@ mod tests {
         r.span_record(&SpanRecord {
             id: 1,
             parent: 0,
+            thread: 1,
             name: "phase",
             labels: &[("stage".to_string(), "conv".to_string())],
             start: r.epoch,

@@ -78,6 +78,20 @@ impl Value {
     }
 }
 
+// A `Value` serializes to itself, so generic JSON (schema-unknown bench
+// records, for instance) can round-trip through `serde_json` untyped.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Looks up a required field in a map value (used by derived impls).
 ///
 /// # Errors
