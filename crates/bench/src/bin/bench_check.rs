@@ -14,6 +14,11 @@
 //!   fault burst and recovered, the windowed accounting reconciled
 //!   exactly, every quantile estimate honored the bucket error bound,
 //!   and the postmortem replayed exactly the failed requests;
+//! * a record carrying `"schema": "serve-v1"` parses back through
+//!   [`fbcnn_bench::ServeBenchReport`] — the loadgen ↔ server ↔ registry
+//!   ledger reconciled exactly, zero aborts and transport errors, the
+//!   shed/expiry/malformed tiers exercised, bit identity held, and (on a
+//!   ≥ 4-CPU host running a full soak) the scaled goodput floor;
 //! * anything else parses as the `throughput` harness's
 //!   [`fbcnn_bench::BatchBenchReport`] — every point bit-identical to
 //!   sequential, positive timings, and (only on a multi-CPU host running
@@ -30,8 +35,8 @@
 //! Usage: `bench_check <BENCH_*.json> [min_speedup] [--baseline <file>]`
 
 use fbcnn_bench::{
-    baseline, BatchBenchReport, ChaosBenchReport, SloBenchReport, SwapBenchReport, CHAOS_SCHEMA,
-    SLO_SCHEMA, SWAP_SCHEMA,
+    baseline, BatchBenchReport, ChaosBenchReport, ServeBenchReport, SloBenchReport,
+    SwapBenchReport, CHAOS_SCHEMA, SERVE_SCHEMA, SLO_SCHEMA, SWAP_SCHEMA,
 };
 
 fn fail(msg: String) -> ! {
@@ -100,6 +105,36 @@ fn check_slo(path: &str, text: &str) {
         report.quantiles.len(),
         report.postmortem_trigger,
         report.postmortem_failed_ids.len(),
+        if report.quick { " [quick smoke]" } else { "" },
+    );
+}
+
+fn check_serve(path: &str, text: &str) {
+    let report: ServeBenchReport = match serde_json::from_str(text) {
+        Ok(report) => report,
+        Err(e) => fail(format!("{path}: malformed serve record: {e}")),
+    };
+    if let Err(reason) = report.validate() {
+        fail(format!("{path}: {reason}"));
+    }
+    println!(
+        "bench_check: ok — serve soak seed {}: {} frames over {} connections \
+         ({} ok / {} failed / {} shed / {} wire errors), {:.0} req/s goodput, \
+         {} bit checks held, ledger reconciled exactly{}{}",
+        report.seed,
+        report.offered,
+        report.server_connections,
+        report.ok,
+        report.failed,
+        report.shed,
+        report.wire_errors,
+        report.goodput_rps,
+        report.bit_checked,
+        if report.cpus < 4 {
+            " [single-CPU correctness-only acceptance]"
+        } else {
+            ""
+        },
         if report.quick { " [quick smoke]" } else { "" },
     );
 }
@@ -215,6 +250,8 @@ fn main() {
         check_swap(&path, &text);
     } else if text.contains(&format!("\"{SLO_SCHEMA}\"")) {
         check_slo(&path, &text);
+    } else if text.contains(&format!("\"{SERVE_SCHEMA}\"")) {
+        check_serve(&path, &text);
     } else {
         check_batch(&path, &text, min_speedup);
     }

@@ -1,0 +1,214 @@
+//! Closed/open-loop load generator for the network serving tier.
+//!
+//! Boots a `fast_bcnn::serve` server over a fresh registry, drives the
+//! seeded request mix (healthy tiers, deterministic sheds, expiring
+//! deadlines, malformed frames) through real TCP connections, and emits
+//! `BENCH_serve.json` (override with `--json`): the three-way
+//! loadgen ↔ server ↔ registry ledger, per-class latency quantiles and
+//! goodput, validated by `bench_check`.
+//!
+//! Flags: `--quick` (CI smoke mix), `--seed <N>`, `--connections <N>`,
+//! `--requests <N>` (per connection), `--mode closed|open`,
+//! `--json <path>`, `--trace-out <path>`, `--metrics-out <path>`.
+//! Unknown flags are hard errors (exit 2).
+
+use fast_bcnn::serve::{run_serve_soak_with_registry, LoadMode, ServeSoakConfig};
+use fbcnn_bench::ServeBenchReport;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    connections: Option<usize>,
+    requests: Option<usize>,
+    mode: Option<LoadMode>,
+    json: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--quick] [--seed <N>] [--connections <N>] [--requests <N>] \
+         [--mode closed|open] [--json <path>] [--trace-out <path>] [--metrics-out <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        quick: false,
+        seed: 11,
+        connections: None,
+        requests: None,
+        mode: None,
+        json: None,
+        trace_out: None,
+        metrics_out: None,
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage();
+        })
+    };
+    let number = |argv: &[String], i: usize, flag: &str| -> u64 {
+        let raw = value(argv, i, flag);
+        raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} needs a number, got `{raw}`");
+            usage();
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = number(&argv, i, "--seed");
+                i += 1;
+            }
+            "--connections" => {
+                args.connections = Some(number(&argv, i, "--connections").max(1) as usize);
+                i += 1;
+            }
+            "--requests" => {
+                args.requests = Some(number(&argv, i, "--requests").max(1) as usize);
+                i += 1;
+            }
+            "--mode" => {
+                let raw = value(&argv, i, "--mode");
+                match LoadMode::parse(&raw) {
+                    Some(mode) => args.mode = Some(mode),
+                    None => {
+                        eprintln!("error: --mode must be `closed` or `open`, got `{raw}`");
+                        usage();
+                    }
+                }
+                i += 1;
+            }
+            "--json" => {
+                args.json = Some(value(&argv, i, "--json"));
+                i += 1;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(value(&argv, i, "--trace-out"));
+                i += 1;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(value(&argv, i, "--metrics-out"));
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown flag: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut cfg = if args.quick {
+        ServeSoakConfig::quick(args.seed)
+    } else {
+        ServeSoakConfig::full(args.seed)
+    };
+    if let Some(connections) = args.connections {
+        cfg.connections = connections;
+    }
+    if let Some(requests) = args.requests {
+        cfg.requests_per_connection = requests;
+    }
+    if let Some(mode) = args.mode {
+        cfg.mode = mode;
+    }
+
+    let (report, registry) = match run_serve_soak_with_registry(&cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("loadgen: failed to boot the serve soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let bench = ServeBenchReport::from_soak(&report, args.quick, cpus);
+
+    println!(
+        "== serve soak (seed {}, {} mode, {} connections x {} requests, {} CPUs) ==",
+        bench.seed, bench.mode, bench.connections, bench.requests_per_connection, bench.cpus
+    );
+    println!(
+        "offered {} | ok {} | failed {} | shed {} | expired {} | wire errors {} | \
+         unknown class {}",
+        bench.offered,
+        bench.ok,
+        bench.failed,
+        bench.shed,
+        bench.expired,
+        bench.wire_errors,
+        bench.unknown_class,
+    );
+    println!(
+        "registry: {} requests ({} ok / {} failed) | connections {} (+{} rejected)",
+        bench.registry_requests,
+        bench.registry_ok,
+        bench.registry_failed,
+        bench.server_connections,
+        bench.server_connections_rejected,
+    );
+    println!(
+        "goodput {:.0} req/s | bit checks {} ({} mismatched) | aborted workers {}",
+        bench.goodput_rps, bench.bit_checked, bench.bit_mismatched, bench.aborted_workers,
+    );
+    let mut last_class = "";
+    for q in &bench.quantiles {
+        if q.class != last_class {
+            println!("latency[{}]:", q.class);
+            last_class = &q.class;
+        }
+        println!(
+            "  {:<5} estimate {:>12.0} ns | exact {:>12} ns",
+            q.name, q.estimate_ns, q.exact_ns
+        );
+    }
+
+    // The soak recorded into its own registry; export directly from it
+    // (the global install lock is not reentrant).
+    if let Some(p) = &args.trace_out {
+        match registry.write_jsonl(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(p) = &args.metrics_out {
+        match registry.write_prometheus(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_serve.json".into());
+    match fast_bcnn::report::save_json(&path, &bench) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(reason) = bench.validate() {
+        eprintln!("loadgen: FAIL — {reason}");
+        std::process::exit(1);
+    }
+    println!("loadgen: ok — ledger reconciled exactly, zero aborts, bit identity held");
+}

@@ -21,12 +21,14 @@ use fast_bcnn::experiments::ExpConfig;
 pub mod baseline;
 mod batch_report;
 mod chaos_report;
+mod serve_report;
 mod slo_report;
 mod swap_report;
 pub mod trace_lint;
 
 pub use batch_report::{BatchBenchReport, BatchPoint};
 pub use chaos_report::{ChaosBenchReport, ChaosRound, CHAOS_SCHEMA};
+pub use serve_report::{ServeBenchReport, ServeQuantileCell, SERVE_SCHEMA};
 pub use slo_report::{
     SloBenchReport, SloChaosCell, SloClassCell, SloQuantileCell, SloWindow, SLO_SCHEMA,
 };

@@ -1,0 +1,391 @@
+//! The `BENCH_serve.json` record shared by the `loadgen` harness
+//! (writer) and the `bench_check` CI validator (reader).
+//!
+//! The record flattens a `fast_bcnn::serve::ServeSoakReport` — the
+//! three-way loadgen ↔ server ↔ registry ledger — and adds the latency
+//! view: per-class p50/p95/p99/p999 computed two ways (the bucket-edge
+//! estimate via [`histogram_quantile`] over [`DEFAULT_BUCKETS`], and
+//! the exact same-rank value from the raw client-side latencies), plus
+//! goodput. Like every other `BENCH_*.json` it carries a `schema` tag
+//! ([`SERVE_SCHEMA`]) so `bench_check` can dispatch on content alone.
+
+use fast_bcnn::serve::ServeSoakReport;
+use fast_bcnn::telemetry::{histogram_quantile, DEFAULT_BUCKETS, STANDARD_QUANTILES};
+use serde::{Deserialize, Serialize};
+
+/// The `schema` tag every serve record carries.
+pub const SERVE_SCHEMA: &str = "serve-v1";
+
+/// One per-class latency quantile, estimated and exact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeQuantileCell {
+    /// SLO class (or `malformed` for injected bad frames).
+    pub class: String,
+    /// Quantile name (`"p50"` … `"p999"`).
+    pub name: String,
+    /// The quantile in `(0, 1]`.
+    pub q: f64,
+    /// Bucket-edge estimate over the default power-of-four buckets,
+    /// nanoseconds.
+    pub estimate_ns: f64,
+    /// Exact same-rank value from the sorted client latencies.
+    pub exact_ns: u64,
+    /// Whether the estimate honors the documented bucket error bound
+    /// (`exact <= estimate < exact * QUANTILE_WIDTH_RATIO`).
+    pub within_bound: bool,
+}
+
+/// The full `BENCH_serve.json` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Always [`SERVE_SCHEMA`]; lets `bench_check` dispatch on content.
+    pub schema: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Whether the quick (smoke) configuration ran.
+    pub quick: bool,
+    /// Load-generator mode (`"closed"` or `"open"`).
+    pub mode: String,
+    /// CPUs of the host that produced the record — the goodput floor
+    /// scales with it and does not bind below 4
+    /// (single-CPU correctness-only acceptance).
+    pub cpus: usize,
+    /// Concurrent load-generator connections.
+    pub connections: usize,
+    /// Requests each connection offered.
+    pub requests_per_connection: usize,
+    /// Frames the load generator sent.
+    pub offered: u64,
+    /// `ok` responses (including expired partial predictions).
+    pub ok: u64,
+    /// Typed-engine-error responses.
+    pub failed: u64,
+    /// Admission-shed responses.
+    pub shed: u64,
+    /// Responses flagged expired (subset of `ok + failed`).
+    pub expired: u64,
+    /// `wire_*`-reason responses.
+    pub wire_errors: u64,
+    /// `unknown_class` responses.
+    pub unknown_class: u64,
+    /// Client transport failures (must be 0).
+    pub transport_errors: u64,
+    /// Load-generator workers that died mid-plan (must be 0).
+    pub aborted_workers: u64,
+    /// Pristine responses spot-checked for bit identity.
+    pub bit_checked: u64,
+    /// Spot checks that mismatched the reference engine (must be 0).
+    pub bit_mismatched: u64,
+    /// Connections the server accepted.
+    pub server_connections: u64,
+    /// Connections the server rejected at the cap.
+    pub server_connections_rejected: u64,
+    /// Registry requests over the campaign (version-counter delta).
+    pub registry_requests: u64,
+    /// Registry `ok` outcomes.
+    pub registry_ok: u64,
+    /// Registry `failed` outcomes.
+    pub registry_failed: u64,
+    /// Answered (non-shed, non-wire-error) frames per second of wall
+    /// clock.
+    pub goodput_rps: f64,
+    /// Per-class latency quantiles, estimated and exact.
+    pub quantiles: Vec<ServeQuantileCell>,
+    /// Whether the three-way ledger reconciled exactly at run time.
+    pub reconciled: bool,
+    /// The first failed invariant, when `reconciled` is false.
+    pub reconcile_error: Option<String>,
+    /// Wall clock of the whole campaign, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn quantile_cells(class: &str, latencies: &[u64]) -> Vec<ServeQuantileCell> {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_unstable();
+    let mut counts = vec![0u64; DEFAULT_BUCKETS.len() + 1];
+    for v in &sorted {
+        let idx = DEFAULT_BUCKETS
+            .iter()
+            .position(|bound| *v as f64 <= *bound)
+            .unwrap_or(DEFAULT_BUCKETS.len());
+        counts[idx] += 1;
+    }
+    STANDARD_QUANTILES
+        .iter()
+        .map(|(name, q)| {
+            let estimate_ns = histogram_quantile(DEFAULT_BUCKETS, &counts, *q).unwrap_or(0.0);
+            let exact_ns = exact_quantile(&sorted, *q);
+            let within_bound = estimate_ns >= exact_ns as f64
+                && (exact_ns == 0
+                    || estimate_ns < exact_ns as f64 * fast_bcnn::telemetry::QUANTILE_WIDTH_RATIO);
+            ServeQuantileCell {
+                class: class.to_string(),
+                name: name.to_string(),
+                q: *q,
+                estimate_ns,
+                exact_ns,
+                within_bound,
+            }
+        })
+        .collect()
+}
+
+impl ServeBenchReport {
+    /// Flattens an in-memory soak report, stamping the reconciliation
+    /// verdict and recomputing the latency quantiles both ways.
+    pub fn from_soak(report: &ServeSoakReport, quick: bool, cpus: usize) -> Self {
+        let reconcile = report.reconcile();
+        let lg = &report.loadgen.totals;
+        let answered = lg.ok + lg.failed;
+        let secs = (report.elapsed_ns as f64 / 1e9).max(1e-9);
+        let quantiles = report
+            .loadgen
+            .latencies_ns
+            .iter()
+            .filter(|(_, lat)| !lat.is_empty())
+            .flat_map(|(class, lat)| quantile_cells(class, lat))
+            .collect();
+        Self {
+            schema: SERVE_SCHEMA.to_string(),
+            seed: report.seed,
+            quick,
+            mode: report.mode.clone(),
+            cpus,
+            connections: report.connections,
+            requests_per_connection: report.requests_per_connection,
+            offered: lg.offered,
+            ok: lg.ok,
+            failed: lg.failed,
+            shed: lg.shed,
+            expired: lg.expired,
+            wire_errors: lg.wire_error_responses,
+            unknown_class: lg.unknown_class,
+            transport_errors: lg.transport_errors,
+            aborted_workers: report.loadgen.aborted_workers,
+            bit_checked: lg.bit_checked,
+            bit_mismatched: lg.bit_mismatched,
+            server_connections: report.server.connections,
+            server_connections_rejected: report.server.connections_rejected,
+            registry_requests: report.registry_requests,
+            registry_ok: report.registry_ok,
+            registry_failed: report.registry_failed,
+            goodput_rps: answered as f64 / secs,
+            quantiles,
+            reconciled: reconcile.is_ok(),
+            reconcile_error: reconcile.err(),
+            elapsed_ns: report.elapsed_ns,
+        }
+    }
+
+    /// The full-soak goodput floor for a host with `cpus` CPUs: 1k
+    /// answered requests per second at the 4-CPU reference point,
+    /// scaled linearly. Below 4 CPUs the floor does not bind
+    /// (correctness-only acceptance, as for `BENCH_batch.json`).
+    pub fn goodput_floor(cpus: usize) -> f64 {
+        1000.0 * cpus as f64 / 4.0
+    }
+
+    /// Validates the record for CI. Every run — quick or full — must
+    /// have reconciled exactly with zero aborts, zero transport errors
+    /// and zero bit mismatches, and must have exercised the shed,
+    /// expiry and malformed-frame tiers; a full run on a ≥ 4-CPU host
+    /// must additionally sustain the scaled goodput floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SERVE_SCHEMA {
+            return Err(format!(
+                "schema `{}`, expected `{SERVE_SCHEMA}`",
+                self.schema
+            ));
+        }
+        if !self.reconciled {
+            return Err(format!(
+                "ledger did not reconcile: {}",
+                self.reconcile_error.as_deref().unwrap_or("unknown")
+            ));
+        }
+        let accounted = self.ok + self.failed + self.shed + self.wire_errors + self.unknown_class;
+        if accounted != self.offered {
+            return Err(format!("responses {accounted} != offered {}", self.offered));
+        }
+        if self.aborted_workers != 0 {
+            return Err(format!("{} workers aborted", self.aborted_workers));
+        }
+        if self.transport_errors != 0 {
+            return Err(format!("{} transport errors", self.transport_errors));
+        }
+        if self.bit_mismatched != 0 {
+            return Err(format!(
+                "{} of {} bit-identity checks mismatched",
+                self.bit_mismatched, self.bit_checked
+            ));
+        }
+        if self.bit_checked == 0 {
+            return Err("no bit-identity spot checks ran".into());
+        }
+        if self.ok == 0 {
+            return Err("no ok responses".into());
+        }
+        if self.shed == 0 {
+            return Err("the shed tier was never exercised".into());
+        }
+        if self.expired == 0 {
+            return Err("the expiry tier was never exercised".into());
+        }
+        if self.wire_errors == 0 {
+            return Err("malformed frames were never exercised".into());
+        }
+        if self.quantiles.is_empty() {
+            return Err("no latency quantiles".into());
+        }
+        if let Some(q) = self.quantiles.iter().find(|q| !q.within_bound) {
+            return Err(format!(
+                "{} {} estimate {:.0}ns violates the bucket bound of exact {}ns",
+                q.class, q.name, q.estimate_ns, q.exact_ns
+            ));
+        }
+        if !self.quick && self.cpus >= 4 {
+            let floor = Self::goodput_floor(self.cpus);
+            if self.goodput_rps < floor {
+                return Err(format!(
+                    "goodput {:.0} req/s under the {}-CPU floor of {:.0}",
+                    self.goodput_rps, self.cpus, floor
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(quick: bool) -> ServeBenchReport {
+        ServeBenchReport {
+            schema: SERVE_SCHEMA.to_string(),
+            seed: 11,
+            quick,
+            mode: "closed".into(),
+            cpus: 2,
+            connections: 2,
+            requests_per_connection: 30,
+            offered: 60,
+            ok: 44,
+            failed: 4,
+            shed: 6,
+            expired: 8,
+            wire_errors: 4,
+            unknown_class: 2,
+            transport_errors: 0,
+            aborted_workers: 0,
+            bit_checked: 6,
+            bit_mismatched: 0,
+            server_connections: 2,
+            server_connections_rejected: 0,
+            registry_requests: 48,
+            registry_ok: 44,
+            registry_failed: 4,
+            goodput_rps: 120.0,
+            quantiles: vec![ServeQuantileCell {
+                class: "interactive".into(),
+                name: "p99".into(),
+                q: 0.99,
+                estimate_ns: 1024.0,
+                exact_ns: 900,
+                within_bound: true,
+            }],
+            reconciled: true,
+            reconcile_error: None,
+            elapsed_ns: 500_000_000,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record(true);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ServeBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn a_clean_record_passes() {
+        assert!(record(true).validate().is_ok());
+    }
+
+    #[test]
+    fn unreconciled_ledgers_fail() {
+        let mut r = record(true);
+        r.reconciled = false;
+        r.reconcile_error = Some("ok drifted: 3 != 4".into());
+        assert!(r.validate().unwrap_err().contains("reconcile"));
+    }
+
+    #[test]
+    fn aborts_and_bit_mismatches_fail() {
+        let mut r = record(true);
+        r.aborted_workers = 1;
+        assert!(r.validate().unwrap_err().contains("aborted"));
+        let mut r = record(true);
+        r.bit_mismatched = 1;
+        assert!(r.validate().unwrap_err().contains("bit-identity"));
+    }
+
+    #[test]
+    fn missing_fault_tiers_fail() {
+        for (field, msg) in [
+            ("shed", "shed"),
+            ("expired", "expiry"),
+            ("wire", "malformed"),
+        ] {
+            let mut r = record(true);
+            match field {
+                "shed" => {
+                    r.offered -= r.shed;
+                    r.shed = 0;
+                }
+                "expired" => r.expired = 0,
+                _ => {
+                    r.offered -= r.wire_errors;
+                    r.wire_errors = 0;
+                }
+            }
+            assert!(r.validate().unwrap_err().contains(msg), "{field}");
+        }
+    }
+
+    #[test]
+    fn goodput_floor_binds_only_full_runs_on_big_hosts() {
+        let mut r = record(false);
+        r.goodput_rps = 10.0;
+        assert!(r.validate().is_ok(), "2-CPU host must not bind");
+        r.cpus = 8;
+        assert!(r.validate().unwrap_err().contains("goodput"));
+        r.goodput_rps = ServeBenchReport::goodput_floor(8) + 1.0;
+        assert!(r.validate().is_ok());
+        let mut r = record(true);
+        r.cpus = 8;
+        r.goodput_rps = 10.0;
+        assert!(r.validate().is_ok(), "quick runs must not bind");
+    }
+
+    #[test]
+    fn exact_quantiles_use_same_rank() {
+        let sorted = [10, 20, 30, 40];
+        assert_eq!(exact_quantile(&sorted, 0.5), 20);
+        assert_eq!(exact_quantile(&sorted, 0.99), 40);
+        assert_eq!(exact_quantile(&[], 0.5), 0);
+    }
+}

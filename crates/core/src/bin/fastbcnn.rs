@@ -10,6 +10,8 @@
 //!                       [--deadline-ms N] [--retry-max N] [--breaker-threshold X]
 //! fastbcnn export-model --out <path> [--model ...] [--samples N] [--model-version N] [--label S]
 //! fastbcnn serve        [--artifact <path>] [--requests N] [--shards N] [--canary-percent N]
+//! fastbcnn serve-net    [--artifact <path>] [--addr host:port] [--connections N]
+//!                       [--requests N] [--shards N]
 //! fastbcnn swap         [--artifact <path>] [--next <path>] [--requests N] [--shards N]
 //!                       [--canary-percent N]
 //! fastbcnn watch        [--windows N] [--window-ms N] [--requests N] [--chaos]
@@ -57,6 +59,8 @@ struct Args {
     label: Option<String>,
     shards: usize,
     canary_percent: u32,
+    addr: String,
+    connections: usize,
     windows: usize,
     window_ms: u64,
     chaos: bool,
@@ -89,6 +93,8 @@ fn parse() -> Result<Args, String> {
         label: None,
         shards: 2,
         canary_percent: 20,
+        addr: "127.0.0.1:0".to_string(),
+        connections: 2,
         windows: 6,
         window_ms: 1_000,
         chaos: false,
@@ -247,6 +253,18 @@ fn parse() -> Result<Args, String> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&ms: &u64| ms > 0)
                     .ok_or("--window-ms needs a number > 0")?;
+                i += 1;
+            }
+            "--addr" => {
+                args.addr = argv.get(i + 1).ok_or("--addr needs host:port")?.to_string();
+                i += 1;
+            }
+            "--connections" => {
+                args.connections = argv
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c: &usize| c > 0)
+                    .ok_or("--connections needs a number > 0")?;
                 i += 1;
             }
             "--chaos" => args.chaos = true,
@@ -722,6 +740,146 @@ fn cmd_serve(args: &Args) {
         Ok(()) => println!("accounting reconciled exactly"),
         Err(e) => {
             eprintln!("error: accounting did not reconcile: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!();
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(&registry_telemetry).render()
+    );
+    if let Some(path) = &args.trace_out {
+        match registry_telemetry.write_jsonl(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        match registry_telemetry.write_prometheus(path) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Boots a [`ModelRegistry`] from an artifact, serves it over TCP
+/// (length-prefixed JSON frames, see `docs/SERVING.md`), self-drives it
+/// with the seeded closed-loop load generator — including deliberate
+/// sheds, expiring deadlines and malformed frames — then reconciles the
+/// load-generator, server and registry ledgers exactly.
+fn cmd_serve_net(args: &Args) {
+    use fast_bcnn::serve as net;
+    let registry_telemetry = std::sync::Arc::new(fast_bcnn::telemetry::Registry::new());
+    let guard = fast_bcnn::telemetry::install(registry_telemetry.clone());
+    let started = std::time::Instant::now();
+    let artifact = base_artifact(args);
+    let version = artifact.model_version;
+    let label = artifact.label.clone();
+    let samples = artifact.config.samples.max(2);
+    let seed = artifact.config.seed;
+    let reference = match artifact.clone().into_engine() {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: artifact does not boot: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cfg = registry_cfg(args, &artifact.config);
+    let registry = match ModelRegistry::new(artifact, cfg) {
+        Ok(r) => std::sync::Arc::new(r),
+        Err(e) => {
+            eprintln!("error: refusing to serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    let before = registry.version_counters();
+    let classes = net::soak_classes(samples);
+    let class_names: Vec<String> = classes.iter().map(|c| c.name.clone()).collect();
+    let server = match net::serve(
+        std::sync::Arc::clone(&registry),
+        net::ServeConfig {
+            addr: args.addr.clone(),
+            classes,
+            ..net::ServeConfig::default()
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("error: cannot serve on {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "serving v{version} (label `{label}`) on {} over {} shards, classes [{}]",
+        server.addr(),
+        args.shards,
+        class_names.join(", "),
+    );
+    let lg_cfg = net::LoadgenConfig {
+        seed,
+        connections: args.connections,
+        requests_per_connection: args.requests,
+        classes: vec![
+            "interactive".to_string(),
+            "batch".to_string(),
+            "degraded".to_string(),
+        ],
+        shed_class: Some("reject".to_string()),
+        shed_every: 7,
+        expiring_every: 11,
+        malformed_every: 13,
+        bit_check_every: 5,
+        time_limit: Some(std::time::Duration::from_secs(60)),
+        ..net::LoadgenConfig::default()
+    };
+    let loadgen = net::run_loadgen(server.addr(), &reference, &lg_cfg);
+    let totals = server.shutdown();
+    let after = registry.version_counters();
+    let mut registry_requests = 0;
+    let mut registry_ok = 0;
+    let mut registry_failed = 0;
+    for (v, counters) in &after {
+        let base = before.get(v).copied().unwrap_or_default();
+        registry_requests += counters.requests - base.requests;
+        registry_ok += counters.ok - base.ok;
+        registry_failed += counters.failed - base.failed;
+    }
+    drop(guard);
+
+    let report = net::ServeSoakReport {
+        seed,
+        mode: lg_cfg.mode.name().to_string(),
+        connections: args.connections,
+        requests_per_connection: args.requests,
+        samples,
+        shards: args.shards,
+        loadgen,
+        server: totals,
+        registry_requests,
+        registry_ok,
+        registry_failed,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    };
+    let lg = &report.loadgen.totals;
+    println!(
+        "{} frames over {} connections in {:.1} ms: {} ok / {} failed / {} shed / \
+         {} wire errors / {} unknown class ({} expired, {} bit-checked)",
+        lg.offered,
+        args.connections,
+        report.elapsed_ns as f64 / 1e6,
+        lg.ok,
+        lg.failed,
+        lg.shed,
+        lg.wire_error_responses,
+        lg.unknown_class,
+        lg.expired,
+        lg.bit_checked,
+    );
+    print_version_table(&registry);
+    match report.reconcile() {
+        Ok(()) => println!("loadgen/server/registry ledgers reconciled exactly"),
+        Err(e) => {
+            eprintln!("error: ledgers did not reconcile: {e}");
             std::process::exit(1);
         }
     }
@@ -1276,7 +1434,7 @@ fn main() {
     // the drop-to-export sink.
     let own_registry = matches!(
         args.command.as_str(),
-        "observe" | "serve-batch" | "serve" | "swap" | "watch" | "postmortem"
+        "observe" | "serve-batch" | "serve" | "serve-net" | "swap" | "watch" | "postmortem"
     );
     let _telemetry = if own_registry {
         None
@@ -1292,13 +1450,14 @@ fn main() {
         "serve-batch" => cmd_serve_batch(&args),
         "export-model" => cmd_export_model(&args),
         "serve" => cmd_serve(&args),
+        "serve-net" => cmd_serve_net(&args),
         "swap" => cmd_swap(&args),
         "watch" => cmd_watch(&args),
         "postmortem" => cmd_postmortem(&args),
         _ => {
             println!(
                 "usage: fastbcnn <demo|simulate|characterize|train|observe|serve-batch\
-                 |export-model|serve|swap|watch|postmortem> \
+                 |export-model|serve|serve-net|swap|watch|postmortem> \
                  [--model lenet|vgg|googlenet|alexnet] [--samples N] [--full] \
                  [--epochs N] [--train-size N] [--requests N] [--threads N] \
                  [--deadline-ms N] [--retry-max N] [--breaker-threshold X] \
@@ -1317,6 +1476,11 @@ fn main() {
             println!(
                 "observability: watch [--windows N] [--window-ms N] [--requests N] \
                  [--chaos] [--postmortem-out <path>]; postmortem <file> [--id N]"
+            );
+            println!(
+                "network serving: serve-net [--artifact <path>] [--addr host:port] \
+                 [--connections N] [--requests N] (self-drives a seeded loadgen mix \
+                 against the TCP server and reconciles the ledgers; see docs/SERVING.md)"
             );
         }
     }

@@ -113,7 +113,7 @@ pub(crate) fn save<T: Serialize>(
 /// deliberately strict — it accepts exactly what [`save`] writes — so any
 /// corruption of the header bytes lands here as [`IoError::Envelope`]
 /// rather than deep inside the payload parse.
-fn parse_envelope(json: &str) -> Result<(&str, u32, &str), IoError> {
+pub(crate) fn parse_envelope(json: &str) -> Result<(&str, u32, &str), IoError> {
     let envelope = |msg: &str| IoError::Envelope(msg.into());
     let body = json
         .trim()

@@ -41,6 +41,7 @@ pub mod io;
 mod registry;
 pub mod report;
 mod resilience;
+pub mod serve;
 pub mod slo;
 mod telemetry_report;
 
@@ -57,9 +58,9 @@ pub use registry::{
 };
 pub use resilience::{
     error_reason_name, retry_class, BreakerConfig, BreakerState, CircuitBreaker, Jitter, NoJitter,
-    PathDecision, RequestSampleHook, ResilienceConfig, ResilienceTotals, ResilientBatchEngine,
-    ResilientBatchReport, ResilientOutcome, RetryClass, RetryPolicy, RunControl, SampleHook,
-    SeededJitter, ShedPolicy,
+    PathDecision, RequestClass, RequestSampleHook, ResilienceConfig, ResilienceTotals,
+    ResilientBatchEngine, ResilientBatchReport, ResilientOutcome, RetryClass, RetryPolicy,
+    RunControl, SampleHook, SeededJitter, ShedPolicy,
 };
 pub use telemetry_report::{LayerSkipRow, SpanQuantileRow, TelemetryReport};
 

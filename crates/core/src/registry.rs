@@ -469,6 +469,20 @@ impl ModelRegistry {
     /// the canary verdict (which may trip the version breaker and roll
     /// the rollout back on all shards before this call returns).
     pub fn handle(&self, req: &BatchRequest) -> RegistryOutcome {
+        self.handle_classed(req, None)
+    }
+
+    /// [`ModelRegistry::handle`] under a per-request
+    /// [`crate::RequestClass`] — the network serving tier's priced SLO
+    /// class. The class's deadline/budget override the resilience config
+    /// for this request, and its name becomes the request's telemetry
+    /// and flight-record `class` label. `None` behaves exactly like
+    /// [`ModelRegistry::handle`].
+    pub fn handle_classed(
+        &self,
+        req: &BatchRequest,
+        class: Option<&crate::RequestClass>,
+    ) -> RegistryOutcome {
         let shard_idx = self.shard_of(req.id);
         let canary_engine = if self.is_canary_id(req.id) {
             lock(&self.rollout)
@@ -487,7 +501,7 @@ impl ModelRegistry {
                     .unwrap_or_else(PoisonError::into_inner),
             ),
         };
-        let outcome = engine.engine.run_request(req);
+        let outcome = engine.engine.run_request_classed(req, class);
         let ok = outcome.outcome.result.is_ok();
         {
             let mut acc = lock(&self.accounting);
@@ -531,7 +545,9 @@ impl ModelRegistry {
         if let Some(flight) = &self.cfg.flight {
             let mut record = crate::FlightRecord::from_outcome(
                 &outcome,
-                self.cfg.resilience.deadline_class.as_str(),
+                class
+                    .map(|c| c.name.as_str())
+                    .unwrap_or(self.cfg.resilience.deadline_class.as_str()),
             );
             record.version = engine.version;
             record.shard = shard_idx as u64;

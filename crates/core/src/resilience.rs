@@ -507,6 +507,34 @@ impl ResilienceConfig {
     }
 }
 
+/// A per-request serving class: the network tier's admission control
+/// prices each request's SLO class into one of these before handing it
+/// to the resilience layer. A `Some` field overrides the engine-level
+/// [`ResilienceConfig`] knob for this one request; the `name` always
+/// overrides the telemetry `class` label, so `request_latency_ns{class}`
+/// and `request_outcomes{class,result}` are tiered end-to-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestClass {
+    /// Class label on the request's telemetry and flight records.
+    pub name: String,
+    /// Wall-clock deadline override (spanning retries).
+    pub deadline: Option<Duration>,
+    /// Deterministic sample-budget override (the testable deadline).
+    pub sample_budget: Option<u64>,
+}
+
+impl RequestClass {
+    /// A class that only relabels telemetry, keeping the engine's own
+    /// deadline and budget.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            deadline: None,
+            sample_budget: None,
+        }
+    }
+}
+
 /// One request's outcome under the resilience layer: the inner
 /// [`BatchOutcome`] plus everything the layer decided around it.
 #[derive(Debug, Clone)]
@@ -720,8 +748,10 @@ struct Inner {
 /// on), a `request_latency_ns{class}` observation when the request
 /// actually executed, and a [`crate::FlightRecord`] when a recorder is
 /// attached.
-fn note_outcome(inner: &Inner, out: &ResilientOutcome) {
-    let class = inner.cfg.deadline_class.as_str();
+fn note_outcome(inner: &Inner, out: &ResilientOutcome, class: Option<&RequestClass>) {
+    let class = class
+        .map(|c| c.name.as_str())
+        .unwrap_or(inner.cfg.deadline_class.as_str());
     let result = if out.outcome.result.is_ok() {
         "ok"
     } else {
@@ -935,7 +965,7 @@ impl ResilientBatchEngine {
                     backoff_total: Duration::ZERO,
                     elapsed_ns: 0,
                 };
-                note_outcome(inner, &out);
+                note_outcome(inner, &out, None);
                 slots[i] = Some(out);
                 totals.shed += 1;
             } else {
@@ -950,7 +980,7 @@ impl ResilientBatchEngine {
             // schedules run here — breaker transitions are a pure
             // function of the request order).
             for &i in &admitted {
-                let out = serve_with_resilience(inner, &requests[i], cap, &mut totals);
+                let out = serve_with_resilience(inner, &requests[i], cap, &mut totals, None);
                 slots[i] = Some(out);
             }
         } else {
@@ -985,7 +1015,7 @@ impl ResilientBatchEngine {
                         backoff_total: Duration::ZERO,
                         elapsed_ns: 0,
                     };
-                    note_outcome(inner, &out);
+                    note_outcome(inner, &out, None);
                     out
                 })
             })
@@ -1004,7 +1034,20 @@ impl ResilientBatchEngine {
     /// the sequential form of [`ResilientBatchEngine::run_batch`].
     pub fn run_request(&self, req: &BatchRequest) -> ResilientOutcome {
         let mut totals = ResilienceTotals::default();
-        serve_with_resilience(&self.inner, req, None, &mut totals)
+        serve_with_resilience(&self.inner, req, None, &mut totals, None)
+    }
+
+    /// [`ResilientBatchEngine::run_request`] under a per-request
+    /// [`RequestClass`]: the network tier's priced deadline/budget and
+    /// telemetry class label override the engine-level config for this
+    /// one request. `None` behaves exactly like `run_request`.
+    pub fn run_request_classed(
+        &self,
+        req: &BatchRequest,
+        class: Option<&RequestClass>,
+    ) -> ResilientOutcome {
+        let mut totals = ResilienceTotals::default();
+        serve_with_resilience(&self.inner, req, None, &mut totals, class)
     }
 
     /// The worker pool with watchdog: detached workers drain a shared
@@ -1078,7 +1121,8 @@ impl ResilientBatchEngine {
                     s.claimed_at = Some(Instant::now());
                 }
                 let mut local = ResilienceTotals::default();
-                let out = serve_with_resilience(&inner, &pool.requests[u], pool.cap, &mut local);
+                let out =
+                    serve_with_resilience(&inner, &pool.requests[u], pool.cap, &mut local, None);
                 let Ok(mut slots) = pool.slots.lock() else {
                     break;
                 };
@@ -1160,7 +1204,7 @@ impl ResilientBatchEngine {
                         backoff_total: Duration::ZERO,
                         elapsed_ns: 0,
                     };
-                    note_outcome(inner, &abandoned);
+                    note_outcome(inner, &abandoned, None);
                     s.done = Some((abandoned, local));
                     pool.completed.fetch_add(1, Ordering::Release);
                 } else {
@@ -1206,14 +1250,18 @@ fn serve_with_resilience(
     req: &BatchRequest,
     cap: Option<usize>,
     totals: &mut ResilienceTotals,
+    class: Option<&RequestClass>,
 ) -> ResilientOutcome {
     let served_at = Instant::now();
     let cfg = &inner.cfg;
     let engine_seed = inner.batch.engine().config().seed;
     let request_seed = req.resolved_seed(engine_seed);
     // One token for the whole request: the deadline and the sample
-    // budget span retries — a retry cannot buy more time.
-    let token = CancelToken::with_limits(cfg.deadline, cfg.sample_budget);
+    // budget span retries — a retry cannot buy more time. A priced
+    // request class overrides the engine-level limits per field.
+    let deadline = class.and_then(|c| c.deadline).or(cfg.deadline);
+    let sample_budget = class.and_then(|c| c.sample_budget).or(cfg.sample_budget);
+    let token = CancelToken::with_limits(deadline, sample_budget);
 
     let mut attempts: u32 = 0;
     let mut backoff_total = Duration::ZERO;
@@ -1283,7 +1331,7 @@ fn serve_with_resilience(
                 backoff_total,
                 elapsed_ns: served_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
             };
-            note_outcome(inner, &out);
+            note_outcome(inner, &out, class);
             out
         };
 

@@ -1,0 +1,2033 @@
+//! Network serving tier: a zero-dependency TCP front-end over the
+//! [`ModelRegistry`] / resilient batch engine.
+//!
+//! The wire protocol is deliberately small: each direction carries
+//! length-prefixed frames (a 4-byte big-endian payload length followed
+//! by that many payload bytes), and each payload is the same versioned
+//! JSON envelope `core::io` uses for artifacts —
+//! `{"artifact":"serve-request","version":1,"payload":{...}}` — so a
+//! stale or foreign frame fails with the same typed errors as a stale
+//! artifact file. Every malformed input maps to a typed [`WireError`];
+//! nothing in this module panics on hostile bytes.
+//!
+//! Requests carry an SLO class name plus optional deadline; the server
+//! prices both against its per-class [`ClassPolicy`] (admission cap,
+//! deadline floor, sample budget) and threads the result through
+//! [`crate::RequestClass`] so retry/breaker/telemetry all see the same
+//! class label end to end (`net_connections`, `net_frames{result}`,
+//! `request_latency_ns{class}`).
+//!
+//! The module also hosts the closed/open-loop load generator and the
+//! serve soak harness (`run_serve_soak`) used by the `loadgen` bench
+//! binary, the `fastbcnn serve-net` subcommand and `tests/serve_soak.rs`.
+//! Floating-point tensors cross the wire as IEEE-754 bit patterns
+//! (`u32`), keeping responses byte-exact for golden fixtures and
+//! bit-identity spot checks against [`Engine::predict_robust_seeded`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use fbcnn_nn::models::ModelKind;
+use fbcnn_tensor::{Shape, Tensor};
+use serde::{Deserialize, Serialize};
+
+use crate::io::{IoError, FORMAT_VERSION};
+use crate::{
+    error_reason_name, synth_input, BatchRequest, Engine, EngineConfig, ModelArtifact,
+    ModelRegistry, NoJitter, RegistryConfig, RegistryOutcome, RequestClass, ResilienceConfig,
+    VersionCounters,
+};
+
+/// Envelope kind of a request frame.
+pub const REQUEST_KIND: &str = "serve-request";
+/// Envelope kind of a response frame.
+pub const RESPONSE_KIND: &str = "serve-response";
+/// Bytes of the big-endian length prefix in front of every frame.
+pub const LEN_PREFIX_BYTES: usize = 4;
+/// Default per-frame payload ceiling (1 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+/// Counter metric: connections, labelled `result=accepted|rejected`.
+pub const NET_CONNECTIONS_METRIC: &str = "net_connections";
+/// Counter metric: served frames, labelled
+/// `result=ok|failed|shed|wire_error|unknown_class`.
+pub const NET_FRAMES_METRIC: &str = "net_frames";
+/// Counter metric: responses whose deadline/sample budget expired
+/// (a subset of `net_frames{result=ok|failed}`).
+pub const NET_EXPIRED_METRIC: &str = "net_expired";
+
+// ---------------------------------------------------------------------------
+// Typed wire errors
+// ---------------------------------------------------------------------------
+
+/// Every way a frame or its payload can be rejected. The protocol
+/// contract (enforced by `tests/wire_props.rs`) is that arbitrary bytes
+/// fed to the codec yield one of these — never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes actually present.
+        have: usize,
+        /// Bytes the prefix (or frame header) promised.
+        need: usize,
+    },
+    /// The length prefix exceeds the configured frame ceiling.
+    Oversized {
+        /// Length the prefix declared.
+        len: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// The payload is not a well-formed `core::io` envelope.
+    Envelope(String),
+    /// The envelope's format version is not this build's
+    /// [`FORMAT_VERSION`].
+    StaleVersion {
+        /// Version found on the wire.
+        found: u32,
+        /// Version this build speaks.
+        expected: u32,
+    },
+    /// The envelope holds a different artifact kind than expected.
+    ForeignKind {
+        /// Kind found on the wire.
+        found: String,
+        /// Kind the receiver wanted.
+        expected: String,
+    },
+    /// The envelope was fine but its payload JSON did not decode into
+    /// the expected message (or failed message-level validation).
+    Payload(String),
+    /// A read deadline elapsed with a partial frame buffered.
+    Deadline {
+        /// The deadline that elapsed, in milliseconds.
+        waited_ms: u64,
+    },
+    /// Transport-level failure (socket error, peer closed mid-exchange).
+    Io(String),
+}
+
+impl WireError {
+    /// Stable reason label (`wire_*`) used as the `reason` field of
+    /// error responses and for counter reconciliation.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            WireError::Truncated { .. } => "wire_truncated",
+            WireError::Oversized { .. } => "wire_oversized",
+            WireError::Envelope(_) => "wire_envelope",
+            WireError::StaleVersion { .. } => "wire_stale_version",
+            WireError::ForeignKind { .. } => "wire_foreign_kind",
+            WireError::Payload(_) => "wire_payload",
+            WireError::Deadline { .. } => "wire_deadline",
+            WireError::Io(_) => "wire_io",
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { have, need } => {
+                write!(f, "truncated frame: have {have} bytes, need {need}")
+            }
+            WireError::Oversized { len, max } => {
+                write!(f, "oversized frame: {len} bytes exceeds ceiling {max}")
+            }
+            WireError::Envelope(msg) => write!(f, "bad envelope: {msg}"),
+            WireError::StaleVersion { found, expected } => {
+                write!(
+                    f,
+                    "stale wire version {found} (this build speaks {expected})"
+                )
+            }
+            WireError::ForeignKind { found, expected } => {
+                write!(f, "foreign frame kind {found:?} (expected {expected:?})")
+            }
+            WireError::Payload(msg) => write!(f, "bad payload: {msg}"),
+            WireError::Deadline { waited_ms } => {
+                write!(f, "read deadline ({waited_ms} ms) elapsed mid-frame")
+            }
+            WireError::Io(msg) => write!(f, "transport failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<IoError> for WireError {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Envelope(msg) => WireError::Envelope(msg),
+            IoError::Version { found, expected } => WireError::StaleVersion { found, expected },
+            IoError::Kind { found, expected } => WireError::ForeignKind { found, expected },
+            IoError::Serde(err) => WireError::Payload(err.to_string()),
+            IoError::Io(err) => WireError::Io(err.to_string()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Wraps `payload` in a 4-byte big-endian length prefix.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the payload exceeds `max` bytes.
+pub fn encode_frame(payload: &[u8], max: usize) -> Result<Vec<u8>, WireError> {
+    if payload.len() > max || payload.len() > u32::MAX as usize {
+        return Err(WireError::Oversized {
+            len: payload.len(),
+            max: max.min(u32::MAX as usize),
+        });
+    }
+    let mut out = Vec::with_capacity(LEN_PREFIX_BYTES + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+
+/// Incremental frame decoder tolerant of arbitrary read chunking:
+/// bytes go in via [`push`](FrameDecoder::push) in whatever splits the
+/// socket produced, complete frames come out via
+/// [`next_frame`](FrameDecoder::next_frame), and
+/// [`finish`](FrameDecoder::finish) types out whatever is left when the
+/// stream ends.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    max: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max` payload bytes per frame.
+    pub fn new(max: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            max,
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn available(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn peek_len(&self) -> Option<usize> {
+        if self.available() < LEN_PREFIX_BYTES {
+            return None;
+        }
+        let b = &self.buf[self.pos..self.pos + LEN_PREFIX_BYTES];
+        Some(u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize)
+    }
+
+    /// Pops the next complete frame payload, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when the buffered length prefix exceeds
+    /// the decoder's ceiling — the connection is unrecoverable at that
+    /// point, since the prefix cannot be trusted to resynchronize.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        let Some(len) = self.peek_len() else {
+            return Ok(None);
+        };
+        if len > self.max {
+            return Err(WireError::Oversized { len, max: self.max });
+        }
+        if self.available() < LEN_PREFIX_BYTES + len {
+            return Ok(None);
+        }
+        let start = self.pos + LEN_PREFIX_BYTES;
+        let frame = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        // Reclaim consumed space so long-lived connections stay O(frame).
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(frame.into())
+    }
+
+    /// True when no undecoded bytes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.available() == 0
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn buffered(&self) -> usize {
+        self.available()
+    }
+
+    /// Validates end-of-stream: any leftover partial frame becomes a
+    /// typed error.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] for a partial prefix or body,
+    /// [`WireError::Oversized`] for a poisoned length prefix.
+    pub fn finish(&self) -> Result<(), WireError> {
+        let avail = self.available();
+        if avail == 0 {
+            return Ok(());
+        }
+        match self.peek_len() {
+            None => Err(WireError::Truncated {
+                have: avail,
+                need: LEN_PREFIX_BYTES,
+            }),
+            Some(len) if len > self.max => Err(WireError::Oversized { len, max: self.max }),
+            Some(len) => {
+                let body = avail - LEN_PREFIX_BYTES;
+                if body < len {
+                    Err(WireError::Truncated {
+                        have: body,
+                        need: len,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Serializes `payload_json` into an envelope of `kind` and frames it.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the sealed envelope exceeds `max`.
+pub fn seal_frame(kind: &str, payload_json: &str, max: usize) -> Result<Vec<u8>, WireError> {
+    let envelope = format!(
+        "{{\"artifact\":\"{kind}\",\"version\":{FORMAT_VERSION},\"payload\":{payload_json}}}"
+    );
+    encode_frame(envelope.as_bytes(), max)
+}
+
+/// Opens a frame payload as an envelope of `kind`, returning the inner
+/// payload JSON.
+///
+/// # Errors
+///
+/// Typed [`WireError`] for non-UTF-8 bytes, malformed envelopes, stale
+/// versions and foreign kinds.
+pub fn open_frame(frame: &[u8], kind: &str) -> Result<String, WireError> {
+    let text = std::str::from_utf8(frame)
+        .map_err(|e| WireError::Envelope(format!("frame is not UTF-8: {e}")))?;
+    let (found_kind, version, payload) = crate::io::parse_envelope(text)?;
+    if version != FORMAT_VERSION {
+        return Err(WireError::StaleVersion {
+            found: version,
+            expected: FORMAT_VERSION,
+        });
+    }
+    if found_kind != kind {
+        return Err(WireError::ForeignKind {
+            found: found_kind.to_string(),
+            expected: kind.to_string(),
+        });
+    }
+    Ok(payload.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+// ---------------------------------------------------------------------------
+
+/// One inference request on the wire. Input pixels travel as IEEE-754
+/// bit patterns so encode → decode is byte-lossless and fixtures can pin
+/// exact frames.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-chosen request id (feeds the deterministic seed derivation).
+    pub id: u64,
+    /// SLO class name; must match a server-side [`ClassPolicy`].
+    pub class: String,
+    /// Optional client deadline in milliseconds; the server prices it
+    /// against the class deadline and enforces the tighter of the two.
+    pub deadline_ms: Option<u64>,
+    /// Explicit mask-seed override (`None` derives from the id).
+    pub seed: Option<u64>,
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Row-major input pixels as `f32::to_bits` patterns;
+    /// `len == channels * height * width`.
+    pub data_bits: Vec<u32>,
+}
+
+impl ServeRequest {
+    /// Builds a request from a tensor input.
+    pub fn from_input(id: u64, class: impl Into<String>, input: &Tensor) -> Self {
+        let shape = input.shape();
+        Self {
+            id,
+            class: class.into(),
+            deadline_ms: None,
+            seed: None,
+            channels: shape.channels(),
+            height: shape.height(),
+            width: shape.width(),
+            data_bits: input.iter().map(|v| v.to_bits()).collect(),
+        }
+    }
+
+    /// Reconstructs the input tensor, validating dimensions first
+    /// (`Tensor::from_vec` panics on mismatch, so hostile frames must
+    /// fail here with a typed error instead).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Payload`] on zero dimensions, overflowing products
+    /// or a `data_bits` length that disagrees with the shape.
+    pub fn input(&self) -> Result<Tensor, WireError> {
+        if self.channels == 0 || self.height == 0 || self.width == 0 {
+            return Err(WireError::Payload(format!(
+                "degenerate input shape {}x{}x{}",
+                self.channels, self.height, self.width
+            )));
+        }
+        let expected = self
+            .channels
+            .checked_mul(self.height)
+            .and_then(|n| n.checked_mul(self.width))
+            .ok_or_else(|| WireError::Payload("input shape product overflows".to_string()))?;
+        if expected != self.data_bits.len() {
+            return Err(WireError::Payload(format!(
+                "input shape {}x{}x{} wants {expected} values, frame carries {}",
+                self.channels,
+                self.height,
+                self.width,
+                self.data_bits.len()
+            )));
+        }
+        let data = self.data_bits.iter().map(|b| f32::from_bits(*b)).collect();
+        Ok(Tensor::from_vec(
+            Shape::new(self.channels, self.height, self.width),
+            data,
+        ))
+    }
+
+    /// Serializes into a sealed, length-prefixed frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on serialization failure or an oversized frame.
+    pub fn encode(&self, max: usize) -> Result<Vec<u8>, WireError> {
+        let payload = serde_json::to_string(self).map_err(|e| WireError::Payload(e.to_string()))?;
+        seal_frame(REQUEST_KIND, &payload, max)
+    }
+
+    /// Decodes a frame payload (envelope + message JSON).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`] for envelope or payload failures.
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        let payload = open_frame(frame, REQUEST_KIND)?;
+        serde_json::from_str(&payload).map_err(|e| WireError::Payload(e.to_string()))
+    }
+}
+
+/// One inference response on the wire. Deliberately free of wall-clock
+/// fields so identical requests produce byte-identical responses — the
+/// property the golden fixtures and the determinism test pin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// Request id, echoed back (0 when the request was undecodable).
+    pub id: u64,
+    /// Class the request was served under (empty when undecodable).
+    pub class: String,
+    /// Whether a prediction was produced.
+    pub ok: bool,
+    /// `"ok"`, a typed engine reason (`expired`, `overloaded`, ...), a
+    /// `wire_*` reason, or `"unknown_class"`.
+    pub reason: String,
+    /// Whether admission control shed the request before inference.
+    pub shed: bool,
+    /// Whether a deadline/sample budget expired the request (partial
+    /// prediction when `ok`, typed expiry error otherwise).
+    pub expired: bool,
+    /// [`crate::DegradedMode`] name of an `ok` response, else `"none"`.
+    pub degraded: String,
+    /// Monte-Carlo samples that contributed to the prediction.
+    pub used_samples: u64,
+    /// Samples the engine configuration asked for.
+    pub requested_samples: u64,
+    /// Predicted class index (0 when not `ok`).
+    pub predicted: u64,
+    /// Posterior mean as `f32::to_bits` patterns (empty when not `ok`).
+    pub mean_bits: Vec<u32>,
+    /// Predictive entropy as an `f32::to_bits` pattern (0 when not `ok`).
+    pub entropy_bits: u32,
+    /// Model version that served the request (0 when it never routed).
+    pub version: u64,
+    /// Shard that served the request (0 when it never routed).
+    pub shard: u64,
+    /// Execution attempts (0 when the request never reached the engine).
+    pub attempts: u32,
+}
+
+impl ServeResponse {
+    /// Posterior mean decoded back to floats.
+    pub fn mean(&self) -> Vec<f32> {
+        self.mean_bits.iter().map(|b| f32::from_bits(*b)).collect()
+    }
+
+    /// True when the response is a full-fidelity fast-path prediction —
+    /// the bit-identity contract only binds for these.
+    pub fn is_pristine(&self) -> bool {
+        self.ok && !self.expired && self.degraded == "healthy"
+    }
+
+    /// Serializes into a sealed, length-prefixed frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on serialization failure or an oversized frame.
+    pub fn encode(&self, max: usize) -> Result<Vec<u8>, WireError> {
+        let payload = serde_json::to_string(self).map_err(|e| WireError::Payload(e.to_string()))?;
+        seal_frame(RESPONSE_KIND, &payload, max)
+    }
+
+    /// Decodes a frame payload (envelope + message JSON).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`WireError`] for envelope or payload failures.
+    pub fn decode(frame: &[u8]) -> Result<Self, WireError> {
+        let payload = open_frame(frame, RESPONSE_KIND)?;
+        serde_json::from_str(&payload).map_err(|e| WireError::Payload(e.to_string()))
+    }
+}
+
+fn reject_response(id: u64, class: &str, reason: &str) -> ServeResponse {
+    ServeResponse {
+        id,
+        class: class.to_string(),
+        ok: false,
+        reason: reason.to_string(),
+        shed: false,
+        expired: false,
+        degraded: "none".to_string(),
+        used_samples: 0,
+        requested_samples: 0,
+        predicted: 0,
+        mean_bits: Vec::new(),
+        entropy_bits: 0,
+        version: 0,
+        shard: 0,
+        attempts: 0,
+    }
+}
+
+fn shed_response(id: u64, class: &str) -> ServeResponse {
+    ServeResponse {
+        shed: true,
+        ..reject_response(id, class, "overloaded")
+    }
+}
+
+fn response_of(id: u64, class: &str, out: &RegistryOutcome) -> (ServeResponse, &'static str) {
+    let ro = &out.outcome;
+    match &ro.outcome.result {
+        Ok((pred, report)) => (
+            ServeResponse {
+                id,
+                class: class.to_string(),
+                ok: true,
+                reason: "ok".to_string(),
+                shed: ro.shed,
+                expired: ro.expired,
+                degraded: report.mode.name().to_string(),
+                used_samples: report.used_samples as u64,
+                requested_samples: report.requested_samples as u64,
+                predicted: pred.class as u64,
+                mean_bits: pred.mean.iter().map(|v| v.to_bits()).collect(),
+                entropy_bits: pred.predictive_entropy.to_bits(),
+                version: out.version,
+                shard: out.shard as u64,
+                attempts: ro.attempts,
+            },
+            "ok",
+        ),
+        Err(e) => (
+            ServeResponse {
+                id,
+                class: class.to_string(),
+                ok: false,
+                reason: error_reason_name(e).to_string(),
+                shed: ro.shed,
+                expired: ro.expired,
+                degraded: "none".to_string(),
+                used_samples: 0,
+                requested_samples: 0,
+                predicted: 0,
+                mean_bits: Vec::new(),
+                entropy_bits: 0,
+                version: out.version,
+                shard: out.shard as u64,
+                attempts: ro.attempts,
+            },
+            "failed",
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration and admission control
+// ---------------------------------------------------------------------------
+
+/// Per-SLO-class serving policy; admission control prices every request
+/// against its class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassPolicy {
+    /// Class name carried on the wire and on every telemetry label.
+    pub name: String,
+    /// Class deadline; the effective deadline is the tighter of this
+    /// and the request's own `deadline_ms`.
+    pub deadline: Option<Duration>,
+    /// Deterministic sample budget (expires after this many sample
+    /// checkpoints) — the testable deadline used by golden fixtures.
+    pub sample_budget: Option<u64>,
+    /// Concurrent in-flight requests admitted for this class; 0 sheds
+    /// everything (a deterministic-rejection tier), `usize::MAX` is
+    /// unbounded.
+    pub max_inflight: usize,
+}
+
+impl ClassPolicy {
+    /// An unbounded class with no deadline.
+    pub fn unbounded(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            deadline: None,
+            sample_budget: None,
+            max_inflight: usize::MAX,
+        }
+    }
+}
+
+/// Default SLO tiers: `interactive` (250 ms, capped fan-in),
+/// `standard` (2 s), `batch` (no deadline).
+pub fn default_classes() -> Vec<ClassPolicy> {
+    vec![
+        ClassPolicy {
+            name: "interactive".to_string(),
+            deadline: Some(Duration::from_millis(250)),
+            sample_budget: None,
+            max_inflight: 64,
+        },
+        ClassPolicy {
+            name: "standard".to_string(),
+            deadline: Some(Duration::from_secs(2)),
+            sample_budget: None,
+            max_inflight: usize::MAX,
+        },
+        ClassPolicy::unbounded("batch"),
+    ]
+}
+
+/// Knobs of the TCP server front-end.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// SLO classes this server admits.
+    pub classes: Vec<ClassPolicy>,
+    /// Per-frame payload ceiling in bytes.
+    pub max_frame_bytes: usize,
+    /// Concurrent connections; excess accepts are counted and closed.
+    pub max_connections: usize,
+    /// Per-connection read deadline: a partial frame older than this is
+    /// answered with [`WireError::Deadline`] and the connection closed.
+    /// Idle connections (no partial frame) are unaffected.
+    pub read_timeout: Duration,
+    /// Accept-loop poll interval (the listener is non-blocking so
+    /// shutdown stays responsive).
+    pub accept_poll: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            classes: default_classes(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            max_connections: 256,
+            read_timeout: Duration::from_millis(500),
+            accept_poll: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Snapshot of the server's frame/connection accounting — the
+/// authoritative side of every soak reconciliation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeTotals {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Connections closed immediately because `max_connections` was hit.
+    pub connections_rejected: u64,
+    /// Frames answered with an `ok` prediction (including expired
+    /// partial-sample predictions).
+    pub frames_ok: u64,
+    /// Frames answered with a typed engine error.
+    pub frames_failed: u64,
+    /// Frames shed by per-class admission control (never reached the
+    /// registry).
+    pub frames_shed: u64,
+    /// Frames (or streams) rejected with a typed [`WireError`].
+    pub frames_wire_error: u64,
+    /// Frames naming a class the server does not admit.
+    pub frames_unknown_class: u64,
+    /// Responses whose deadline/sample budget expired (subset of
+    /// `frames_ok + frames_failed`).
+    pub expired: u64,
+}
+
+impl ServeTotals {
+    /// Every frame the server accounted for, across all result labels.
+    pub fn frames_total(&self) -> u64 {
+        self.frames_ok
+            + self.frames_failed
+            + self.frames_shed
+            + self.frames_wire_error
+            + self.frames_unknown_class
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    connections_rejected: AtomicU64,
+    frames_ok: AtomicU64,
+    frames_failed: AtomicU64,
+    frames_shed: AtomicU64,
+    frames_wire_error: AtomicU64,
+    frames_unknown_class: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeTotals {
+        ServeTotals {
+            connections: self.connections.load(Ordering::Acquire),
+            connections_rejected: self.connections_rejected.load(Ordering::Acquire),
+            frames_ok: self.frames_ok.load(Ordering::Acquire),
+            frames_failed: self.frames_failed.load(Ordering::Acquire),
+            frames_shed: self.frames_shed.load(Ordering::Acquire),
+            frames_wire_error: self.frames_wire_error.load(Ordering::Acquire),
+            frames_unknown_class: self.frames_unknown_class.load(Ordering::Acquire),
+            expired: self.expired.load(Ordering::Acquire),
+        }
+    }
+
+    fn note_frame(&self, label: &'static str) {
+        let cell = match label {
+            "ok" => &self.frames_ok,
+            "failed" => &self.frames_failed,
+            "shed" => &self.frames_shed,
+            "wire_error" => &self.frames_wire_error,
+            _ => &self.frames_unknown_class,
+        };
+        cell.fetch_add(1, Ordering::AcqRel);
+        fbcnn_telemetry::counter_add(NET_FRAMES_METRIC, &[("result", label)], 1);
+    }
+}
+
+struct ClassSlot {
+    policy: ClassPolicy,
+    inflight: AtomicUsize,
+}
+
+impl ClassSlot {
+    fn try_admit(&self) -> bool {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.policy.max_inflight {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release(&self) {
+        self.inflight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct NetState {
+    registry: Arc<ModelRegistry>,
+    cfg: ServeConfig,
+    classes: Vec<ClassSlot>,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    counters: Counters,
+}
+
+fn effective_deadline(policy: Option<Duration>, request_ms: Option<u64>) -> Option<Duration> {
+    let requested = request_ms.map(Duration::from_millis);
+    match (policy, requested) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, None) => a,
+        (None, b) => b,
+    }
+}
+
+fn serve_frame(state: &NetState, frame: &[u8]) -> (ServeResponse, &'static str) {
+    let req = match ServeRequest::decode(frame) {
+        Ok(req) => req,
+        Err(e) => return (reject_response(0, "", e.reason()), "wire_error"),
+    };
+    let input = match req.input() {
+        Ok(input) => input,
+        Err(e) => {
+            return (
+                reject_response(req.id, &req.class, e.reason()),
+                "wire_error",
+            )
+        }
+    };
+    let Some(slot) = state.classes.iter().find(|s| s.policy.name == req.class) else {
+        return (
+            reject_response(req.id, &req.class, "unknown_class"),
+            "unknown_class",
+        );
+    };
+    if !slot.try_admit() {
+        return (shed_response(req.id, &req.class), "shed");
+    }
+    let class = RequestClass {
+        name: slot.policy.name.clone(),
+        deadline: effective_deadline(slot.policy.deadline, req.deadline_ms),
+        sample_budget: slot.policy.sample_budget,
+    };
+    let mut batch_req = BatchRequest::new(req.id, input);
+    batch_req.seed = req.seed;
+    let outcome = state.registry.handle_classed(&batch_req, Some(&class));
+    slot.release();
+    response_of(req.id, &req.class, &outcome)
+}
+
+// ---------------------------------------------------------------------------
+// The TCP server
+// ---------------------------------------------------------------------------
+
+/// A running [`serve`] instance. Dropping the handle shuts the server
+/// down and drains its connections.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    state: Arc<NetState>,
+    accept: Option<thread::JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl NetServerHandle {
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server's accounting so far.
+    pub fn totals(&self) -> ServeTotals {
+        self.state.counters.snapshot()
+    }
+
+    fn drain(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let handles: Vec<_> = {
+            let mut guard = self
+                .connections
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, finish every buffered request,
+    /// join all connection threads, and return the final accounting.
+    pub fn shutdown(mut self) -> ServeTotals {
+        self.drain();
+        self.state.counters.snapshot()
+    }
+}
+
+impl Drop for NetServerHandle {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// Boots the TCP front-end over `registry`.
+///
+/// The accept loop is non-blocking (polling `cfg.accept_poll`) so
+/// shutdown stays responsive; each accepted connection gets its own
+/// worker thread with a read deadline of `cfg.read_timeout`.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the listener cannot bind.
+pub fn serve(registry: Arc<ModelRegistry>, cfg: ServeConfig) -> Result<NetServerHandle, WireError> {
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| WireError::Io(e.to_string()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let classes = cfg
+        .classes
+        .iter()
+        .map(|policy| ClassSlot {
+            policy: policy.clone(),
+            inflight: AtomicUsize::new(0),
+        })
+        .collect();
+    let state = Arc::new(NetState {
+        registry,
+        cfg,
+        classes,
+        shutdown: AtomicBool::new(false),
+        active_connections: AtomicUsize::new(0),
+        counters: Counters::default(),
+    });
+    let connections: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let accept_state = Arc::clone(&state);
+    let accept_connections = Arc::clone(&connections);
+    let accept = thread::spawn(move || loop {
+        if accept_state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let active = accept_state.active_connections.load(Ordering::Acquire);
+                if active >= accept_state.cfg.max_connections {
+                    accept_state
+                        .counters
+                        .connections_rejected
+                        .fetch_add(1, Ordering::AcqRel);
+                    fbcnn_telemetry::counter_add(
+                        NET_CONNECTIONS_METRIC,
+                        &[("result", "rejected")],
+                        1,
+                    );
+                    drop(stream);
+                    continue;
+                }
+                accept_state
+                    .active_connections
+                    .fetch_add(1, Ordering::AcqRel);
+                accept_state
+                    .counters
+                    .connections
+                    .fetch_add(1, Ordering::AcqRel);
+                fbcnn_telemetry::counter_add(NET_CONNECTIONS_METRIC, &[("result", "accepted")], 1);
+                let conn_state = Arc::clone(&accept_state);
+                let worker = thread::spawn(move || {
+                    handle_connection(&conn_state, stream);
+                    conn_state.active_connections.fetch_sub(1, Ordering::AcqRel);
+                });
+                let mut guard = accept_connections
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                // Reap finished workers so long soaks stay O(active).
+                let mut alive = Vec::with_capacity(guard.len() + 1);
+                for handle in guard.drain(..) {
+                    if handle.is_finished() {
+                        let _ = handle.join();
+                    } else {
+                        alive.push(handle);
+                    }
+                }
+                alive.push(worker);
+                *guard = alive;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(accept_state.cfg.accept_poll);
+            }
+            Err(_) => thread::sleep(accept_state.cfg.accept_poll),
+        }
+    });
+
+    Ok(NetServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+        connections,
+    })
+}
+
+fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(bytes)?;
+    stream.flush()
+}
+
+fn send_response(stream: &mut TcpStream, state: &NetState, response: &ServeResponse) -> bool {
+    match response.encode(state.cfg.max_frame_bytes) {
+        Ok(bytes) => write_frame(stream, &bytes).is_ok(),
+        Err(_) => false,
+    }
+}
+
+fn handle_connection(state: &Arc<NetState>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut decoder = FrameDecoder::new(state.cfg.max_frame_bytes);
+    let mut buf = vec![0u8; 16 * 1024];
+    'conn: loop {
+        // Serve every complete frame already buffered.
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    let (response, label) = serve_frame(state, &frame);
+                    state.counters.note_frame(label);
+                    if response.expired {
+                        state.counters.expired.fetch_add(1, Ordering::AcqRel);
+                        fbcnn_telemetry::counter_add(NET_EXPIRED_METRIC, &[], 1);
+                    }
+                    if !send_response(&mut stream, state, &response) {
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // A poisoned length prefix cannot resynchronize:
+                    // answer with the typed error and close.
+                    state.counters.note_frame("wire_error");
+                    let _ = send_response(&mut stream, state, &reject_response(0, "", e.reason()));
+                    break 'conn;
+                }
+            }
+        }
+        // Graceful drain: on shutdown, everything buffered has been
+        // answered above; stop reading new work.
+        if state.shutdown.load(Ordering::Acquire) && decoder.is_empty() {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                if decoder.finish().is_err() {
+                    // Mid-frame EOF: typed, counted, nobody to answer.
+                    state.counters.note_frame("wire_error");
+                }
+                break;
+            }
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if decoder.is_empty() {
+                    continue; // Idle connection: keep waiting.
+                }
+                // Partial frame older than the read deadline.
+                let waited_ms = state.cfg.read_timeout.as_millis() as u64;
+                state.counters.note_frame("wire_error");
+                let _ = send_response(
+                    &mut stream,
+                    state,
+                    &reject_response(0, "", WireError::Deadline { waited_ms }.reason()),
+                );
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// A blocking client for the serve protocol (used by the load
+/// generator, the CLI self-drive and the protocol tests).
+pub struct ServeClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    buf: Vec<u8>,
+}
+
+impl ServeClient {
+    /// Connects with a receive deadline and frame ceiling.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on connect/socket-option failure.
+    pub fn connect(
+        addr: SocketAddr,
+        read_timeout: Duration,
+        max_frame: usize,
+    ) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(Self {
+            stream,
+            decoder: FrameDecoder::new(max_frame),
+            buf: vec![0u8; 16 * 1024],
+        })
+    }
+
+    /// Sends pre-encoded bytes verbatim (the load generator uses this
+    /// to inject malformed frames).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] on transport failure.
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        write_frame(&mut self.stream, bytes).map_err(|e| WireError::Io(e.to_string()))
+    }
+
+    /// Encodes and sends one request.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on encoding or transport failure.
+    pub fn send(&mut self, req: &ServeRequest, max_frame: usize) -> Result<(), WireError> {
+        let bytes = req.encode(max_frame)?;
+        self.send_bytes(&bytes)
+    }
+
+    /// Blocks for the next response frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Deadline`] when the receive deadline elapses,
+    /// [`WireError::Io`] when the server closes the stream, and any
+    /// decode-level [`WireError`] for malformed responses.
+    pub fn recv(&mut self) -> Result<ServeResponse, WireError> {
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                return ServeResponse::decode(&frame);
+            }
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => {
+                    self.decoder.finish()?;
+                    return Err(WireError::Io("server closed the connection".to_string()));
+                }
+                Ok(n) => {
+                    let chunk = self.buf[..n].to_vec();
+                    self.decoder.push(&chunk);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Err(WireError::Deadline { waited_ms: 0 });
+                }
+                Err(e) => return Err(WireError::Io(e.to_string())),
+            }
+        }
+    }
+
+    /// Sends a request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from [`send`](Self::send) or [`recv`](Self::recv).
+    pub fn roundtrip(
+        &mut self,
+        req: &ServeRequest,
+        max_frame: usize,
+    ) -> Result<ServeResponse, WireError> {
+        self.send(req, max_frame)?;
+        self.recv()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------------
+
+/// splitmix64 — the same cheap deterministic mixer the batch tier uses
+/// for seed derivation.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Whether workers wait for each response before sending the next
+/// request (closed loop) or pipeline a window of frames (open loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// One request in flight per connection; latency excludes queueing.
+    Closed,
+    /// A pipelined window per connection; latency includes queue wait.
+    Open,
+}
+
+impl LoadMode {
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open => "open",
+        }
+    }
+
+    /// Parses a report/CLI name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "closed" => Some(LoadMode::Closed),
+            "open" => Some(LoadMode::Open),
+            _ => None,
+        }
+    }
+}
+
+/// Knobs of the seeded load generator.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Seed of the request mix (inputs, malformed variants).
+    pub seed: u64,
+    /// Closed or open loop.
+    pub mode: LoadMode,
+    /// Concurrent client connections (one worker thread each).
+    pub connections: usize,
+    /// Requests each connection offers.
+    pub requests_per_connection: usize,
+    /// Healthy SLO classes, cycled per request.
+    pub classes: Vec<String>,
+    /// Class targeted to provoke deterministic admission sheds (pair it
+    /// with a server-side `max_inflight: 0` policy); `None` disables.
+    pub shed_class: Option<String>,
+    /// Every Nth request goes to `shed_class` (0 disables).
+    pub shed_every: usize,
+    /// Every Nth request carries `deadline_ms: 0`, forcing a typed
+    /// expiry (0 disables).
+    pub expiring_every: usize,
+    /// Every Nth frame is malformed — garbage envelope, foreign kind,
+    /// stale version or broken payload, chosen by seed (0 disables).
+    pub malformed_every: usize,
+    /// Every Nth pristine response is bit-checked against
+    /// [`Engine::predict_robust_seeded`] (0 disables).
+    pub bit_check_every: usize,
+    /// Frames in flight per connection in [`LoadMode::Open`].
+    pub open_pipeline: usize,
+    /// Client receive deadline per response.
+    pub read_timeout: Duration,
+    /// Workers stop offering new requests past this wall-clock bound,
+    /// keeping soaks boundable; `None` runs the full plan.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 7,
+            mode: LoadMode::Closed,
+            connections: 2,
+            requests_per_connection: 32,
+            classes: vec!["interactive".to_string(), "batch".to_string()],
+            shed_class: None,
+            shed_every: 0,
+            expiring_every: 0,
+            malformed_every: 0,
+            bit_check_every: 8,
+            open_pipeline: 8,
+            read_timeout: Duration::from_secs(10),
+            time_limit: None,
+        }
+    }
+}
+
+/// Client-side accounting, reconciled 1:1 against [`ServeTotals`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadgenTotals {
+    /// Frames sent (requests plus injected malformed frames).
+    pub offered: u64,
+    /// `ok` responses received.
+    pub ok: u64,
+    /// Typed-engine-error responses received.
+    pub failed: u64,
+    /// Admission-shed responses received.
+    pub shed: u64,
+    /// Responses flagged expired (subset of `ok + failed`).
+    pub expired: u64,
+    /// `wire_*`-reason responses received.
+    pub wire_error_responses: u64,
+    /// `unknown_class` responses received.
+    pub unknown_class: u64,
+    /// Transport-level failures (lost responses, refused connects).
+    pub transport_errors: u64,
+    /// Reconnects workers performed after a transport failure.
+    pub reconnects: u64,
+    /// Pristine responses spot-checked for bit identity.
+    pub bit_checked: u64,
+    /// Spot checks that mismatched the reference engine.
+    pub bit_mismatched: u64,
+}
+
+impl LoadgenTotals {
+    fn merge(&mut self, other: &LoadgenTotals) {
+        self.offered += other.offered;
+        self.ok += other.ok;
+        self.failed += other.failed;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.wire_error_responses += other.wire_error_responses;
+        self.unknown_class += other.unknown_class;
+        self.transport_errors += other.transport_errors;
+        self.reconnects += other.reconnects;
+        self.bit_checked += other.bit_checked;
+        self.bit_mismatched += other.bit_mismatched;
+    }
+}
+
+/// What one load-generator run observed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenReport {
+    /// Aggregated client-side accounting.
+    pub totals: LoadgenTotals,
+    /// Client-measured request latencies in nanoseconds, per class
+    /// (keyed `malformed` for injected bad frames).
+    pub latencies_ns: BTreeMap<String, Vec<u64>>,
+    /// Workers that died before finishing their plan (must be 0 for a
+    /// soak to pass).
+    pub aborted_workers: u64,
+    /// Wall clock of the whole run in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+struct Planned {
+    bytes: Vec<u8>,
+    class: String,
+    /// `(request id, input pool index)` when this request is eligible
+    /// for a bit-identity spot check.
+    check: Option<(u64, usize)>,
+}
+
+fn malformed_frame(variant: u64, max: usize) -> Vec<u8> {
+    let fallback = || vec![0u8; LEN_PREFIX_BYTES];
+    match variant % 4 {
+        0 => encode_frame(b"{\"nope\":true}", max).unwrap_or_else(|_| fallback()),
+        1 => seal_frame("network", "{\"x\":1}", max).unwrap_or_else(|_| fallback()),
+        2 => {
+            let stale =
+                format!("{{\"artifact\":\"{REQUEST_KIND}\",\"version\":99,\"payload\":{{}}}}");
+            encode_frame(stale.as_bytes(), max).unwrap_or_else(|_| fallback())
+        }
+        _ => seal_frame(REQUEST_KIND, "{\"id\":\"zebra\"}", max).unwrap_or_else(|_| fallback()),
+    }
+}
+
+fn plan_worker(
+    cfg: &LoadgenConfig,
+    worker: usize,
+    pool: &[Tensor],
+) -> Result<Vec<Planned>, WireError> {
+    let mut plan = Vec::with_capacity(cfg.requests_per_connection);
+    for i in 0..cfg.requests_per_connection {
+        let id = ((worker as u64 + 1) << 32) | i as u64;
+        let nth = i + 1;
+        if cfg.malformed_every > 0 && nth % cfg.malformed_every == 0 {
+            plan.push(Planned {
+                bytes: malformed_frame(mix64(cfg.seed ^ id), DEFAULT_MAX_FRAME_BYTES),
+                class: "malformed".to_string(),
+                check: None,
+            });
+            continue;
+        }
+        let pool_idx = (mix64(cfg.seed.wrapping_add(id)) % pool.len() as u64) as usize;
+        let shed_bound =
+            cfg.shed_every > 0 && cfg.shed_class.is_some() && nth % cfg.shed_every == 0;
+        let class = if shed_bound {
+            cfg.shed_class.clone().unwrap_or_default()
+        } else {
+            cfg.classes[i % cfg.classes.len().max(1)].clone()
+        };
+        let mut req = ServeRequest::from_input(id, class.clone(), &pool[pool_idx]);
+        let mut check = None;
+        if !shed_bound {
+            if cfg.expiring_every > 0 && nth % cfg.expiring_every == 0 {
+                req.deadline_ms = Some(0);
+            } else if cfg.bit_check_every > 0 && nth % cfg.bit_check_every == 0 {
+                check = Some((id, pool_idx));
+            }
+        }
+        plan.push(Planned {
+            bytes: req.encode(DEFAULT_MAX_FRAME_BYTES)?,
+            class,
+            check,
+        });
+    }
+    Ok(plan)
+}
+
+struct WorkerOut {
+    totals: LoadgenTotals,
+    latencies: BTreeMap<String, Vec<u64>>,
+    aborted: bool,
+}
+
+fn bit_check(
+    reference: &Engine,
+    pool: &[Tensor],
+    check: (u64, usize),
+    resp: &ServeResponse,
+    totals: &mut LoadgenTotals,
+) {
+    if !resp.is_pristine() {
+        return;
+    }
+    let (id, pool_idx) = check;
+    let seed = BatchRequest::new(id, pool[pool_idx].clone()).resolved_seed(reference.config().seed);
+    totals.bit_checked += 1;
+    match reference.predict_robust_seeded(&pool[pool_idx], seed) {
+        Ok((pred, _report)) => {
+            let mean_bits: Vec<u32> = pred.mean.iter().map(|v| v.to_bits()).collect();
+            if mean_bits != resp.mean_bits || pred.class as u64 != resp.predicted {
+                totals.bit_mismatched += 1;
+            }
+        }
+        Err(_) => totals.bit_mismatched += 1,
+    }
+}
+
+fn absorb(
+    resp: &ServeResponse,
+    class: &str,
+    elapsed_ns: u64,
+    totals: &mut LoadgenTotals,
+    latencies: &mut BTreeMap<String, Vec<u64>>,
+) {
+    if resp.reason.starts_with("wire_") {
+        totals.wire_error_responses += 1;
+    } else if resp.reason == "unknown_class" {
+        totals.unknown_class += 1;
+    } else if resp.shed {
+        totals.shed += 1;
+    } else if resp.ok {
+        totals.ok += 1;
+    } else {
+        totals.failed += 1;
+    }
+    if resp.expired {
+        totals.expired += 1;
+    }
+    latencies
+        .entry(class.to_string())
+        .or_default()
+        .push(elapsed_ns);
+}
+
+fn run_worker(
+    addr: SocketAddr,
+    reference: &Engine,
+    cfg: &LoadgenConfig,
+    pool: &[Tensor],
+    plan: &[Planned],
+    started: Instant,
+) -> WorkerOut {
+    let mut out = WorkerOut {
+        totals: LoadgenTotals::default(),
+        latencies: BTreeMap::new(),
+        aborted: false,
+    };
+    let mut client = match ServeClient::connect(addr, cfg.read_timeout, DEFAULT_MAX_FRAME_BYTES) {
+        Ok(c) => c,
+        Err(_) => {
+            out.totals.transport_errors += 1;
+            out.aborted = true;
+            return out;
+        }
+    };
+    let window = match cfg.mode {
+        LoadMode::Closed => 1,
+        LoadMode::Open => cfg.open_pipeline.max(1),
+    };
+    for chunk in plan.chunks(window) {
+        if let Some(limit) = cfg.time_limit {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        // Pipeline the window, then collect its responses in order —
+        // the server answers frames of one connection sequentially.
+        let mut sent: Vec<(&Planned, Instant)> = Vec::with_capacity(chunk.len());
+        for planned in chunk {
+            if client.send_bytes(&planned.bytes).is_err() {
+                out.totals.transport_errors += 1;
+                out.aborted = true;
+                return out;
+            }
+            out.totals.offered += 1;
+            sent.push((planned, Instant::now()));
+        }
+        for (planned, sent_at) in sent {
+            match client.recv() {
+                Ok(resp) => {
+                    let elapsed_ns = sent_at.elapsed().as_nanos() as u64;
+                    absorb(
+                        &resp,
+                        &planned.class,
+                        elapsed_ns,
+                        &mut out.totals,
+                        &mut out.latencies,
+                    );
+                    if let Some(check) = planned.check {
+                        bit_check(reference, pool, check, &resp, &mut out.totals);
+                    }
+                }
+                Err(_) => {
+                    out.totals.transport_errors += 1;
+                    match ServeClient::connect(addr, cfg.read_timeout, DEFAULT_MAX_FRAME_BYTES) {
+                        Ok(next) => {
+                            client = next;
+                            out.totals.reconnects += 1;
+                            break; // Responses of this window are lost.
+                        }
+                        Err(_) => {
+                            out.aborted = true;
+                            return out;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs the seeded load generator against a serve endpoint.
+///
+/// `reference` must be an engine bit-identical to the one behind the
+/// server (same artifact) — it anchors the bit-identity spot checks.
+pub fn run_loadgen(addr: SocketAddr, reference: &Engine, cfg: &LoadgenConfig) -> LoadgenReport {
+    let started = Instant::now();
+    let shape = reference.network().input_shape();
+    let pool: Vec<Tensor> = (0..8)
+        .map(|i| synth_input(shape, cfg.seed.wrapping_add(i)))
+        .collect();
+    let plans: Vec<Result<Vec<Planned>, WireError>> = (0..cfg.connections.max(1))
+        .map(|w| plan_worker(cfg, w, &pool))
+        .collect();
+    let mut totals = LoadgenTotals::default();
+    let mut latencies: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut aborted_workers = 0u64;
+    let outs: Vec<WorkerOut> = thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|plan| {
+                let pool = &pool;
+                scope.spawn(move || match plan {
+                    Ok(plan) => run_worker(addr, reference, cfg, pool, plan, started),
+                    Err(_) => WorkerOut {
+                        totals: LoadgenTotals::default(),
+                        latencies: BTreeMap::new(),
+                        aborted: true,
+                    },
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WorkerOut {
+                    totals: LoadgenTotals::default(),
+                    latencies: BTreeMap::new(),
+                    aborted: true,
+                })
+            })
+            .collect()
+    });
+    for out in &outs {
+        totals.merge(&out.totals);
+        for (class, lat) in &out.latencies {
+            latencies.entry(class.clone()).or_default().extend(lat);
+        }
+        if out.aborted {
+            aborted_workers += 1;
+        }
+    }
+    LoadgenReport {
+        totals,
+        latencies_ns: latencies,
+        aborted_workers,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Soak harness
+// ---------------------------------------------------------------------------
+
+/// SLO tiers of the serve soak: two healthy tiers, one deterministic
+/// partial-sample tier and one always-shed tier, so every counter the
+/// reconciliation checks is exercised on every run.
+pub fn soak_classes(samples: usize) -> Vec<ClassPolicy> {
+    vec![
+        ClassPolicy {
+            name: "interactive".to_string(),
+            deadline: Some(Duration::from_secs(5)),
+            sample_budget: None,
+            max_inflight: usize::MAX,
+        },
+        ClassPolicy::unbounded("batch"),
+        ClassPolicy {
+            name: "degraded".to_string(),
+            deadline: None,
+            sample_budget: Some((samples / 2).max(1) as u64),
+            max_inflight: usize::MAX,
+        },
+        ClassPolicy {
+            name: "reject".to_string(),
+            deadline: None,
+            sample_budget: None,
+            max_inflight: 0,
+        },
+    ]
+}
+
+/// Knobs of one serve soak campaign.
+#[derive(Debug, Clone)]
+pub struct ServeSoakConfig {
+    /// Seed of the model, the inputs and the request mix.
+    pub seed: u64,
+    /// Monte-Carlo samples per request (T).
+    pub samples: usize,
+    /// Registry shards behind the server.
+    pub shards: usize,
+    /// Concurrent load-generator connections.
+    pub connections: usize,
+    /// Requests each connection offers.
+    pub requests_per_connection: usize,
+    /// Load-generator loop mode.
+    pub mode: LoadMode,
+    /// Wall-clock bound on the load phase (workers stop offering new
+    /// requests past it).
+    pub time_limit: Duration,
+}
+
+impl ServeSoakConfig {
+    /// CI-speed campaign (a few seconds).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            samples: 4,
+            shards: 2,
+            connections: 2,
+            requests_per_connection: 30,
+            mode: LoadMode::Closed,
+            time_limit: Duration::from_secs(45),
+        }
+    }
+
+    /// Acceptance-floor campaign (bounded under a minute).
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            samples: 6,
+            shards: 2,
+            connections: 4,
+            requests_per_connection: 150,
+            mode: LoadMode::Closed,
+            time_limit: Duration::from_secs(50),
+        }
+    }
+
+    fn loadgen(&self) -> LoadgenConfig {
+        LoadgenConfig {
+            seed: self.seed,
+            mode: self.mode,
+            connections: self.connections,
+            requests_per_connection: self.requests_per_connection,
+            classes: vec![
+                "interactive".to_string(),
+                "batch".to_string(),
+                "degraded".to_string(),
+            ],
+            shed_class: Some("reject".to_string()),
+            shed_every: 7,
+            expiring_every: 11,
+            malformed_every: 13,
+            bit_check_every: 5,
+            open_pipeline: 8,
+            read_timeout: Duration::from_secs(20),
+            time_limit: Some(self.time_limit),
+        }
+    }
+}
+
+/// Builds the registry a soak serves from, plus the bit-identical
+/// reference engine the load generator checks against.
+///
+/// # Errors
+///
+/// [`WireError::Io`] when the artifact or registry cannot be built.
+pub fn build_soak_registry(
+    cfg: &ServeSoakConfig,
+) -> Result<(Arc<ModelRegistry>, Engine), WireError> {
+    let engine_cfg = EngineConfig {
+        samples: cfg.samples.max(2),
+        calibration_samples: 3,
+        seed: cfg.seed,
+        threads: 1,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    };
+    let reference = Engine::new(engine_cfg);
+    let artifact = ModelArtifact::from_engine(&reference, 1, "serve-soak");
+    let registry = ModelRegistry::new(
+        artifact,
+        RegistryConfig {
+            shards: cfg.shards.max(1),
+            resilience: ResilienceConfig {
+                deadline_class: "net".to_string(),
+                ..ResilienceConfig::default()
+            },
+            jitter: Some(Arc::new(NoJitter)),
+            ..RegistryConfig::default()
+        },
+    )
+    .map_err(|e| WireError::Io(e.to_string()))?;
+    Ok((Arc::new(registry), reference))
+}
+
+/// What one serve soak observed, on both sides of the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeSoakReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Load-generator mode name.
+    pub mode: String,
+    /// Concurrent connections.
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_connection: usize,
+    /// Monte-Carlo samples per request.
+    pub samples: usize,
+    /// Registry shards.
+    pub shards: usize,
+    /// Client-side observations.
+    pub loadgen: LoadgenReport,
+    /// Server-side accounting.
+    pub server: ServeTotals,
+    /// Registry requests over the campaign (delta of version counters).
+    pub registry_requests: u64,
+    /// Registry `ok` outcomes over the campaign.
+    pub registry_ok: u64,
+    /// Registry `failed` outcomes over the campaign.
+    pub registry_failed: u64,
+    /// Wall clock of the whole campaign in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ServeSoakReport {
+    /// Exact three-way reconciliation: load generator ↔ server wire
+    /// accounting ↔ registry version counters. Any drift is a dropped
+    /// or double-counted request.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatched ledger row.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let lg = &self.loadgen.totals;
+        let sv = &self.server;
+        let checks: [(&str, u64, u64); 9] = [
+            ("offered vs server frames", lg.offered, sv.frames_total()),
+            ("ok", lg.ok, sv.frames_ok),
+            ("failed", lg.failed, sv.frames_failed),
+            ("shed", lg.shed, sv.frames_shed),
+            ("wire errors", lg.wire_error_responses, sv.frames_wire_error),
+            ("unknown class", lg.unknown_class, sv.frames_unknown_class),
+            ("expired", lg.expired, sv.expired),
+            (
+                "registry requests vs served frames",
+                self.registry_requests,
+                sv.frames_ok + sv.frames_failed,
+            ),
+            ("registry ok", self.registry_ok, sv.frames_ok),
+        ];
+        for (what, client, server) in checks {
+            if client != server {
+                return Err(format!("{what} drifted: {client} != {server}"));
+            }
+        }
+        if self.registry_failed != sv.frames_failed {
+            return Err(format!(
+                "registry failed drifted: {} != {}",
+                self.registry_failed, sv.frames_failed
+            ));
+        }
+        if self.loadgen.aborted_workers != 0 {
+            return Err(format!(
+                "{} load-generator workers aborted",
+                self.loadgen.aborted_workers
+            ));
+        }
+        if lg.transport_errors != 0 {
+            return Err(format!("{} transport errors", lg.transport_errors));
+        }
+        if lg.bit_mismatched != 0 {
+            return Err(format!(
+                "{} of {} bit-identity spot checks mismatched",
+                lg.bit_mismatched, lg.bit_checked
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn sum_delta(
+    before: &BTreeMap<u64, VersionCounters>,
+    after: &BTreeMap<u64, VersionCounters>,
+) -> (u64, u64, u64) {
+    let mut requests = 0;
+    let mut ok = 0;
+    let mut failed = 0;
+    for (version, counters) in after {
+        let base = before.get(version).copied().unwrap_or_default();
+        requests += counters.requests - base.requests;
+        ok += counters.ok - base.ok;
+        failed += counters.failed - base.failed;
+    }
+    (requests, ok, failed)
+}
+
+/// Runs a serve soak, recording into `telemetry` (installing it as the
+/// global recorder for the duration unless it is already the sink).
+///
+/// # Errors
+///
+/// [`WireError`] when the registry or the server cannot be built.
+pub fn run_serve_soak_into(
+    cfg: &ServeSoakConfig,
+    telemetry: &Arc<fbcnn_telemetry::Registry>,
+) -> Result<ServeSoakReport, WireError> {
+    let started = Instant::now();
+    let recorder = Arc::clone(telemetry) as Arc<dyn fbcnn_telemetry::Recorder>;
+    // `installed_sink_is` (not `is_installed`): the global slot may hold
+    // a wrapper that aggregates into this registry; re-installing would
+    // deadlock on the non-reentrant install lock.
+    let _guard = if fbcnn_telemetry::installed_sink_is(telemetry) {
+        None
+    } else {
+        Some(fbcnn_telemetry::install(recorder))
+    };
+    let (registry, reference) = build_soak_registry(cfg)?;
+    let before = registry.version_counters();
+    let server = serve(
+        Arc::clone(&registry),
+        ServeConfig {
+            classes: soak_classes(cfg.samples.max(2)),
+            ..ServeConfig::default()
+        },
+    )?;
+    let loadgen = run_loadgen(server.addr(), &reference, &cfg.loadgen());
+    let totals = server.shutdown();
+    let after = registry.version_counters();
+    let (registry_requests, registry_ok, registry_failed) = sum_delta(&before, &after);
+    Ok(ServeSoakReport {
+        seed: cfg.seed,
+        mode: cfg.mode.name().to_string(),
+        connections: cfg.connections,
+        requests_per_connection: cfg.requests_per_connection,
+        samples: cfg.samples,
+        shards: cfg.shards,
+        loadgen,
+        server: totals,
+        registry_requests,
+        registry_ok,
+        registry_failed,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Runs a serve soak into a fresh private telemetry registry, returning
+/// both.
+///
+/// # Errors
+///
+/// [`WireError`] when the registry or the server cannot be built.
+pub fn run_serve_soak_with_registry(
+    cfg: &ServeSoakConfig,
+) -> Result<(ServeSoakReport, Arc<fbcnn_telemetry::Registry>), WireError> {
+    let telemetry = Arc::new(fbcnn_telemetry::Registry::new());
+    let report = run_serve_soak_into(cfg, &telemetry)?;
+    Ok((report, telemetry))
+}
+
+/// Runs a serve soak, discarding telemetry.
+///
+/// # Errors
+///
+/// [`WireError`] when the registry or the server cannot be built.
+pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, WireError> {
+    run_serve_soak_with_registry(cfg).map(|(report, _)| report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_is_byte_lossless() {
+        let payload = b"hello frames";
+        let frame = encode_frame(payload, 64).unwrap();
+        let mut dec = FrameDecoder::new(64);
+        dec.push(&frame);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), payload);
+        assert!(dec.is_empty());
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn split_and_coalesced_reads_reassemble() {
+        let a = encode_frame(b"first", 64).unwrap();
+        let b = encode_frame(b"second", 64).unwrap();
+        let mut joined = a.clone();
+        joined.extend_from_slice(&b);
+        // Feed one byte at a time.
+        let mut dec = FrameDecoder::new(64);
+        let mut out = Vec::new();
+        for byte in &joined {
+            dec.push(std::slice::from_ref(byte));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, vec![b"first".to_vec(), b"second".to_vec()]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_oversize_are_typed() {
+        let frame = encode_frame(b"truncate me", 64).unwrap();
+        let mut dec = FrameDecoder::new(64);
+        dec.push(&frame[..frame.len() - 3]);
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert!(matches!(dec.finish(), Err(WireError::Truncated { .. })));
+
+        let mut dec = FrameDecoder::new(8);
+        dec.push(&encode_frame(b"tiny", 64).unwrap()[..4]);
+        assert_eq!(dec.next_frame().unwrap(), None); // only the prefix: 4 <= 8
+        let mut dec = FrameDecoder::new(2);
+        dec.push(&encode_frame(b"tiny", 64).unwrap());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::Oversized { len: 4, max: 2 })
+        ));
+        assert!(encode_frame(b"tiny", 2).is_err());
+    }
+
+    #[test]
+    fn envelope_kind_and_version_are_checked() {
+        let frame = seal_frame(REQUEST_KIND, "{\"x\":1}", 1024).unwrap();
+        let payload = open_frame(&frame[LEN_PREFIX_BYTES..], REQUEST_KIND).unwrap();
+        assert_eq!(payload, "{\"x\":1}");
+        assert!(matches!(
+            open_frame(&frame[LEN_PREFIX_BYTES..], RESPONSE_KIND),
+            Err(WireError::ForeignKind { .. })
+        ));
+        let stale = format!("{{\"artifact\":\"{REQUEST_KIND}\",\"version\":99,\"payload\":{{}}}}");
+        assert!(matches!(
+            open_frame(stale.as_bytes(), REQUEST_KIND),
+            Err(WireError::StaleVersion { found: 99, .. })
+        ));
+        assert!(matches!(
+            open_frame(&[0xFF, 0xFE], REQUEST_KIND),
+            Err(WireError::Envelope(_))
+        ));
+    }
+
+    #[test]
+    fn request_message_roundtrip_and_validation() {
+        let input = synth_input(Shape::new(1, 8, 8), 3);
+        let mut req = ServeRequest::from_input(42, "interactive", &input);
+        req.deadline_ms = Some(125);
+        let frame = req.encode(DEFAULT_MAX_FRAME_BYTES).unwrap();
+        let back = ServeRequest::decode(&frame[LEN_PREFIX_BYTES..]).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(
+            back.input().unwrap().iter().collect::<Vec<_>>(),
+            input.iter().collect::<Vec<_>>()
+        );
+
+        let mut bad = req.clone();
+        bad.width = 0;
+        assert!(matches!(bad.input(), Err(WireError::Payload(_))));
+        let mut bad = req.clone();
+        bad.data_bits.pop();
+        assert!(matches!(bad.input(), Err(WireError::Payload(_))));
+        let mut bad = req;
+        bad.height = usize::MAX;
+        bad.width = usize::MAX;
+        assert!(matches!(bad.input(), Err(WireError::Payload(_))));
+    }
+
+    #[test]
+    fn deadline_pricing_takes_the_tighter_bound() {
+        let policy = Some(Duration::from_millis(100));
+        assert_eq!(
+            effective_deadline(policy, Some(40)),
+            Some(Duration::from_millis(40))
+        );
+        assert_eq!(
+            effective_deadline(policy, Some(400)),
+            Some(Duration::from_millis(100))
+        );
+        assert_eq!(effective_deadline(policy, None), policy);
+        assert_eq!(
+            effective_deadline(None, Some(7)),
+            Some(Duration::from_millis(7))
+        );
+        assert_eq!(effective_deadline(None, None), None);
+    }
+
+    #[test]
+    fn quick_soak_reconciles_exactly() {
+        let cfg = ServeSoakConfig::quick(11);
+        let (report, telemetry) = run_serve_soak_with_registry(&cfg).unwrap();
+        report.reconcile().unwrap_or_else(|e| panic!("{e}"));
+        let lg = &report.loadgen.totals;
+        assert!(lg.ok > 0, "no ok responses");
+        assert!(lg.shed > 0, "shed tier never exercised");
+        assert!(lg.expired > 0, "expiry tier never exercised");
+        assert!(
+            lg.wire_error_responses > 0,
+            "malformed frames never exercised"
+        );
+        assert!(lg.bit_checked > 0, "no bit-identity spot checks ran");
+        assert_eq!(lg.bit_mismatched, 0);
+        // Wire counters made it into telemetry.
+        assert!(telemetry.counter_total(NET_FRAMES_METRIC) >= lg.offered);
+        assert!(telemetry.counter_total(NET_CONNECTIONS_METRIC) >= cfg.connections as u64);
+    }
+}

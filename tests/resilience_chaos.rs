@@ -12,75 +12,27 @@
 //!
 //! and commit the diff.
 
-use fast_bcnn::chaos::{run_chaos, ChaosConfig, ChaosReport};
+mod common;
+
+use common::{assert_chaos_contract, golden_dir, CHAOS_FLOORS};
+use fast_bcnn::chaos::{run_chaos, ChaosConfig};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 
-fn golden_dir() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("golden")
-}
-
-/// The typed loss vocabulary — every failed request's reason must be one
-/// of these (`fast_bcnn::error_reason_name` can emit nothing else, and
-/// the soak must never see an unexpected class).
-const TYPED_REASONS: [&str; 8] = [
-    "input",
-    "thresholds",
-    "numeric",
-    "bayes",
-    "all_samples_failed",
-    "expired",
-    "overloaded",
-    "worker_hung",
-];
-
-fn assert_contract(report: &ChaosReport, tag: &str) {
-    assert!(
-        report.round_reconcile_errors.is_empty(),
-        "{tag}: per-round accounting drifted: {:?}",
-        report.round_reconcile_errors
-    );
-    report
-        .reconcile()
-        .unwrap_or_else(|e| panic!("{tag}: counters did not reconcile: {e}"));
-    assert_eq!(
-        report.ok_total + report.failed_total,
-        report.requests_total,
-        "{tag}: a request was neither answered nor failed — that is a hang"
-    );
-    let known: BTreeSet<&str> = TYPED_REASONS.iter().copied().collect();
-    for reason in report.loss_reasons.keys() {
-        assert!(
-            known.contains(reason.as_str()),
-            "{tag}: untyped loss reason `{reason}`"
-        );
-    }
-    assert_eq!(
-        report.totals.abandoned, 0,
-        "{tag}: a work unit was abandoned"
-    );
-}
-
-/// The headline acceptance soak: ≥ 200 requests over ≥ 5 fault classes
-/// with deadline pressure, every loss typed, zero aborts, and the
+/// The headline acceptance soak: the [`CHAOS_FLOORS`] volume/coverage
+/// floors with deadline pressure, every loss typed, zero aborts, and the
 /// breaker/shed/retry/deadline counters reconciling exactly. CI runs
 /// this under an outer timeout so a hang fails instead of stalling.
 #[test]
 fn full_soak_meets_the_acceptance_floors() {
+    let started = std::time::Instant::now();
     let cfg = ChaosConfig::full(5);
     let report = run_chaos(&cfg);
-    assert_contract(&report, "full soak");
-    assert!(
-        report.requests_total >= 200,
-        "soak offered only {} requests",
-        report.requests_total
-    );
-    assert!(
-        report.classes.len() >= 5,
-        "soak exercised only {} fault classes",
-        report.classes.len()
+    assert_chaos_contract(&report, "full soak");
+    CHAOS_FLOORS.assert_met(
+        "full soak",
+        report.requests_total as u64,
+        report.classes.len(),
+        started.elapsed().as_nanos() as u64,
     );
     assert!(
         report.totals.expired > 0,
@@ -169,7 +121,7 @@ struct GoldenChaosFixture {
 
 fn compute_fixture(cfg: &GoldenChaosConfig) -> GoldenChaosFixture {
     let report = run_chaos(&cfg.campaign());
-    assert_contract(&report, "deterministic campaign");
+    assert_chaos_contract(&report, "deterministic campaign");
     GoldenChaosFixture {
         config: cfg.clone(),
         transitions: report.transitions.clone(),

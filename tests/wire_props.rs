@@ -1,0 +1,247 @@
+//! Property tests for the serve tier's wire protocol (see
+//! `docs/SERVING.md`):
+//!
+//! * **hostility tolerance** — random byte streams, arbitrary read
+//!   fragmentation, truncations and length-field corruption never panic
+//!   the decoder; every rejection is a typed
+//!   [`fast_bcnn::serve::WireError`];
+//! * **byte losslessness** — a valid frame stream reassembles to the
+//!   exact payload bytes regardless of how the transport splits or
+//!   coalesces the reads, and the request/response messages round-trip
+//!   bit-for-bit through their JSON envelopes.
+
+mod common;
+
+use common::is_wire_reason;
+use fast_bcnn::serve::{
+    encode_frame, seal_frame, FrameDecoder, ServeRequest, ServeResponse, WireError,
+    LEN_PREFIX_BYTES, REQUEST_KIND,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+const MAX_FRAME: usize = 4096;
+
+/// Drains a decoder after `bytes`, collecting every decoded frame and
+/// the first error (if any). Must never panic, whatever the input.
+fn drain(decoder: &mut FrameDecoder) -> (Vec<Vec<u8>>, Option<WireError>) {
+    let mut frames = Vec::new();
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => frames.push(frame),
+            Ok(None) => return (frames, None),
+            Err(e) => return (frames, Some(e)),
+        }
+    }
+}
+
+/// Splits `bytes` into chunks at pseudo-random boundaries drawn from
+/// `cuts`, covering the 1-byte-at-a-time and everything-at-once shapes.
+fn chunked<'a>(bytes: &'a [u8], cuts: &[u8]) -> Vec<&'a [u8]> {
+    if bytes.is_empty() {
+        return vec![];
+    }
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    let mut i = 0;
+    while start < bytes.len() {
+        let step = 1 + cuts.get(i % cuts.len().max(1)).copied().unwrap_or(0) as usize;
+        let end = (start + step).min(bytes.len());
+        chunks.push(&bytes[start..end]);
+        start = end;
+        i += 1;
+    }
+    chunks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_byte_streams_never_panic_and_errors_are_typed(
+        noise in pvec(any::<u8>(), 0..256),
+    ) {
+        let mut decoder = FrameDecoder::new(MAX_FRAME);
+        decoder.push(&noise);
+        let (_, err) = drain(&mut decoder);
+        if let Some(e) = err {
+            prop_assert!(is_wire_reason(e.reason()), "untyped reason {}", e.reason());
+        }
+        // A clean drain leaves either nothing or a typed partial frame.
+        if let Err(e) = decoder.finish() {
+            prop_assert!(is_wire_reason(e.reason()), "untyped reason {}", e.reason());
+        }
+    }
+
+    #[test]
+    fn split_and_coalesced_valid_streams_are_byte_lossless(
+        payloads in pvec(pvec(any::<u8>(), 0..64), 1..8),
+        cuts in pvec(any::<u8>(), 1..16),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p, MAX_FRAME).unwrap());
+        }
+        let mut decoder = FrameDecoder::new(MAX_FRAME);
+        let mut decoded = Vec::new();
+        for chunk in chunked(&stream, &cuts) {
+            decoder.push(chunk);
+            let (mut frames, err) = drain(&mut decoder);
+            prop_assert!(err.is_none(), "valid stream errored: {err:?}");
+            decoded.append(&mut frames);
+        }
+        prop_assert_eq!(&decoded, &payloads, "reassembly lost or reordered bytes");
+        prop_assert!(decoder.is_empty());
+        prop_assert!(decoder.finish().is_ok());
+    }
+
+    #[test]
+    fn truncations_are_typed_never_silent(
+        payload in pvec(any::<u8>(), 1..64),
+        keep_fraction in 0u8..255,
+    ) {
+        let frame = encode_frame(&payload, MAX_FRAME).unwrap();
+        // Any strict prefix: cutting inside the length prefix or inside
+        // the body must surface as a typed truncation on finish().
+        let keep = 1 + (keep_fraction as usize % (frame.len() - 1));
+        let mut decoder = FrameDecoder::new(MAX_FRAME);
+        decoder.push(&frame[..keep]);
+        let (frames, err) = drain(&mut decoder);
+        prop_assert!(frames.is_empty(), "a truncated frame decoded");
+        prop_assert!(err.is_none(), "mid-stream truncation is not an error yet");
+        match decoder.finish() {
+            Err(WireError::Truncated { have, need }) => {
+                prop_assert!(have < need, "truncation arithmetic inverted: {have} >= {need}");
+            }
+            other => prop_assert!(false, "expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn length_field_corruption_is_typed_never_panics(
+        payload in pvec(any::<u8>(), 1..64),
+        corrupt in any::<u32>(),
+    ) {
+        let mut frame = encode_frame(&payload, MAX_FRAME).unwrap();
+        frame[..LEN_PREFIX_BYTES].copy_from_slice(&corrupt.to_be_bytes());
+        let mut decoder = FrameDecoder::new(MAX_FRAME);
+        decoder.push(&frame);
+        let claimed = corrupt as usize;
+        if claimed > MAX_FRAME {
+            // An oversized claim must be rejected before buffering.
+            match decoder.next_frame() {
+                Err(WireError::Oversized { len, max }) => {
+                    prop_assert_eq!(len, claimed);
+                    prop_assert_eq!(max, MAX_FRAME);
+                }
+                other => prop_assert!(false, "expected Oversized, got {other:?}"),
+            }
+        } else {
+            // A plausible-but-wrong claim re-frames the stream. The
+            // decoder must keep making typed progress on whatever the
+            // bogus prefix left behind — short frames, a truncation, or
+            // an oversized re-framed prefix — never panic or spin.
+            match decoder.next_frame() {
+                Ok(Some(short)) => {
+                    prop_assert_eq!(short.len(), claimed, "frame length ignored the prefix");
+                    let (_, err) = drain(&mut decoder);
+                    if let Some(e) = err {
+                        prop_assert!(is_wire_reason(e.reason()), "untyped reason {}", e.reason());
+                    } else if let Err(e) = decoder.finish() {
+                        prop_assert!(is_wire_reason(e.reason()), "untyped reason {}", e.reason());
+                    }
+                }
+                Ok(None) => prop_assert!(matches!(
+                    decoder.finish(),
+                    Err(WireError::Truncated { .. })
+                )),
+                Err(e) => prop_assert!(false, "in-bound length claim errored: {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn request_messages_roundtrip_bit_for_bit(
+        id in any::<u64>(),
+        seed in any::<u64>(),
+        deadline in any::<u64>(),
+        data in pvec(any::<u32>(), 4..32),
+    ) {
+        // 1 x 1 x len shape keeps the product exact for any data length.
+        let req = ServeRequest {
+            id,
+            class: "interactive".to_string(),
+            deadline_ms: Some(deadline),
+            seed: Some(seed),
+            channels: 1,
+            height: 1,
+            width: data.len(),
+            data_bits: data,
+        };
+        let frame = req.encode(1 << 20).unwrap();
+        let mut decoder = FrameDecoder::new(1 << 20);
+        decoder.push(&frame);
+        let wire = decoder.next_frame().unwrap().unwrap();
+        let back = ServeRequest::decode(&wire).unwrap();
+        prop_assert_eq!(back, req, "request drifted across the wire");
+    }
+
+    #[test]
+    fn response_messages_roundtrip_bit_for_bit(
+        id in any::<u64>(),
+        mean in pvec(any::<u32>(), 1..16),
+        entropy in any::<u32>(),
+        ok in any::<bool>(),
+    ) {
+        let resp = ServeResponse {
+            id,
+            class: "batch".to_string(),
+            ok,
+            reason: if ok { String::new() } else { "expired".to_string() },
+            shed: false,
+            expired: !ok,
+            degraded: "healthy".to_string(),
+            used_samples: 4,
+            requested_samples: 8,
+            predicted: 3,
+            mean_bits: mean,
+            entropy_bits: entropy,
+            version: 1,
+            shard: 0,
+            attempts: 1,
+        };
+        let frame = resp.encode(1 << 20).unwrap();
+        let mut decoder = FrameDecoder::new(1 << 20);
+        decoder.push(&frame);
+        let wire = decoder.next_frame().unwrap().unwrap();
+        let back = ServeResponse::decode(&wire).unwrap();
+        prop_assert_eq!(back, resp, "response drifted across the wire");
+    }
+
+    #[test]
+    fn foreign_and_stale_envelopes_are_typed(
+        variant in any::<u8>(),
+    ) {
+        let frame = match variant % 3 {
+            0 => seal_frame("network", "{}", MAX_FRAME).unwrap(),
+            1 => encode_frame(
+                format!("{{\"artifact\":\"{REQUEST_KIND}\",\"version\":99,\"payload\":{{}}}}")
+                    .as_bytes(),
+                MAX_FRAME,
+            )
+            .unwrap(),
+            _ => encode_frame(b"{\"not\":\"an envelope\"}", MAX_FRAME).unwrap(),
+        };
+        let mut decoder = FrameDecoder::new(MAX_FRAME);
+        decoder.push(&frame);
+        let wire = decoder.next_frame().unwrap().unwrap();
+        let err = ServeRequest::decode(&wire).unwrap_err();
+        prop_assert!(is_wire_reason(err.reason()), "untyped reason {}", err.reason());
+        let expected = match variant % 3 {
+            0 => "wire_foreign_kind",
+            1 => "wire_stale_version",
+            _ => "wire_envelope",
+        };
+        prop_assert_eq!(err.reason(), expected);
+    }
+}
