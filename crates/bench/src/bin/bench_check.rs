@@ -14,6 +14,12 @@
 //!   fault burst and recovered, the windowed accounting reconciled
 //!   exactly, every quantile estimate honored the bucket error bound,
 //!   and the postmortem replayed exactly the failed requests;
+//! * a record carrying `"schema": "supervise-v1"` parses back through
+//!   [`fbcnn_bench::SuperviseBenchReport`] — all three shard poisons
+//!   injected, quarantined, rebuilt and re-admitted through the probe
+//!   gate, every shard healthy at campaign end, the failover path
+//!   actually exercised, bit identity held, and the three-way ledger
+//!   reconciled exactly;
 //! * a record carrying `"schema": "serve-v1"` parses back through
 //!   [`fbcnn_bench::ServeBenchReport`] — the loadgen ↔ server ↔ registry
 //!   ledger reconciled exactly, zero aborts and transport errors, the
@@ -36,7 +42,8 @@
 
 use fbcnn_bench::{
     baseline, BatchBenchReport, ChaosBenchReport, ServeBenchReport, SloBenchReport,
-    SwapBenchReport, CHAOS_SCHEMA, SERVE_SCHEMA, SLO_SCHEMA, SWAP_SCHEMA,
+    SuperviseBenchReport, SwapBenchReport, CHAOS_SCHEMA, SERVE_SCHEMA, SLO_SCHEMA,
+    SUPERVISE_SCHEMA, SWAP_SCHEMA,
 };
 
 fn fail(msg: String) -> ! {
@@ -135,6 +142,29 @@ fn check_serve(path: &str, text: &str) {
         } else {
             ""
         },
+        if report.quick { " [quick smoke]" } else { "" },
+    );
+}
+
+fn check_supervise(path: &str, text: &str) {
+    let report: SuperviseBenchReport = match serde_json::from_str(text) {
+        Ok(report) => report,
+        Err(e) => fail(format!("{path}: malformed supervise record: {e}")),
+    };
+    if let Err(reason) = report.validate() {
+        fail(format!("{path}: {reason}"));
+    }
+    println!(
+        "bench_check: ok — supervision soak seed {}: {} frames over {} bursts, \
+         3 poisons healed ({} rebuilds, {} failovers, {} transitions), \
+         {} bit checks held, ledger reconciled exactly{}",
+        report.seed,
+        report.offered,
+        report.bursts,
+        report.rebuild_attempts,
+        report.failovers,
+        report.transitions.len(),
+        report.bit_checked,
         if report.quick { " [quick smoke]" } else { "" },
     );
 }
@@ -250,6 +280,8 @@ fn main() {
         check_swap(&path, &text);
     } else if text.contains(&format!("\"{SLO_SCHEMA}\"")) {
         check_slo(&path, &text);
+    } else if text.contains(&format!("\"{SUPERVISE_SCHEMA}\"")) {
+        check_supervise(&path, &text);
     } else if text.contains(&format!("\"{SERVE_SCHEMA}\"")) {
         check_serve(&path, &text);
     } else {

@@ -1,0 +1,198 @@
+//! Self-healing supervision soak harness.
+//!
+//! Boots a supervised multi-shard registry behind a live TCP server,
+//! poisons three shards simultaneously (per-sample panics, watchdog
+//! stalls, a jammed breaker), drives seeded closed-loop bursts plus an
+//! adversarial client battery, and bursts until every poisoned shard
+//! has walked Suspect → Quarantined → Rebuilding → Healthy. Emits
+//! `BENCH_supervise.json` (override with `--json`): the three-way
+//! ledger, per-shard supervision accounting, the ordered transition
+//! log and the reconciliation verdict, validated by `bench_check`.
+//!
+//! Flags: `--quick` (CI smoke campaign), `--seed <N>`, `--json <path>`,
+//! `--trace-out <path>`, `--metrics-out <path>`. Unknown flags are hard
+//! errors (exit 2).
+
+use fast_bcnn::serve::{run_supervise_soak_with_registry, SuperviseSoakConfig};
+use fbcnn_bench::SuperviseBenchReport;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    json: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: supervise [--quick] [--seed <N>] [--json <path>] \
+         [--trace-out <path>] [--metrics-out <path>]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        quick: false,
+        seed: 11,
+        json: None,
+        trace_out: None,
+        metrics_out: None,
+    };
+    let mut i = 0;
+    let value = |argv: &[String], i: usize, flag: &str| -> String {
+        argv.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a value");
+            usage();
+        })
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                let raw = value(&argv, i, "--seed");
+                args.seed = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("error: --seed needs a number, got `{raw}`");
+                    usage();
+                });
+                i += 1;
+            }
+            "--json" => {
+                args.json = Some(value(&argv, i, "--json"));
+                i += 1;
+            }
+            "--trace-out" => {
+                args.trace_out = Some(value(&argv, i, "--trace-out"));
+                i += 1;
+            }
+            "--metrics-out" => {
+                args.metrics_out = Some(value(&argv, i, "--metrics-out"));
+                i += 1;
+            }
+            other => {
+                eprintln!("error: unknown flag: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = if args.quick {
+        SuperviseSoakConfig::quick(args.seed)
+    } else {
+        SuperviseSoakConfig::full(args.seed)
+    };
+
+    let (report, registry) = match run_supervise_soak_with_registry(&cfg) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("supervise: failed to boot the soak: {e}");
+            std::process::exit(1);
+        }
+    };
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let bench = SuperviseBenchReport::from_soak(&report, args.quick, cpus);
+
+    println!(
+        "== supervision soak (seed {}, {} shards, {} connections/burst, {} bursts, {} CPUs) ==",
+        bench.seed, bench.shards, bench.connections, bench.bursts, bench.cpus
+    );
+    println!(
+        "offered {} | ok {} | failed {} | shed {} | expired {} | wire errors {} | \
+         unknown class {}",
+        bench.offered,
+        bench.ok,
+        bench.failed,
+        bench.shed,
+        bench.expired,
+        bench.wire_errors,
+        bench.unknown_class,
+    );
+    println!(
+        "registry: {} requests ({} ok / {} failed) | adversarial {} connections \
+         ({} rejects read back)",
+        bench.registry_requests,
+        bench.registry_ok,
+        bench.registry_failed,
+        bench.adversarial_connections,
+        bench.adversarial_rejects,
+    );
+    println!(
+        "healing: {} rebuilds ({} re-admitted / {} probe-rejected) | {} failovers | \
+         all quarantined in {:.0} ms, campaign {:.0} ms",
+        bench.rebuild_attempts,
+        bench.rebuild_successes,
+        bench.rebuild_probe_rejects,
+        bench.failovers,
+        bench.quarantine_elapsed_ns as f64 / 1e6,
+        bench.elapsed_ns as f64 / 1e6,
+    );
+    println!("shard  poison  health    walk  served   ok   failed abandoned  out   in  quar");
+    for c in &bench.shard_cells {
+        println!(
+            "{:>5}  {:<6}  {:<8}  {:<4}  {:>6} {:>5} {:>6} {:>9} {:>5} {:>4} {:>5}",
+            c.shard,
+            c.poison.as_deref().unwrap_or("-"),
+            c.health,
+            if c.full_walk { "yes" } else { "-" },
+            c.served,
+            c.ok,
+            c.failed,
+            c.abandoned,
+            c.failovers_out,
+            c.failovers_in,
+            c.quarantines,
+        );
+    }
+    print!(
+        "{}",
+        fast_bcnn::TelemetryReport::from_registry(&registry).render()
+    );
+
+    // The soak recorded into its own registry; export directly from it
+    // (the global install lock is not reentrant).
+    if let Some(p) = &args.trace_out {
+        match registry.write_jsonl(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(p) = &args.metrics_out {
+        match registry.write_prometheus(p) {
+            Ok(()) => eprintln!("wrote {p}"),
+            Err(e) => {
+                eprintln!("failed to write {p}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let path = args
+        .json
+        .clone()
+        .unwrap_or_else(|| "BENCH_supervise.json".into());
+    match fast_bcnn::report::save_json(&path, &bench) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(reason) = bench.validate() {
+        eprintln!("supervise: FAIL — {reason}");
+        std::process::exit(1);
+    }
+    println!(
+        "supervise: ok — every poisoned shard quarantined, rebuilt and re-admitted; \
+         ledger reconciled exactly, bit identity held"
+    );
+}

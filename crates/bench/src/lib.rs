@@ -23,6 +23,7 @@ mod batch_report;
 mod chaos_report;
 mod serve_report;
 mod slo_report;
+mod supervise_report;
 mod swap_report;
 pub mod trace_lint;
 
@@ -31,6 +32,9 @@ pub use chaos_report::{ChaosBenchReport, ChaosRound, CHAOS_SCHEMA};
 pub use serve_report::{ServeBenchReport, ServeQuantileCell, SERVE_SCHEMA};
 pub use slo_report::{
     SloBenchReport, SloChaosCell, SloClassCell, SloQuantileCell, SloWindow, SLO_SCHEMA,
+};
+pub use supervise_report::{
+    SuperviseBenchReport, SuperviseShardCell, SuperviseTransitionCell, SUPERVISE_SCHEMA,
 };
 pub use swap_report::{SwapBenchReport, SwapBenchRound, SwapVersionCell, SWAP_SCHEMA};
 

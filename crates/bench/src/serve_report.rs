@@ -89,6 +89,11 @@ pub struct ServeBenchReport {
     /// Answered (non-shed, non-wire-error) frames per second of wall
     /// clock.
     pub goodput_rps: f64,
+    /// Goodput as a multiple of the host-scaled floor
+    /// (`goodput_rps / goodput_floor(cpus)`) — the record's headline
+    /// ratio, dimensionless so `bench_check --baseline` can diff it
+    /// across hosts.
+    pub speedup: f64,
     /// Per-class latency quantiles, estimated and exact.
     pub quantiles: Vec<ServeQuantileCell>,
     /// Whether the three-way ledger reconciled exactly at run time.
@@ -178,6 +183,7 @@ impl ServeBenchReport {
             registry_ok: report.registry_ok,
             registry_failed: report.registry_failed,
             goodput_rps: answered as f64 / secs,
+            speedup: (answered as f64 / secs) / Self::goodput_floor(cpus).max(1e-9),
             quantiles,
             reconciled: reconcile.is_ok(),
             reconcile_error: reconcile.err(),
@@ -298,6 +304,7 @@ mod tests {
             registry_ok: 44,
             registry_failed: 4,
             goodput_rps: 120.0,
+            speedup: 120.0 / ServeBenchReport::goodput_floor(2),
             quantiles: vec![ServeQuantileCell {
                 class: "interactive".into(),
                 name: "p99".into(),

@@ -1,0 +1,490 @@
+//! The `BENCH_supervise.json` record shared by the `supervise` harness
+//! (writer) and the `bench_check` CI validator (reader).
+//!
+//! The record flattens a `fast_bcnn::serve::SuperviseSoakReport` — the
+//! self-healing campaign that poisons three shards (per-sample panics,
+//! watchdog-tripping stalls, a jammed breaker) behind a live TCP server
+//! and bursts seeded load until every poisoned shard has walked
+//! Suspect → Quarantined → Rebuilding → Healthy. It carries the
+//! per-shard supervision ledger, the ordered transition log, the
+//! rebuild accounting and the reconciliation verdict. Like every other
+//! `BENCH_*.json` it carries a `schema` tag ([`SUPERVISE_SCHEMA`]) so
+//! `bench_check` can dispatch on content alone.
+
+use fast_bcnn::serve::{
+    SuperviseSoakReport, SUPERVISE_HANG_SHARD, SUPERVISE_JAM_SHARD, SUPERVISE_PANIC_SHARD,
+};
+use serde::{Deserialize, Serialize};
+
+/// The `schema` tag every supervision record carries.
+pub const SUPERVISE_SCHEMA: &str = "supervise-v1";
+
+/// One shard's final standing: its cumulative supervision ledger, the
+/// poison it carried (if any) and whether it completed the full healing
+/// walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperviseShardCell {
+    /// Shard index.
+    pub shard: usize,
+    /// Poison injected on this shard (`"panic"`, `"hang"`, `"jam"`), or
+    /// `None` for a clean shard.
+    pub poison: Option<String>,
+    /// Final health name (must be `"healthy"` after the campaign).
+    pub health: String,
+    /// Whether the shard completed the full Suspect → Quarantined →
+    /// Rebuilding → Healthy walk (always `false` for clean shards —
+    /// they must never enter it).
+    pub full_walk: bool,
+    /// Requests this shard served (primaries, failovers and probes).
+    pub served: u64,
+    /// Served requests that produced a prediction.
+    pub ok: u64,
+    /// Served requests that ended in a typed error.
+    pub failed: u64,
+    /// Served requests a deadline/budget expired.
+    pub expired: u64,
+    /// Served requests the watchdog abandoned.
+    pub abandoned: u64,
+    /// Probe requests served while Rebuilding.
+    pub probes_served: u64,
+    /// Requests whose primary was this shard but which served elsewhere.
+    pub failovers_out: u64,
+    /// Requests served here on behalf of a sick primary.
+    pub failovers_in: u64,
+    /// Times this shard entered Quarantined.
+    pub quarantines: u64,
+    /// Times this shard entered Rebuilding.
+    pub rebuilds: u64,
+}
+
+/// One supervision state transition, in campaign order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuperviseTransitionCell {
+    /// Shard that moved.
+    pub shard: usize,
+    /// State it left.
+    pub from: String,
+    /// State it entered.
+    pub to: String,
+}
+
+/// The full `BENCH_supervise.json` record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuperviseBenchReport {
+    /// Always [`SUPERVISE_SCHEMA`]; lets `bench_check` dispatch on
+    /// content.
+    pub schema: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Whether the quick (smoke) configuration ran.
+    pub quick: bool,
+    /// CPUs of the host that produced the record.
+    pub cpus: usize,
+    /// Registry shards.
+    pub shards: usize,
+    /// Concurrent load-generator connections per burst.
+    pub connections: usize,
+    /// Load bursts driven across all phases.
+    pub bursts: u64,
+    /// Frames the load generator sent.
+    pub offered: u64,
+    /// `ok` responses (including expired partial predictions).
+    pub ok: u64,
+    /// Typed-engine-error responses.
+    pub failed: u64,
+    /// Admission-shed responses.
+    pub shed: u64,
+    /// Responses flagged expired (subset of `ok + failed`).
+    pub expired: u64,
+    /// `wire_*`-reason responses the load generator read back.
+    pub wire_errors: u64,
+    /// `unknown_class` responses.
+    pub unknown_class: u64,
+    /// Client transport failures (must be 0).
+    pub transport_errors: u64,
+    /// Load-generator workers that died mid-plan (must be 0).
+    pub aborted_workers: u64,
+    /// Pristine responses spot-checked for bit identity against the
+    /// single-engine reference.
+    pub bit_checked: u64,
+    /// Spot checks that mismatched the reference engine (must be 0).
+    pub bit_mismatched: u64,
+    /// Adversarial-battery connections driven while the poisons were
+    /// armed.
+    pub adversarial_connections: u64,
+    /// Typed `wire_*` rejects the battery read back.
+    pub adversarial_rejects: u64,
+    /// Registry requests over the campaign (version-counter delta).
+    pub registry_requests: u64,
+    /// Registry `ok` outcomes.
+    pub registry_ok: u64,
+    /// Registry `failed` outcomes.
+    pub registry_failed: u64,
+    /// Per-shard ledgers, poisons and final health.
+    pub shard_cells: Vec<SuperviseShardCell>,
+    /// Every supervision transition, in order.
+    pub transitions: Vec<SuperviseTransitionCell>,
+    /// Shard rebuilds attempted.
+    pub rebuild_attempts: u64,
+    /// Rebuilds whose probe gate re-admitted the shard.
+    pub rebuild_successes: u64,
+    /// Rebuilds whose probe gate sent the shard back to quarantine.
+    pub rebuild_probe_rejects: u64,
+    /// Requests routed around a quarantined or rebuilding primary
+    /// (sum of per-shard `failovers_out`).
+    pub failovers: u64,
+    /// Wall clock until every poisoned shard had been quarantined,
+    /// nanoseconds.
+    pub quarantine_elapsed_ns: u64,
+    /// Wall clock of the whole campaign, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Whether the three-way ledger and the healing walk reconciled
+    /// exactly at run time.
+    pub reconciled: bool,
+    /// The first failed invariant, when `reconciled` is false.
+    pub reconcile_error: Option<String>,
+}
+
+fn poison_name(report: &SuperviseSoakReport, shard: usize) -> Option<String> {
+    if !report.poisoned.contains(&shard) {
+        return None;
+    }
+    Some(
+        match shard {
+            SUPERVISE_PANIC_SHARD => "panic",
+            SUPERVISE_HANG_SHARD => "hang",
+            SUPERVISE_JAM_SHARD => "jam",
+            _ => "poisoned",
+        }
+        .to_string(),
+    )
+}
+
+impl SuperviseBenchReport {
+    /// Flattens an in-memory supervision soak report, stamping the
+    /// reconciliation verdict.
+    pub fn from_soak(report: &SuperviseSoakReport, quick: bool, cpus: usize) -> Self {
+        let reconcile = report.reconcile();
+        let lg = &report.loadgen;
+        let shard_cells = report
+            .ledger
+            .iter()
+            .enumerate()
+            .map(|(shard, l)| SuperviseShardCell {
+                shard,
+                poison: poison_name(report, shard),
+                health: report.health.get(shard).cloned().unwrap_or_default(),
+                full_walk: report
+                    .poisoned
+                    .iter()
+                    .position(|&p| p == shard)
+                    .and_then(|i| report.full_walks.get(i).copied())
+                    .unwrap_or(false),
+                served: l.served,
+                ok: l.ok,
+                failed: l.failed,
+                expired: l.expired,
+                abandoned: l.abandoned,
+                probes_served: l.probes_served,
+                failovers_out: l.failovers_out,
+                failovers_in: l.failovers_in,
+                quarantines: l.quarantines,
+                rebuilds: l.rebuilds,
+            })
+            .collect();
+        let transitions = report
+            .transitions
+            .iter()
+            .map(|t| SuperviseTransitionCell {
+                shard: t.shard,
+                from: t.from.clone(),
+                to: t.to.clone(),
+            })
+            .collect();
+        Self {
+            schema: SUPERVISE_SCHEMA.to_string(),
+            seed: report.seed,
+            quick,
+            cpus,
+            shards: report.shards,
+            connections: report.connections,
+            bursts: report.bursts,
+            offered: lg.offered,
+            ok: lg.ok,
+            failed: lg.failed,
+            shed: lg.shed,
+            expired: lg.expired,
+            wire_errors: lg.wire_error_responses,
+            unknown_class: lg.unknown_class,
+            transport_errors: lg.transport_errors,
+            aborted_workers: report.aborted_workers,
+            bit_checked: lg.bit_checked,
+            bit_mismatched: lg.bit_mismatched,
+            adversarial_connections: report.adversarial.connections,
+            adversarial_rejects: report.adversarial.rejects_received,
+            registry_requests: report.registry_requests,
+            registry_ok: report.registry_ok,
+            registry_failed: report.registry_failed,
+            shard_cells,
+            transitions,
+            rebuild_attempts: report.rebuild_attempts,
+            rebuild_successes: report.rebuild_successes,
+            rebuild_probe_rejects: report.rebuild_probe_rejects,
+            failovers: report.ledger.iter().map(|l| l.failovers_out).sum(),
+            quarantine_elapsed_ns: report.quarantine_elapsed_ns,
+            elapsed_ns: report.elapsed_ns,
+            reconciled: reconcile.is_ok(),
+            reconcile_error: reconcile.err(),
+        }
+    }
+
+    fn poisoned_cell(&self, poison: &str) -> Result<&SuperviseShardCell, String> {
+        self.shard_cells
+            .iter()
+            .find(|c| c.poison.as_deref() == Some(poison))
+            .ok_or_else(|| format!("no shard carried the {poison} poison"))
+    }
+
+    /// Validates the record for CI. Every run — quick or full — must
+    /// have reconciled exactly with zero aborts, zero transport errors
+    /// and zero bit mismatches; all three poison classes must have been
+    /// injected, bitten (a typed failure for the panic shard, a
+    /// watchdog abandonment for the hang shard, a quarantine for all
+    /// three), healed through the full quarantine → rebuild →
+    /// re-admission walk, and left every shard healthy; and the
+    /// failover path must actually have carried traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SUPERVISE_SCHEMA {
+            return Err(format!(
+                "schema `{}`, expected `{SUPERVISE_SCHEMA}`",
+                self.schema
+            ));
+        }
+        if !self.reconciled {
+            return Err(format!(
+                "campaign did not reconcile: {}",
+                self.reconcile_error.as_deref().unwrap_or("unknown")
+            ));
+        }
+        let accounted = self.ok + self.failed + self.shed + self.wire_errors + self.unknown_class;
+        if accounted != self.offered {
+            return Err(format!("responses {accounted} != offered {}", self.offered));
+        }
+        if self.aborted_workers != 0 {
+            return Err(format!("{} workers aborted", self.aborted_workers));
+        }
+        if self.transport_errors != 0 {
+            return Err(format!("{} transport errors", self.transport_errors));
+        }
+        if self.bit_checked == 0 {
+            return Err("no bit-identity spot checks ran".into());
+        }
+        if self.bit_mismatched != 0 {
+            return Err(format!(
+                "{} of {} bit-identity checks mismatched",
+                self.bit_mismatched, self.bit_checked
+            ));
+        }
+        if self.shard_cells.len() != self.shards {
+            return Err(format!(
+                "{} shard cells for {} shards",
+                self.shard_cells.len(),
+                self.shards
+            ));
+        }
+        for poison in ["panic", "hang", "jam"] {
+            let cell = self.poisoned_cell(poison)?;
+            if cell.quarantines == 0 {
+                return Err(format!(
+                    "the {poison} shard {} was never quarantined",
+                    cell.shard
+                ));
+            }
+            if !cell.full_walk {
+                return Err(format!(
+                    "the {poison} shard {} never completed the healing walk",
+                    cell.shard
+                ));
+            }
+        }
+        let panic_cell = self.poisoned_cell("panic")?;
+        if panic_cell.failed == 0 {
+            return Err("the panic poison never produced a typed failure".into());
+        }
+        let hang_cell = self.poisoned_cell("hang")?;
+        if hang_cell.abandoned == 0 {
+            return Err("the hang poison never produced a watchdog abandonment".into());
+        }
+        if let Some(cell) = self.shard_cells.iter().find(|c| c.health != "healthy") {
+            return Err(format!(
+                "shard {} ended the campaign {}",
+                cell.shard, cell.health
+            ));
+        }
+        if self.failovers == 0 {
+            return Err("no requests ever failed over".into());
+        }
+        let folded: u64 = self.shard_cells.iter().map(|c| c.failovers_out).sum();
+        if folded != self.failovers {
+            return Err(format!(
+                "failover fold drifted: {folded} in cells, {} in headline",
+                self.failovers
+            ));
+        }
+        if self.rebuild_attempts < 3 {
+            return Err(format!(
+                "only {} rebuilds attempted for 3 poisoned shards",
+                self.rebuild_attempts
+            ));
+        }
+        if self.rebuild_attempts != self.rebuild_successes + self.rebuild_probe_rejects {
+            return Err(format!(
+                "unresolved rebuilds: {} attempted, {} re-admitted + {} rejected",
+                self.rebuild_attempts, self.rebuild_successes, self.rebuild_probe_rejects
+            ));
+        }
+        if self.transitions.is_empty() {
+            return Err("no supervision transitions recorded".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(shard: usize, poison: Option<&str>) -> SuperviseShardCell {
+        SuperviseShardCell {
+            shard,
+            poison: poison.map(str::to_string),
+            health: "healthy".into(),
+            full_walk: poison.is_some(),
+            served: 100,
+            ok: 90,
+            failed: u64::from(poison == Some("panic")) * 6,
+            expired: 4,
+            abandoned: u64::from(poison == Some("hang")) * 5,
+            probes_served: u64::from(poison.is_some()) * 3,
+            failovers_out: u64::from(poison.is_some()) * 10,
+            failovers_in: 10,
+            quarantines: u64::from(poison.is_some()),
+            rebuilds: u64::from(poison.is_some()),
+        }
+    }
+
+    fn record() -> SuperviseBenchReport {
+        SuperviseBenchReport {
+            schema: SUPERVISE_SCHEMA.to_string(),
+            seed: 11,
+            quick: true,
+            cpus: 4,
+            shards: 4,
+            connections: 2,
+            bursts: 12,
+            offered: 624,
+            ok: 500,
+            failed: 60,
+            shed: 30,
+            expired: 40,
+            wire_errors: 24,
+            unknown_class: 10,
+            transport_errors: 0,
+            aborted_workers: 0,
+            bit_checked: 40,
+            bit_mismatched: 0,
+            adversarial_connections: 4,
+            adversarial_rejects: 2,
+            registry_requests: 560,
+            registry_ok: 500,
+            registry_failed: 60,
+            shard_cells: vec![
+                cell(0, Some("panic")),
+                cell(1, Some("hang")),
+                cell(2, Some("jam")),
+                cell(3, None),
+            ],
+            transitions: vec![SuperviseTransitionCell {
+                shard: 0,
+                from: "healthy".into(),
+                to: "suspect".into(),
+            }],
+            rebuild_attempts: 3,
+            rebuild_successes: 3,
+            rebuild_probe_rejects: 0,
+            failovers: 30,
+            quarantine_elapsed_ns: 600_000_000,
+            elapsed_ns: 2_000_000_000,
+            reconciled: true,
+            reconcile_error: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = record();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SuperviseBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn a_clean_record_passes() {
+        assert!(record().validate().is_ok());
+    }
+
+    #[test]
+    fn unreconciled_campaigns_fail() {
+        let mut r = record();
+        r.reconciled = false;
+        r.reconcile_error = Some("ok drifted: 3 != 4".into());
+        assert!(r.validate().unwrap_err().contains("reconcile"));
+    }
+
+    #[test]
+    fn a_missing_or_unhealed_poison_fails() {
+        let mut r = record();
+        r.shard_cells[1].poison = None;
+        assert!(r.validate().unwrap_err().contains("hang"));
+        let mut r = record();
+        r.shard_cells[2].full_walk = false;
+        assert!(r.validate().unwrap_err().contains("healing walk"));
+        let mut r = record();
+        r.shard_cells[0].quarantines = 0;
+        assert!(r.validate().unwrap_err().contains("never quarantined"));
+    }
+
+    #[test]
+    fn silent_poisons_fail() {
+        let mut r = record();
+        r.shard_cells[0].failed = 0;
+        assert!(r.validate().unwrap_err().contains("typed failure"));
+        let mut r = record();
+        r.shard_cells[1].abandoned = 0;
+        assert!(r.validate().unwrap_err().contains("abandonment"));
+    }
+
+    #[test]
+    fn lingering_sickness_and_idle_failover_fail() {
+        let mut r = record();
+        r.shard_cells[3].health = "suspect".into();
+        assert!(r.validate().unwrap_err().contains("ended the campaign"));
+        let mut r = record();
+        r.failovers = 0;
+        for c in &mut r.shard_cells {
+            c.failovers_out = 0;
+        }
+        assert!(r.validate().unwrap_err().contains("failed over"));
+    }
+
+    #[test]
+    fn unresolved_rebuilds_fail() {
+        let mut r = record();
+        r.rebuild_attempts = 4;
+        assert!(r.validate().unwrap_err().contains("unresolved rebuilds"));
+    }
+}

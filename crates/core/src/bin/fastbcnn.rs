@@ -11,11 +11,11 @@
 //! fastbcnn export-model --out <path> [--model ...] [--samples N] [--model-version N] [--label S]
 //! fastbcnn serve        [--artifact <path>] [--requests N] [--shards N] [--canary-percent N]
 //! fastbcnn serve-net    [--artifact <path>] [--addr host:port] [--connections N]
-//!                       [--requests N] [--shards N]
+//!                       [--requests N] [--shards N] [--supervise]
 //! fastbcnn swap         [--artifact <path>] [--next <path>] [--requests N] [--shards N]
 //!                       [--canary-percent N]
 //! fastbcnn watch        [--windows N] [--window-ms N] [--requests N] [--chaos]
-//!                       [--postmortem-out <path>]
+//!                       [--supervise] [--postmortem-out <path>]
 //! fastbcnn postmortem   <file> [--id N]
 //! ```
 //!
@@ -28,7 +28,12 @@
 //! wall-clock (expired requests return flagged partial-T means and are
 //! excluded from the bit-identity check), `--retry-max` caps retries of
 //! transient failures and `--breaker-threshold` sets the circuit
-//! breaker's error-rate trip point.
+//! breaker's error-rate trip point. `--supervise` (on `serve-net` and
+//! `watch`) enables per-shard health supervision (see
+//! `docs/REGISTRY.md`): sick shards are quarantined out of the routing
+//! ring, their traffic fails over deterministically, and a background
+//! rebuild re-admits them through a probe gate; both commands print the
+//! per-shard health/ledger table.
 
 use fast_bcnn::report::{format_table, pct, speedup};
 use fast_bcnn::{
@@ -64,6 +69,7 @@ struct Args {
     windows: usize,
     window_ms: u64,
     chaos: bool,
+    supervise: bool,
     postmortem_out: Option<String>,
     input: Option<String>,
     id: Option<u64>,
@@ -98,6 +104,7 @@ fn parse() -> Result<Args, String> {
         windows: 6,
         window_ms: 1_000,
         chaos: false,
+        supervise: false,
         postmortem_out: None,
         input: None,
         id: None,
@@ -268,6 +275,7 @@ fn parse() -> Result<Args, String> {
                 i += 1;
             }
             "--chaos" => args.chaos = true,
+            "--supervise" => args.supervise = true,
             "--postmortem-out" => {
                 args.postmortem_out = Some(
                     argv.get(i + 1)
@@ -629,7 +637,64 @@ fn registry_cfg(args: &Args, engine_cfg: &EngineConfig) -> RegistryConfig {
             ..BatchConfig::default()
         },
         resilience: ResilienceConfig::from_engine_config(engine_cfg),
+        supervise: args.supervise.then(fast_bcnn::SuperviseConfig::default),
         ..RegistryConfig::default()
+    }
+}
+
+/// Per-shard supervision standing: health, ledger and healing counters
+/// (only meaningful when the registry was built with `--supervise`).
+fn print_shard_health_table(registry: &ModelRegistry) {
+    let Some(sup) = registry.supervisor() else {
+        return;
+    };
+    let snap = sup.snapshot();
+    let rows: Vec<Vec<String>> = snap
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(shard, l)| {
+            vec![
+                shard.to_string(),
+                snap.health
+                    .get(shard)
+                    .map_or_else(|| "?".to_string(), |h| h.name().to_string()),
+                l.served.to_string(),
+                l.ok.to_string(),
+                l.failed.to_string(),
+                l.abandoned.to_string(),
+                l.failovers_out.to_string(),
+                l.failovers_in.to_string(),
+                l.quarantines.to_string(),
+                l.rebuilds.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "shard",
+                "health",
+                "served",
+                "ok",
+                "failed",
+                "abandoned",
+                "fo-out",
+                "fo-in",
+                "quar",
+                "rebuilds"
+            ],
+            &rows
+        )
+    );
+    if !snap.transitions.is_empty() {
+        let walk: Vec<String> = snap
+            .transitions
+            .iter()
+            .map(|t| format!("{}:{}→{}", t.shard, t.from.name(), t.to.name()))
+            .collect();
+        println!("  transitions: {}", walk.join(" "));
     }
 }
 
@@ -810,11 +875,18 @@ fn cmd_serve_net(args: &Args) {
         }
     };
     println!(
-        "serving v{version} (label `{label}`) on {} over {} shards, classes [{}]",
+        "serving v{version} (label `{label}`) on {} over {} shards, classes [{}]{}",
         server.addr(),
         args.shards,
         class_names.join(", "),
+        if args.supervise { " [supervised]" } else { "" },
     );
+    // With --supervise, a background poller folds breaker state into the
+    // shard health machine and rebuilds whatever it quarantines.
+    let supervisor_thread = args
+        .supervise
+        .then(|| registry.spawn_supervisor(std::time::Duration::from_millis(5)))
+        .flatten();
     let lg_cfg = net::LoadgenConfig {
         seed,
         connections: args.connections,
@@ -833,6 +905,7 @@ fn cmd_serve_net(args: &Args) {
         ..net::LoadgenConfig::default()
     };
     let loadgen = net::run_loadgen(server.addr(), &reference, &lg_cfg);
+    drop(supervisor_thread);
     let totals = server.shutdown();
     let after = registry.version_counters();
     let mut registry_requests = 0;
@@ -876,6 +949,7 @@ fn cmd_serve_net(args: &Args) {
         lg.bit_checked,
     );
     print_version_table(&registry);
+    print_shard_health_table(&registry);
     match report.reconcile() {
         Ok(()) => println!("loadgen/server/registry ledgers reconciled exactly"),
         Err(e) => {
@@ -1114,8 +1188,15 @@ fn cmd_watch(args: &Args) {
             ));
         }
 
+        if args.supervise {
+            // Fold breaker state into the shard health machine and
+            // rebuild whatever this window's traffic got quarantined.
+            registry.supervise_tick();
+        }
+
         let health = policy.evaluate(&windowed);
         println!("window {w}: health {}", health.status.name().to_uppercase());
+        print_shard_health_table(&registry);
         let mut rows = Vec::new();
         for class in ["serve", "default"] {
             let qs: Vec<f64> = STANDARD_QUANTILES.iter().map(|&(_, q)| q).collect();
@@ -1475,12 +1556,15 @@ fn main() {
             );
             println!(
                 "observability: watch [--windows N] [--window-ms N] [--requests N] \
-                 [--chaos] [--postmortem-out <path>]; postmortem <file> [--id N]"
+                 [--chaos] [--supervise] [--postmortem-out <path>]; \
+                 postmortem <file> [--id N]"
             );
             println!(
                 "network serving: serve-net [--artifact <path>] [--addr host:port] \
-                 [--connections N] [--requests N] (self-drives a seeded loadgen mix \
-                 against the TCP server and reconciles the ledgers; see docs/SERVING.md)"
+                 [--connections N] [--requests N] [--supervise] (self-drives a seeded \
+                 loadgen mix against the TCP server and reconciles the ledgers; \
+                 --supervise adds shard health supervision with quarantine, failover \
+                 and rebuild; see docs/SERVING.md and docs/REGISTRY.md)"
             );
         }
     }

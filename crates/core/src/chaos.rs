@@ -705,6 +705,35 @@ impl SwapChaosReport {
     }
 }
 
+/// Scaffolding shared by the swap-chaos and supervision soaks: builds a
+/// pristine reference engine from `engine_cfg`, exports its artifact to
+/// disk, reloads it (so every harness exercises the persistence
+/// round-trip, not just in-memory clones) and boots a registry from the
+/// reloaded artifact under `registry_cfg`.
+///
+/// # Errors
+///
+/// [`ArtifactError`] when the export/reload round-trip fails or the
+/// registry rejects the artifact/config.
+pub fn boot_registry_via_disk(
+    engine_cfg: EngineConfig,
+    version: u64,
+    label: &str,
+    registry_cfg: RegistryConfig,
+) -> Result<(Arc<ModelRegistry>, Engine), ArtifactError> {
+    let pristine = Engine::new(engine_cfg);
+    let path = std::env::temp_dir().join(format!(
+        "fbcnn_boot_{label}_{}_{}.json",
+        pristine.config().seed,
+        std::process::id()
+    ));
+    ModelArtifact::from_engine(&pristine, version, label).save(&path)?;
+    let booted = ModelArtifact::load(&path);
+    let _ = std::fs::remove_file(&path);
+    let registry = ModelRegistry::new(booted?, registry_cfg)?;
+    Ok((Arc::new(registry), pristine))
+}
+
 /// Runs a swap-under-fire campaign into a fresh private telemetry
 /// registry; see [`SwapChaosConfig`].
 ///
@@ -761,21 +790,6 @@ pub fn run_swap_chaos_into(
         seed: cfg.seed,
         ..EngineConfig::for_model(ModelKind::LeNet5)
     };
-    let pristine = Engine::new(engine_cfg);
-    let input_shape = pristine.network().input_shape();
-
-    // Boot the registry from an exported-and-reloaded artifact, so the
-    // soak exercises the persistence round-trip, not just in-memory
-    // clones.
-    let path = std::env::temp_dir().join(format!(
-        "fbcnn_swap_chaos_{}_{}.json",
-        cfg.seed,
-        std::process::id()
-    ));
-    ModelArtifact::from_engine(&pristine, 1, "v1").save(&path)?;
-    let booted = ModelArtifact::load(&path);
-    let _ = std::fs::remove_file(&path);
-    let booted = booted?;
 
     // A version that crashes on the traffic it serves: while a rollout
     // is in flight only the candidate serves canary ids, so arming the
@@ -806,8 +820,10 @@ pub fn run_swap_chaos_into(
         },
         jitter: Some(Arc::new(NoJitter)),
         flight: None,
+        supervise: None,
     };
-    let registry = ModelRegistry::new(booted, registry_cfg)?;
+    let (registry, pristine) = boot_registry_via_disk(engine_cfg, 1, "v1", registry_cfg)?;
+    let input_shape = pristine.network().input_shape();
 
     let mut rounds = Vec::with_capacity(cfg.rounds);
     let mut round_reconcile_errors = Vec::new();

@@ -14,14 +14,27 @@
 //! closes the loop.
 
 use crate::artifact::ModelArtifact;
+use crate::resilience::RequestSampleHook;
+use crate::supervise::{shard_route, SupervisorGate};
 use fbcnn_bayes::mask::DropoutMasks;
 use fbcnn_bayes::BayesianNetwork;
 use fbcnn_nn::{Network, NodeId};
 use fbcnn_predictor::{PolarityIndicators, ThresholdSet};
 use fbcnn_tensor::{BitMask, Shape, Tensor};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Whether the gate's supervisor (if the gate is filled yet) still
+/// reports `shard` in the routing ring. An unfilled gate reports live —
+/// a poison armed before boot must actually bite.
+fn gate_reports_live(gate: &SupervisorGate, shard: usize) -> bool {
+    match crate::supervise::lock_gate(gate).as_ref() {
+        Some(sup) => sup.health(shard).is_live(),
+        None => true,
+    }
+}
 
 /// A seeded per-sample latency schedule: some samples stall for a
 /// deterministic delay, the rest run untouched. Latency faults perturb
@@ -390,6 +403,56 @@ impl FaultInjector {
         LatencySchedule::from_injector(self, rate, max_delay)
     }
 
+    /// A per-shard panic poison: while `armed`, every sample of every
+    /// request whose *primary* route is `target` panics (a `"chaos:"`
+    /// payload, silenced by [`crate::chaos::SilencedChaosPanics`]).
+    ///
+    /// The hook only sees request ids, so after supervision quarantines
+    /// the shard the same ids keep arriving — served by a *healthy*
+    /// failover shard. The `gate` makes the poison die with its shard: a
+    /// hook fires only while the supervisor (once the gate is filled)
+    /// still reports `target` in the routing ring. Probes of the rebuilt
+    /// shard and failed-over traffic run clean.
+    pub fn shard_panic_hook(
+        routing_seed: u64,
+        shards: usize,
+        target: usize,
+        armed: Arc<AtomicBool>,
+        gate: SupervisorGate,
+    ) -> RequestSampleHook {
+        Arc::new(move |id: u64, _attempt: u32, _sample: usize| {
+            if armed.load(Ordering::Relaxed)
+                && shard_route(routing_seed, shards, id) == target
+                && gate_reports_live(&gate, target)
+            {
+                panic!("chaos: shard {target} poisoned — crashes every sample");
+            }
+        })
+    }
+
+    /// A per-shard hang poison: like
+    /// [`FaultInjector::shard_panic_hook`], but the worker stalls for
+    /// `stall` instead of panicking — long enough (relative to the
+    /// resilience watchdog) to trigger requeues and typed `worker_hung`
+    /// abandonment.
+    pub fn shard_hang_hook(
+        routing_seed: u64,
+        shards: usize,
+        target: usize,
+        armed: Arc<AtomicBool>,
+        gate: SupervisorGate,
+        stall: Duration,
+    ) -> RequestSampleHook {
+        Arc::new(move |id: u64, _attempt: u32, _sample: usize| {
+            if armed.load(Ordering::Relaxed)
+                && shard_route(routing_seed, shards, id) == target
+                && gate_reports_live(&gate, target)
+            {
+                std::thread::sleep(stall);
+            }
+        })
+    }
+
     /// Masks that kill the worker of any sample they are applied to: the
     /// first dropout node receives a mask of the wrong shape, which the
     /// mask-application path rejects by panicking. Used to exercise the
@@ -525,5 +588,89 @@ mod tests {
         let masks = FaultInjector::sample_killing_masks(&bnet);
         let node = bnet.dropout_nodes()[0];
         assert_ne!(masks.get(node).unwrap().shape(), bnet.network().shape(node));
+    }
+
+    #[test]
+    fn shard_poison_dies_with_its_shards_quarantine() {
+        use crate::supervise::{ShardHealth, SuperviseConfig, Supervisor};
+        let _quiet = crate::chaos::SilencedChaosPanics::install();
+        let (seed, shards, target) = (0x5EED, 2usize, 0usize);
+        let armed = Arc::new(AtomicBool::new(true));
+        let gate: SupervisorGate = Arc::new(std::sync::Mutex::new(None));
+        let hook = FaultInjector::shard_panic_hook(
+            seed,
+            shards,
+            target,
+            Arc::clone(&armed),
+            Arc::clone(&gate),
+        );
+        let id_on_target = (0..)
+            .find(|&id| shard_route(seed, shards, id) == target)
+            .unwrap();
+
+        // Unfilled gate: the poison bites.
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (*hook)(id_on_target, 0, 0)))
+                .is_err()
+        );
+        // Disarmed: quiet.
+        armed.store(false, Ordering::Relaxed);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (*hook)(id_on_target, 0, 0)))
+                .is_ok()
+        );
+        armed.store(true, Ordering::Relaxed);
+
+        // Filled gate, shard live: bites. Shard quarantined: the same id
+        // (now failing over to a healthy shard) runs clean.
+        let clock = Arc::new(fbcnn_telemetry::ManualClock::new());
+        let sup = Arc::new(
+            Supervisor::new(
+                shards,
+                seed,
+                SuperviseConfig {
+                    clock: clock.clone() as Arc<dyn fbcnn_telemetry::Clock>,
+                    window_ns: 100,
+                    min_observations: 2,
+                    suspect_strikes: 1,
+                    ..SuperviseConfig::default()
+                },
+            )
+            .unwrap(),
+        );
+        *crate::supervise::lock_gate(&gate) = Some(Arc::clone(&sup));
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (*hook)(id_on_target, 0, 0)))
+                .is_err()
+        );
+        // Two bad windows: Healthy → Suspect → Quarantined.
+        for _ in 0..2 {
+            for _ in 0..4 {
+                sup.observe(
+                    target,
+                    crate::supervise::OutcomeSignal {
+                        ok: false,
+                        expired: false,
+                        abandoned: false,
+                        probe: false,
+                    },
+                );
+            }
+            clock.advance(101);
+            sup.observe(
+                target,
+                crate::supervise::OutcomeSignal {
+                    ok: false,
+                    expired: false,
+                    abandoned: false,
+                    probe: false,
+                },
+            );
+        }
+        assert_eq!(sup.health(target), ShardHealth::Quarantined);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (*hook)(id_on_target, 0, 0)))
+                .is_ok()
+        );
     }
 }

@@ -50,6 +50,14 @@ pub struct FlightRecord {
     pub canary: bool,
     /// Whether this request's canary verdict triggered a rollback.
     pub rolled_back: bool,
+    /// The mod-hash primary shard of the id (equals `shard` unless
+    /// supervision failed the request over; 0 outside a registry).
+    pub primary_shard: u64,
+    /// Whether supervision served the request off its sick primary.
+    pub failed_over: bool,
+    /// Whether the request probed a Rebuilding shard's re-admission
+    /// gate.
+    pub rebuild_probe: bool,
     /// End-to-end latency of the attempt chain, nanoseconds (0 for
     /// requests that never executed: shed or abandoned).
     pub latency_ns: u64,
@@ -115,6 +123,9 @@ impl FlightRecord {
             shard: 0,
             canary: false,
             rolled_back: false,
+            primary_shard: 0,
+            failed_over: false,
+            rebuild_probe: false,
             latency_ns: outcome.elapsed_ns,
             queue_wait_ns: o.queue_wait_ns,
             backoff_ns: outcome.backoff_total.as_nanos().min(u128::from(u64::MAX)) as u64,
@@ -338,6 +349,9 @@ mod tests {
             shard: 0,
             canary: false,
             rolled_back: false,
+            primary_shard: 0,
+            failed_over: false,
+            rebuild_probe: false,
             latency_ns,
             queue_wait_ns: 0,
             backoff_ns: 0,

@@ -43,6 +43,7 @@ pub mod report;
 mod resilience;
 pub mod serve;
 pub mod slo;
+pub mod supervise;
 mod telemetry_report;
 
 pub use artifact::{ArtifactError, ModelArtifact};
@@ -54,13 +55,18 @@ pub use flight::{
     FlightLog, FlightRecord, FlightRecorder, DEFAULT_FAILED_CAPACITY, DEFAULT_RING_CAPACITY,
 };
 pub use registry::{
-    ModelRegistry, RegistryConfig, RegistryOutcome, RegistryReport, RolloutStatus, VersionCounters,
+    ModelRegistry, RegistryConfig, RegistryOutcome, RegistryReport, RolloutStatus,
+    SupervisorHandle, VersionCounters,
 };
 pub use resilience::{
     error_reason_name, retry_class, BreakerConfig, BreakerState, CircuitBreaker, Jitter, NoJitter,
     PathDecision, RequestClass, RequestSampleHook, ResilienceConfig, ResilienceTotals,
     ResilientBatchEngine, ResilientBatchReport, ResilientOutcome, RetryClass, RetryPolicy,
     RunControl, SampleHook, SeededJitter, ShedPolicy,
+};
+pub use supervise::{
+    failover_route, shard_route, HealthTransition, OutcomeSignal, RouteDecision, ShardHealth,
+    ShardLedger, SuperviseConfig, SuperviseSnapshot, Supervisor, SupervisorGate,
 };
 pub use telemetry_report::{LayerSkipRow, SpanQuantileRow, TelemetryReport};
 

@@ -28,14 +28,17 @@ use crate::batch::{BatchConfig, BatchEngine, BatchRequest};
 use crate::engine::{DegradedMode, Engine};
 use crate::error::EngineError;
 use crate::resilience::{
-    CircuitBreaker, Jitter, RequestSampleHook, ResilienceConfig, ResilientBatchEngine,
-    ResilientOutcome,
+    error_reason_name, BreakerState, CircuitBreaker, Jitter, RequestSampleHook, ResilienceConfig,
+    ResilientBatchEngine, ResilientOutcome,
+};
+use crate::supervise::{
+    mix64, shard_route, OutcomeSignal, RouteDecision, SuperviseConfig, Supervisor,
 };
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of a [`ModelRegistry`].
 #[derive(Clone)]
@@ -70,6 +73,12 @@ pub struct RegistryConfig {
     /// recorder-free so nothing records twice. A canary-spike rollback
     /// fires the recorder's armed postmortem dump.
     pub flight: Option<Arc<crate::FlightRecorder>>,
+    /// Optional shard health supervision (see [`crate::supervise`]).
+    /// `None` — the default — keeps today's behavior: every shard stays
+    /// in the routing ring forever. `Some` attaches a [`Supervisor`]
+    /// that quarantines sick shards, fails their traffic over, and
+    /// rebuilds them from the retained artifact.
+    pub supervise: Option<SuperviseConfig>,
 }
 
 impl Default for RegistryConfig {
@@ -85,6 +94,7 @@ impl Default for RegistryConfig {
             sample_hook: None,
             jitter: None,
             flight: None,
+            supervise: None,
         }
     }
 }
@@ -102,6 +112,7 @@ impl fmt::Debug for RegistryConfig {
             .field("sample_hook", &self.sample_hook.is_some())
             .field("jitter", &self.jitter.is_some())
             .field("flight", &self.flight.is_some())
+            .field("supervise", &self.supervise)
             .finish()
     }
 }
@@ -131,6 +142,9 @@ impl RegistryConfig {
                 "canary_trip_threshold {} out of (0, 1]",
                 self.canary_trip_threshold
             ));
+        }
+        if let Some(supervise) = &self.supervise {
+            supervise.validate()?;
         }
         Ok(())
     }
@@ -169,8 +183,15 @@ pub struct RolloutStatus {
 /// One request's outcome through the registry.
 #[derive(Debug)]
 pub struct RegistryOutcome {
-    /// Shard the request routed to.
+    /// Shard the request was served by (equals the primary route unless
+    /// supervision failed it over).
     pub shard: usize,
+    /// The mod-hash primary shard of the request id.
+    pub primary_shard: usize,
+    /// Whether supervision served the request away from a sick primary.
+    pub failed_over: bool,
+    /// Whether the request probed a Rebuilding primary.
+    pub probe: bool,
     /// Model version that served the request.
     pub version: u64,
     /// Whether the request was a canary of an in-flight rollout.
@@ -234,12 +255,25 @@ struct VersionedEngine {
 
 struct Shard {
     slot: RwLock<Arc<VersionedEngine>>,
-    breaker: Arc<CircuitBreaker>,
+    /// The shard's breaker outlives version swaps (a shard's failure
+    /// history indicts the shard, not the version) but NOT rebuilds: a
+    /// rebuilt shard gets a fresh breaker, which is the only cure for a
+    /// jammed one.
+    breaker: RwLock<Arc<CircuitBreaker>>,
+}
+
+impl Shard {
+    fn breaker(&self) -> Arc<CircuitBreaker> {
+        Arc::clone(&self.breaker.read().unwrap_or_else(PoisonError::into_inner))
+    }
 }
 
 struct Rollout {
     version: u64,
     label: String,
+    /// The candidate artifact, retained so a promote can pin it as the
+    /// registry's rebuild source of truth.
+    artifact: ModelArtifact,
     candidates: Vec<Arc<VersionedEngine>>,
     observed: u64,
     failures: u64,
@@ -250,6 +284,11 @@ struct Rollout {
 pub struct ModelRegistry {
     cfg: RegistryConfig,
     shards: Vec<Shard>,
+    /// The validated artifact the active version booted from — the
+    /// pinned source of truth for shard rebuilds (and future retrain
+    /// pipelines). Updated on promote, never on deploy.
+    artifact: Mutex<ModelArtifact>,
+    supervisor: Option<Arc<Supervisor>>,
     rollout: Mutex<Option<Rollout>>,
     accounting: Mutex<BTreeMap<u64, VersionCounters>>,
     deploys: AtomicU64,
@@ -276,16 +315,6 @@ pub(crate) fn is_canary(routing_seed: u64, percent: u32, id: u64) -> bool {
     mix64(id ^ routing_seed ^ CANARY_SALT) % 100 < u64::from(percent)
 }
 
-/// `splitmix64` finalizer — the same mixing the fault injector uses.
-fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x ^= x >> 30;
-    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x ^= x >> 27;
-    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
@@ -302,26 +331,48 @@ impl ModelRegistry {
         artifact.validate()?;
         let version = artifact.model_version;
         let label = artifact.label.clone();
+        let retained = artifact.clone();
         let engine = artifact.into_engine()?;
-        let shards = (0..cfg.shards)
+        let shards: Vec<Shard> = (0..cfg.shards)
             .map(|_| {
                 let breaker = Arc::new(CircuitBreaker::new(cfg.resilience.breaker));
                 let ve = build_versioned(&cfg, version, &label, engine.clone(), &breaker);
                 Shard {
                     slot: RwLock::new(ve),
-                    breaker,
+                    breaker: RwLock::new(breaker),
                 }
             })
             .collect();
+        let supervisor = match &cfg.supervise {
+            Some(sup_cfg) => Some(Arc::new(
+                Supervisor::new(shards.len(), cfg.routing_seed, sup_cfg.clone())
+                    .map_err(ArtifactError::Config)?,
+            )),
+            None => None,
+        };
         Ok(Self {
             cfg,
             shards,
+            artifact: Mutex::new(retained),
+            supervisor,
             rollout: Mutex::new(None),
             accounting: Mutex::new(BTreeMap::new()),
             deploys: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
             rollbacks: AtomicU64::new(0),
         })
+    }
+
+    /// The validated artifact the active version booted from — the
+    /// pinned rebuild source. Follows promotes: after a rollout is
+    /// promoted, this is the promoted candidate's artifact.
+    pub fn retained_artifact(&self) -> ModelArtifact {
+        lock(&self.artifact).clone()
+    }
+
+    /// The attached shard health supervisor, when supervision is on.
+    pub fn supervisor(&self) -> Option<&Arc<Supervisor>> {
+        self.supervisor.as_ref()
     }
 
     /// The registry configuration.
@@ -350,9 +401,10 @@ impl ModelRegistry {
         })
     }
 
-    /// The shard a request id routes to.
+    /// The shard a request id primarily routes to (supervision failover
+    /// may serve it elsewhere; see [`ModelRegistry::handle_classed`]).
     pub fn shard_of(&self, id: u64) -> usize {
-        (mix64(id ^ self.cfg.routing_seed) % self.shards.len() as u64) as usize
+        shard_route(self.cfg.routing_seed, self.shards.len(), id)
     }
 
     /// Whether a request id falls in the deterministic canary fraction
@@ -383,11 +435,12 @@ impl ModelRegistry {
         }
         let version = artifact.model_version;
         let label = artifact.label.clone();
+        let retained = artifact.clone();
         let engine = artifact.into_engine()?;
         let candidates = self
             .shards
             .iter()
-            .map(|s| build_versioned(&self.cfg, version, &label, engine.clone(), &s.breaker))
+            .map(|s| build_versioned(&self.cfg, version, &label, engine.clone(), &s.breaker()))
             .collect();
         let mut slot = lock(&self.rollout);
         if let Some(old) = slot.take() {
@@ -396,6 +449,7 @@ impl ModelRegistry {
         *slot = Some(Rollout {
             version,
             label,
+            artifact: retained,
             candidates,
             observed: 0,
             failures: 0,
@@ -417,6 +471,7 @@ impl ModelRegistry {
             let mut slot = shard.slot.write().unwrap_or_else(PoisonError::into_inner);
             *slot = candidate;
         }
+        *lock(&self.artifact) = rollout.artifact;
         self.promotions.fetch_add(1, Ordering::Relaxed);
         let version = rollout.version.to_string();
         fbcnn_telemetry::counter_add("swap_promotions", &[("version", &version)], 1);
@@ -483,7 +538,19 @@ impl ModelRegistry {
         req: &BatchRequest,
         class: Option<&crate::RequestClass>,
     ) -> RegistryOutcome {
-        let shard_idx = self.shard_of(req.id);
+        let decision = match &self.supervisor {
+            Some(sup) => sup.route(req.id),
+            None => {
+                let primary = self.shard_of(req.id);
+                RouteDecision {
+                    primary,
+                    serve: primary,
+                    failed_over: false,
+                    probe: false,
+                }
+            }
+        };
+        let shard_idx = decision.serve;
         let canary_engine = if self.is_canary_id(req.id) {
             lock(&self.rollout)
                 .as_ref()
@@ -503,6 +570,21 @@ impl ModelRegistry {
         };
         let outcome = engine.engine.run_request_classed(req, class);
         let ok = outcome.outcome.result.is_ok();
+        if let Some(sup) = &self.supervisor {
+            let abandoned = matches!(
+                &outcome.outcome.result,
+                Err(e) if error_reason_name(e) == "worker_hung"
+            );
+            sup.observe(
+                shard_idx,
+                OutcomeSignal {
+                    ok,
+                    expired: outcome.expired,
+                    abandoned,
+                    probe: decision.probe,
+                },
+            );
+        }
         {
             let mut acc = lock(&self.accounting);
             let c = acc.entry(engine.version).or_default();
@@ -553,6 +635,9 @@ impl ModelRegistry {
             record.shard = shard_idx as u64;
             record.canary = canary;
             record.rolled_back = rolled_back;
+            record.primary_shard = decision.primary as u64;
+            record.failed_over = decision.failed_over;
+            record.rebuild_probe = decision.probe;
             flight.record(record);
             // An automatic rollback is exactly the moment operators want
             // the flight log frozen: fire the armed postmortem dump (if
@@ -580,6 +665,9 @@ impl ModelRegistry {
         }
         RegistryOutcome {
             shard: shard_idx,
+            primary_shard: decision.primary,
+            failed_over: decision.failed_over,
+            probe: decision.probe,
             version: engine.version,
             canary,
             rolled_back,
@@ -648,6 +736,125 @@ impl ModelRegistry {
             &[("reason", reason), ("version", &version)],
             1,
         );
+    }
+
+    /// Jams `shard`'s circuit breaker persistently open — the chaos
+    /// layer's breaker fault. Only a shard rebuild (which installs a
+    /// fresh breaker) cures it.
+    pub fn jam_shard_breaker(&self, shard: usize) {
+        self.shards[shard].breaker().jam_open();
+    }
+
+    /// Whether `shard`'s breaker is currently open or jammed — the
+    /// breaker-dwell signal [`Supervisor::tick`] folds.
+    pub fn shard_breaker_open(&self, shard: usize) -> bool {
+        let breaker = self.shards[shard].breaker();
+        breaker.is_jammed() || breaker.state() == BreakerState::Open
+    }
+
+    /// Rebuilds `shard` from the retained artifact: re-validate through
+    /// the full artifact ladder (a rebuild can never re-admit a poisoned
+    /// engine), boot a fresh engine AND a fresh breaker, and swap both
+    /// in atomically. In-flight requests finish on the engine they
+    /// started with.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ModelArtifact::validate`] /
+    /// [`ModelArtifact::into_engine`] report; the sick shard keeps its
+    /// old slot on error.
+    pub fn rebuild_shard(&self, shard: usize) -> Result<(), ArtifactError> {
+        let artifact = self.retained_artifact();
+        artifact.validate()?;
+        let version = artifact.model_version;
+        let label = artifact.label.clone();
+        let engine = artifact.into_engine()?;
+        let breaker = Arc::new(CircuitBreaker::new(self.cfg.resilience.breaker));
+        let ve = build_versioned(&self.cfg, version, &label, engine, &breaker);
+        {
+            let mut slot = self.shards[shard]
+                .slot
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *slot = ve;
+        }
+        {
+            let mut b = self.shards[shard]
+                .breaker
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            *b = breaker;
+        }
+        Ok(())
+    }
+
+    /// One supervision step: fold per-shard breaker state into the
+    /// supervisor's dwell signal, close aged windows, then rebuild every
+    /// shard the supervisor reports Quarantined and open its probe gate.
+    /// Returns the shards rebuilt this tick. No-op without supervision.
+    pub fn supervise_tick(&self) -> Vec<usize> {
+        let Some(sup) = &self.supervisor else {
+            return Vec::new();
+        };
+        let breaker_open: Vec<bool> = (0..self.shards.len())
+            .map(|s| self.shard_breaker_open(s))
+            .collect();
+        let mut rebuilt = Vec::new();
+        for shard in sup.tick(&breaker_open) {
+            sup.note_rebuild_attempt();
+            if self.rebuild_shard(shard).is_ok() {
+                sup.begin_probation(shard);
+                rebuilt.push(shard);
+            }
+        }
+        rebuilt
+    }
+
+    /// Spawns the background supervisor thread, ticking every `poll`.
+    /// Returns `None` when supervision is off. The handle stops and
+    /// joins the thread on drop.
+    pub fn spawn_supervisor(self: &Arc<Self>, poll: Duration) -> Option<SupervisorHandle> {
+        self.supervisor.as_ref()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let registry = Arc::clone(self);
+        let stop = Arc::clone(&shutdown);
+        let thread = std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                registry.supervise_tick();
+                std::thread::sleep(poll);
+            }
+        });
+        Some(SupervisorHandle {
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Join handle of the background supervision thread
+/// ([`ModelRegistry::spawn_supervisor`]); stops and joins on drop.
+pub struct SupervisorHandle {
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Stops the supervisor thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SupervisorHandle {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -845,6 +1052,106 @@ mod tests {
             Err(ArtifactError::Digest { .. })
         ));
         assert_eq!(registry.deploys(), 0);
+    }
+
+    #[test]
+    fn supervised_registry_quarantines_rebuilds_and_readmits() {
+        use crate::faults::FaultInjector;
+        use crate::supervise::{lock_gate, ShardHealth, SupervisorGate};
+        let _quiet = crate::chaos::SilencedChaosPanics::install();
+        let engine = tiny_engine(3);
+        let artifact = ModelArtifact::from_engine(&engine, 1, "v1");
+
+        let clock = Arc::new(fbcnn_telemetry::ManualClock::new());
+        let mut cfg = tiny_registry_cfg();
+        cfg.supervise = Some(SuperviseConfig {
+            clock: Arc::clone(&clock) as Arc<dyn fbcnn_telemetry::Clock>,
+            window_ns: 100,
+            min_observations: 4,
+            suspect_strikes: 2,
+            probe_requests: 3,
+            probe_max_failures: 0,
+            ..SuperviseConfig::default()
+        });
+        let target = 0usize;
+        let armed = Arc::new(AtomicBool::new(false));
+        let gate: SupervisorGate = Arc::new(Mutex::new(None));
+        cfg.sample_hook = Some(FaultInjector::shard_panic_hook(
+            cfg.routing_seed,
+            cfg.shards,
+            target,
+            Arc::clone(&armed),
+            Arc::clone(&gate),
+        ));
+        let registry = ModelRegistry::new(artifact, cfg).unwrap();
+        let sup = Arc::clone(registry.supervisor().expect("supervision on"));
+        *lock_gate(&gate) = Some(Arc::clone(&sup));
+
+        let shape = engine.network().input_shape();
+        let on_target: Vec<u64> = (0..400)
+            .filter(|&id| registry.shard_of(id) == target)
+            .take(12)
+            .collect();
+        assert!(on_target.len() >= 10, "need traffic on the poisoned shard");
+
+        // Two bad windows of poisoned traffic → Quarantined.
+        armed.store(true, Ordering::Relaxed);
+        for window in 0..2 {
+            for &id in &on_target[..5] {
+                let o = registry.handle(&BatchRequest::new(id, synth_input(shape, 7)));
+                assert!(o.outcome.outcome.result.is_err(), "poison must bite");
+                assert!(!o.failed_over, "shard still in the ring");
+            }
+            clock.advance(101);
+            let _ = registry.handle(&BatchRequest::new(
+                on_target[5 + window],
+                synth_input(shape, 7),
+            ));
+        }
+        assert_eq!(sup.health(target), ShardHealth::Quarantined);
+
+        // Quarantined: traffic for shard 0 fails over to shard 1 and
+        // succeeds even though the poison is still armed (the gate sees
+        // the shard out of the ring).
+        let o = registry.handle(&BatchRequest::new(on_target[0], synth_input(shape, 7)));
+        assert!(o.failed_over);
+        assert_eq!(o.primary_shard, target);
+        assert_ne!(o.shard, target);
+        assert!(o.outcome.outcome.result.is_ok());
+
+        // One tick rebuilds the shard from the retained artifact and
+        // opens probation.
+        assert_eq!(registry.supervise_tick(), vec![target]);
+        assert_eq!(sup.health(target), ShardHealth::Rebuilding);
+
+        // Exactly probe_requests probes run (clean: the rebuilt shard is
+        // not "live" to the gate until re-admission) and re-admit it.
+        let mut probes = 0;
+        for &id in on_target.iter().cycle() {
+            let o = registry.handle(&BatchRequest::new(id, synth_input(shape, 7)));
+            if o.probe {
+                probes += 1;
+                assert!(o.outcome.outcome.result.is_ok());
+            }
+            if probes == 3 {
+                break;
+            }
+        }
+        assert_eq!(sup.health(target), ShardHealth::Healthy);
+        armed.store(false, Ordering::Relaxed);
+
+        // Healed: primary routing is restored bit-for-bit and the shard
+        // serves its own traffic again.
+        let o = registry.handle(&BatchRequest::new(on_target[1], synth_input(shape, 7)));
+        assert_eq!(o.shard, target);
+        assert!(!o.failed_over);
+        assert!(o.outcome.outcome.result.is_ok());
+
+        let snap = sup.snapshot();
+        assert!(snap.full_walk(target));
+        snap.reconcile_failovers().unwrap();
+        assert_eq!(snap.rebuild_attempts, 1);
+        assert_eq!(snap.rebuild_successes, 1);
     }
 
     #[test]

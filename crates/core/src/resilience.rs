@@ -29,7 +29,11 @@
 //!   degraded ones run with a smaller sample budget.
 //! * **Watchdog** — hung work units are requeued (bounded times) to a
 //!   fresh worker instead of hanging the batch; an abandoned unit carries
-//!   a typed [`InferenceError::WorkerHung`].
+//!   a typed [`InferenceError::WorkerHung`]. The same watchdog guards the
+//!   single-request paths ([`ResilientBatchEngine::run_request`] /
+//!   `run_request_classed`): with a timeout configured, each attempt runs
+//!   on a watched worker thread, so a wedged engine can never hang a
+//!   network connection.
 //!
 //! Every decision is exported as a `breaker_*` / `shed_*` / `retry_*` /
 //! `deadline_*` / `watchdog_*` telemetry counter (see
@@ -42,8 +46,8 @@ use crate::error::InferenceError;
 use fbcnn_bayes::{CancelToken, Prediction};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A per-sample hook fired inside the panic-isolated sample execution —
@@ -290,6 +294,10 @@ struct BreakerInner {
 pub struct CircuitBreaker {
     cfg: BreakerConfig,
     inner: Mutex<BreakerInner>,
+    /// A jammed breaker (chaos fault class) stays `Open` forever: no
+    /// cooldown, no half-open probes, no observations. Only replacing
+    /// the breaker — which is what a shard rebuild does — clears it.
+    jammed: AtomicBool,
 }
 
 impl CircuitBreaker {
@@ -304,7 +312,26 @@ impl CircuitBreaker {
                 probes_passed: 0,
                 transitions: Vec::new(),
             }),
+            jammed: AtomicBool::new(false),
         }
+    }
+
+    /// Jams the breaker open: every subsequent attempt is forced onto
+    /// the exact path and no transition can ever close it again. This is
+    /// the chaos layer's breaker fault — persistent, and curable only by
+    /// swapping in a fresh breaker (a shard rebuild).
+    pub fn jam_open(&self) {
+        self.jammed.store(true, Ordering::Release);
+        let mut inner = self.lock();
+        if inner.state != BreakerState::Open {
+            Self::transition(&mut inner, BreakerState::Open);
+            inner.open_served = 0;
+        }
+    }
+
+    /// Whether [`CircuitBreaker::jam_open`] was called.
+    pub fn is_jammed(&self) -> bool {
+        self.jammed.load(Ordering::Acquire)
     }
 
     /// The breaker configuration.
@@ -343,6 +370,10 @@ impl CircuitBreaker {
     /// Routes one request attempt. Call exactly once per attempt and pair
     /// each call with one [`CircuitBreaker::observe`].
     pub fn decide(&self) -> PathDecision {
+        if self.is_jammed() {
+            fbcnn_telemetry::counter_add("breaker_forced_exact", &[], 1);
+            return PathDecision::ForcedExact;
+        }
         let mut inner = self.lock();
         match inner.state {
             BreakerState::Closed => PathDecision::Fast,
@@ -370,6 +401,9 @@ impl CircuitBreaker {
     /// attempt. Forced-exact outcomes carry no fast-path signal and are
     /// ignored.
     pub fn observe(&self, decision: PathDecision, failure: bool) {
+        if self.is_jammed() {
+            return;
+        }
         let mut inner = self.lock();
         match (inner.state, decision) {
             (BreakerState::Closed, PathDecision::Fast) => {
@@ -457,7 +491,10 @@ pub struct ResilienceConfig {
     /// Sample-budget floor for [`ShedPolicy::DegradeToFewerSamples`].
     pub min_degraded_samples: usize,
     /// Watchdog timeout for a claimed-but-unfinished work unit; `None`
-    /// disables the watchdog (and its extra worker threads).
+    /// disables the watchdog (and its extra worker threads). With a
+    /// timeout set, single-request serving also runs each attempt on a
+    /// watched worker thread — hung attempts are requeued and finally
+    /// abandoned instead of blocking the caller.
     pub watchdog_timeout: Option<Duration>,
     /// Times a hung unit is requeued before it is abandoned with a typed
     /// [`InferenceError::WorkerHung`].
@@ -980,7 +1017,7 @@ impl ResilientBatchEngine {
             // schedules run here — breaker transitions are a pure
             // function of the request order).
             for &i in &admitted {
-                let out = serve_with_resilience(inner, &requests[i], cap, &mut totals, None);
+                let out = serve_with_resilience(inner, &requests[i], cap, &mut totals, None, true);
                 slots[i] = Some(out);
             }
         } else {
@@ -1034,7 +1071,7 @@ impl ResilientBatchEngine {
     /// the sequential form of [`ResilientBatchEngine::run_batch`].
     pub fn run_request(&self, req: &BatchRequest) -> ResilientOutcome {
         let mut totals = ResilienceTotals::default();
-        serve_with_resilience(&self.inner, req, None, &mut totals, None)
+        serve_with_resilience(&self.inner, req, None, &mut totals, None, true)
     }
 
     /// [`ResilientBatchEngine::run_request`] under a per-request
@@ -1047,7 +1084,7 @@ impl ResilientBatchEngine {
         class: Option<&RequestClass>,
     ) -> ResilientOutcome {
         let mut totals = ResilienceTotals::default();
-        serve_with_resilience(&self.inner, req, None, &mut totals, class)
+        serve_with_resilience(&self.inner, req, None, &mut totals, class, true)
     }
 
     /// The worker pool with watchdog: detached workers drain a shared
@@ -1121,8 +1158,17 @@ impl ResilientBatchEngine {
                     s.claimed_at = Some(Instant::now());
                 }
                 let mut local = ResilienceTotals::default();
-                let out =
-                    serve_with_resilience(&inner, &pool.requests[u], pool.cap, &mut local, None);
+                // `watched: false`: this pool already watches the unit
+                // at the unit level; nesting a per-attempt watchdog
+                // would race the two requeue budgets.
+                let out = serve_with_resilience(
+                    &inner,
+                    &pool.requests[u],
+                    pool.cap,
+                    &mut local,
+                    None,
+                    false,
+                );
                 let Ok(mut slots) = pool.slots.lock() else {
                     break;
                 };
@@ -1243,14 +1289,81 @@ impl ResilientBatchEngine {
     }
 }
 
+/// One attempt of `req`, under the worker watchdog when one is
+/// configured and the caller is not already running on the watched
+/// pool (`watched`): the attempt executes on a detached worker thread
+/// and, past `watchdog_timeout`, is requeued to a freshly spawned
+/// worker (the wedged worker's eventual result lands on a closed
+/// channel and is discarded). After `max_requeues` requeues the unit
+/// is abandoned with a typed [`InferenceError::WorkerHung`] — the
+/// signal the registry supervisor reads as shard abandonment.
+/// `requeues` accumulates across a request's retry attempts: like the
+/// deadline token, the requeue budget spans retries.
+fn run_attempt(
+    inner: &Inner,
+    req: &BatchRequest,
+    ctl: &RunControl,
+    watched: bool,
+    requeues: &mut u32,
+    totals: &mut ResilienceTotals,
+) -> BatchOutcome {
+    let timeout = match inner.cfg.watchdog_timeout {
+        Some(t) if watched => t,
+        _ => return inner.batch.run_request(req, ctl),
+    };
+    loop {
+        let (tx, rx) = mpsc::channel();
+        let batch = Arc::clone(&inner.batch);
+        let unit = req.clone();
+        let unit_ctl = ctl.clone();
+        // Detached on purpose: a wedged worker must not be joinable —
+        // the attempt returns without it once the watchdog abandons
+        // the unit. The thread holds only Arcs; it dies quietly.
+        std::thread::spawn(move || {
+            let _ = tx.send(batch.run_request(&unit, &unit_ctl));
+        });
+        match rx.recv_timeout(timeout) {
+            Ok(out) => return out,
+            Err(_) => {
+                // Timed out — or the worker died without reporting,
+                // which a fresh worker either reproduces (and the
+                // requeue budget converts into abandonment) or was
+                // transient and the requeue absorbs.
+                if *requeues >= inner.cfg.max_requeues {
+                    fbcnn_telemetry::counter_add("watchdog_abandoned", &[], 1);
+                    totals.abandoned += 1;
+                    return BatchOutcome {
+                        id: req.id,
+                        seed: req.resolved_seed(inner.batch.engine().config().seed),
+                        queue_wait_ns: 0,
+                        cache_hit: false,
+                        result: Err(InferenceError::WorkerHung {
+                            requeues: *requeues,
+                        }),
+                    };
+                }
+                *requeues += 1;
+                totals.requeues += 1;
+                fbcnn_telemetry::counter_add("watchdog_requeues", &[], 1);
+            }
+        }
+    }
+}
+
 /// The per-request serving loop: deadline token, breaker routing, typed
-/// retry with seeded backoff. Updates `totals` as it goes.
+/// retry with seeded backoff. Updates `totals` as it goes. `watched`
+/// arms the per-attempt watchdog (see [`run_attempt`]); the batch
+/// worker pool passes `false` because [`drain_with_workers`] already
+/// watches its units at the unit level.
+///
+/// [`drain_with_workers`]: ResilientBatchEngine::drain_with_workers
 fn serve_with_resilience(
     inner: &Inner,
     req: &BatchRequest,
     cap: Option<usize>,
     totals: &mut ResilienceTotals,
     class: Option<&RequestClass>,
+    watched: bool,
 ) -> ResilientOutcome {
     let served_at = Instant::now();
     let cfg = &inner.cfg;
@@ -1264,6 +1377,7 @@ fn serve_with_resilience(
     let token = CancelToken::with_limits(deadline, sample_budget);
 
     let mut attempts: u32 = 0;
+    let mut requeues: u32 = 0;
     let mut backoff_total = Duration::ZERO;
     let mut forced_exact_any = false;
     let mut probe_any = false;
@@ -1296,7 +1410,7 @@ fn serve_with_resilience(
             max_samples: cap,
             sample_hook: hook,
         };
-        let outcome = inner.batch.run_request(req, &ctl);
+        let outcome = run_attempt(inner, req, &ctl, watched, &mut requeues, totals);
 
         // A canary trip on a non-forced attempt is the fast path
         // misbehaving even though the request succeeded (exactly).
@@ -1321,7 +1435,7 @@ fn serve_with_resilience(
             let out = ResilientOutcome {
                 outcome,
                 attempts,
-                requeues: 0,
+                requeues,
                 forced_exact: forced_exact_any,
                 probe: probe_any,
                 shed: false,

@@ -61,6 +61,10 @@ pub const NET_FRAMES_METRIC: &str = "net_frames";
 /// (a subset of `net_frames{result=ok|failed}`).
 pub const NET_EXPIRED_METRIC: &str = "net_expired";
 
+/// Counter metric: responses computed but never delivered because the
+/// peer stopped draining its socket past the write deadline.
+pub const NET_WRITE_DEADLINE_METRIC: &str = "net_write_deadline_drops";
+
 // ---------------------------------------------------------------------------
 // Typed wire errors
 // ---------------------------------------------------------------------------
@@ -109,6 +113,13 @@ pub enum WireError {
         /// The deadline that elapsed, in milliseconds.
         waited_ms: u64,
     },
+    /// A write deadline elapsed with the peer not draining its socket —
+    /// the response was computed but could not be delivered (slow-loris
+    /// reader / back-pressure).
+    WriteDeadline {
+        /// The deadline that elapsed, in milliseconds.
+        waited_ms: u64,
+    },
     /// Transport-level failure (socket error, peer closed mid-exchange).
     Io(String),
 }
@@ -125,6 +136,7 @@ impl WireError {
             WireError::ForeignKind { .. } => "wire_foreign_kind",
             WireError::Payload(_) => "wire_payload",
             WireError::Deadline { .. } => "wire_deadline",
+            WireError::WriteDeadline { .. } => "wire_write_deadline",
             WireError::Io(_) => "wire_io",
         }
     }
@@ -152,6 +164,12 @@ impl fmt::Display for WireError {
             WireError::Payload(msg) => write!(f, "bad payload: {msg}"),
             WireError::Deadline { waited_ms } => {
                 write!(f, "read deadline ({waited_ms} ms) elapsed mid-frame")
+            }
+            WireError::WriteDeadline { waited_ms } => {
+                write!(
+                    f,
+                    "write deadline ({waited_ms} ms) elapsed with the peer not reading"
+                )
             }
             WireError::Io(msg) => write!(f, "transport failure: {msg}"),
         }
@@ -661,6 +679,12 @@ pub struct ServeConfig {
     /// answered with [`WireError::Deadline`] and the connection closed.
     /// Idle connections (no partial frame) are unaffected.
     pub read_timeout: Duration,
+    /// Per-connection write deadline: a response write stalled longer
+    /// than this (the peer sent a request but never drains the reply —
+    /// a slow-loris reader pinning the worker) is dropped with a typed
+    /// [`WireError::WriteDeadline`] and the connection closed. Must be
+    /// non-zero.
+    pub write_timeout: Duration,
     /// Accept-loop poll interval (the listener is non-blocking so
     /// shutdown stays responsive).
     pub accept_poll: Duration,
@@ -674,6 +698,7 @@ impl Default for ServeConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             max_connections: 256,
             read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_secs(10),
             accept_poll: Duration::from_millis(2),
         }
     }
@@ -702,6 +727,11 @@ pub struct ServeTotals {
     /// Responses whose deadline/sample budget expired (subset of
     /// `frames_ok + frames_failed`).
     pub expired: u64,
+    /// Responses computed but never delivered because the peer stopped
+    /// draining its socket past the write deadline. The frame itself is
+    /// already counted under its result label, so this is an overlay —
+    /// deliberately not part of [`ServeTotals::frames_total`].
+    pub write_deadline_drops: u64,
 }
 
 impl ServeTotals {
@@ -725,6 +755,7 @@ struct Counters {
     frames_wire_error: AtomicU64,
     frames_unknown_class: AtomicU64,
     expired: AtomicU64,
+    write_deadline_drops: AtomicU64,
 }
 
 impl Counters {
@@ -738,6 +769,7 @@ impl Counters {
             frames_wire_error: self.frames_wire_error.load(Ordering::Acquire),
             frames_unknown_class: self.frames_unknown_class.load(Ordering::Acquire),
             expired: self.expired.load(Ordering::Acquire),
+            write_deadline_drops: self.write_deadline_drops.load(Ordering::Acquire),
         }
     }
 
@@ -996,10 +1028,52 @@ fn write_frame(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
     stream.flush()
 }
 
-fn send_response(stream: &mut TcpStream, state: &NetState, response: &ServeResponse) -> bool {
-    match response.encode(state.cfg.max_frame_bytes) {
-        Ok(bytes) => write_frame(stream, &bytes).is_ok(),
-        Err(_) => false,
+/// Classifies a failed response write: a `WouldBlock`/`TimedOut` error
+/// kind means the socket's write deadline elapsed with the peer not
+/// reading ([`WireError::WriteDeadline`]); anything else is a plain
+/// transport failure ([`WireError::Io`]).
+pub fn classify_write_failure(e: &std::io::Error, deadline: Duration) -> WireError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        WireError::WriteDeadline {
+            waited_ms: deadline.as_millis() as u64,
+        }
+    } else {
+        WireError::Io(e.to_string())
+    }
+}
+
+/// Encodes and writes `response`, classifying any failure.
+///
+/// # Errors
+///
+/// [`WireError::WriteDeadline`] when the write deadline elapsed with
+/// the peer not draining the socket, the encode-time or transport
+/// [`WireError`] otherwise.
+fn send_response(
+    stream: &mut TcpStream,
+    state: &NetState,
+    response: &ServeResponse,
+) -> Result<(), WireError> {
+    let bytes = response.encode(state.cfg.max_frame_bytes)?;
+    write_frame(stream, &bytes).map_err(|e| classify_write_failure(&e, state.cfg.write_timeout))
+}
+
+/// [`send_response`] plus accounting: a write-deadline drop is counted
+/// (the response was computed but the peer never drained it); any
+/// failure tells the caller to close the connection.
+fn deliver(stream: &mut TcpStream, state: &NetState, response: &ServeResponse) -> bool {
+    match send_response(stream, state, response) {
+        Ok(()) => true,
+        Err(e) => {
+            if matches!(e, WireError::WriteDeadline { .. }) {
+                state
+                    .counters
+                    .write_deadline_drops
+                    .fetch_add(1, Ordering::AcqRel);
+                fbcnn_telemetry::counter_add(NET_WRITE_DEADLINE_METRIC, &[], 1);
+            }
+            false
+        }
     }
 }
 
@@ -1007,7 +1081,7 @@ fn handle_connection(state: &Arc<NetState>, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
     let mut decoder = FrameDecoder::new(state.cfg.max_frame_bytes);
     let mut buf = vec![0u8; 16 * 1024];
     'conn: loop {
@@ -1021,7 +1095,7 @@ fn handle_connection(state: &Arc<NetState>, mut stream: TcpStream) {
                         state.counters.expired.fetch_add(1, Ordering::AcqRel);
                         fbcnn_telemetry::counter_add(NET_EXPIRED_METRIC, &[], 1);
                     }
-                    if !send_response(&mut stream, state, &response) {
+                    if !deliver(&mut stream, state, &response) {
                         break 'conn;
                     }
                 }
@@ -1030,7 +1104,7 @@ fn handle_connection(state: &Arc<NetState>, mut stream: TcpStream) {
                     // A poisoned length prefix cannot resynchronize:
                     // answer with the typed error and close.
                     state.counters.note_frame("wire_error");
-                    let _ = send_response(&mut stream, state, &reject_response(0, "", e.reason()));
+                    let _ = deliver(&mut stream, state, &reject_response(0, "", e.reason()));
                     break 'conn;
                 }
             }
@@ -1056,7 +1130,7 @@ fn handle_connection(state: &Arc<NetState>, mut stream: TcpStream) {
                 // Partial frame older than the read deadline.
                 let waited_ms = state.cfg.read_timeout.as_millis() as u64;
                 state.counters.note_frame("wire_error");
-                let _ = send_response(
+                let _ = deliver(
                     &mut stream,
                     state,
                     &reject_response(0, "", WireError::Deadline { waited_ms }.reason()),
@@ -1586,6 +1660,190 @@ pub fn run_loadgen(addr: SocketAddr, reference: &Engine, cfg: &LoadgenConfig) ->
 }
 
 // ---------------------------------------------------------------------------
+// Adversarial clients
+// ---------------------------------------------------------------------------
+
+/// Knobs of the adversarial client battery: deliberately hostile
+/// connection behaviors driven against a live server to prove the
+/// deadline/oversize/EOF defenses hold under churn. Each count is a
+/// number of connections exhibiting that behavior; every behavior has a
+/// deterministic server-side verdict, so the battery's effect on
+/// [`ServeTotals`] reconciles exactly
+/// (see [`AdversarialReport::expected_wire_errors`]).
+#[derive(Debug, Clone)]
+pub struct AdversarialConfig {
+    /// Slow-loris connections: dribble a partial frame byte-by-byte,
+    /// then stall until the server's read deadline rejects them
+    /// (`wire_deadline`, one wire error each).
+    pub slow_loris: usize,
+    /// Connections that send a partial frame and abruptly close
+    /// mid-frame (typed EOF truncation, one wire error each).
+    pub abrupt_close: usize,
+    /// Connections that declare an oversized length prefix
+    /// (`wire_oversized`, one wire error each).
+    pub oversize: usize,
+    /// Connections that open and cleanly close without offering a frame
+    /// (connection churn; no frames, no wire errors).
+    pub churn: usize,
+    /// Delay between dribbled slow-loris bytes.
+    pub dribble_delay: Duration,
+    /// How long each client waits for the server's verdict; must exceed
+    /// the server's `read_timeout` for the slow-loris verdict to arrive.
+    pub read_timeout: Duration,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        Self {
+            slow_loris: 1,
+            abrupt_close: 1,
+            oversize: 1,
+            churn: 2,
+            dribble_delay: Duration::from_millis(5),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl AdversarialConfig {
+    /// Connections the battery opens.
+    pub fn connections(&self) -> u64 {
+        (self.slow_loris + self.abrupt_close + self.oversize + self.churn) as u64
+    }
+
+    /// Wire errors the battery deterministically provokes server-side.
+    pub fn expected_wire_errors(&self) -> u64 {
+        (self.slow_loris + self.abrupt_close + self.oversize) as u64
+    }
+}
+
+/// What the adversarial battery observed.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct AdversarialReport {
+    /// Connections opened.
+    pub connections: u64,
+    /// Wire errors the server must have counted for this battery
+    /// (one per slow-loris, abrupt-close and oversize connection).
+    pub expected_wire_errors: u64,
+    /// Typed `wire_*` reject responses actually read back before the
+    /// server closed (abrupt-close clients cannot receive one).
+    pub rejects_received: u64,
+    /// Clients whose connection failed outright (must be 0 for a soak).
+    pub transport_errors: u64,
+    /// Wall clock of the battery in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+/// Reads one response frame with a deadline, returning its `reason` if
+/// it is a typed `wire_*` reject.
+fn read_wire_reject(stream: &mut TcpStream, read_timeout: Duration) -> Option<String> {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut decoder = FrameDecoder::new(DEFAULT_MAX_FRAME_BYTES);
+    let mut buf = [0u8; 4096];
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => {
+                let resp = ServeResponse::decode(&frame).ok()?;
+                return resp.reason.starts_with("wire_").then_some(resp.reason);
+            }
+            Ok(None) => {}
+            Err(_) => return None,
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return None,
+            Ok(n) => decoder.push(&buf[..n]),
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One adversarial connection; returns `(got_reject, transport_error)`.
+fn run_adversary(addr: SocketAddr, mode: usize, cfg: &AdversarialConfig) -> (bool, bool) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return (false, true);
+    };
+    let _ = stream.set_nodelay(true);
+    match mode {
+        // Slow loris: a valid prefix promising 64 bytes, dribbled body,
+        // then a stall the server must answer with `wire_deadline`.
+        0 => {
+            let prefix = (64u32).to_be_bytes();
+            if stream.write_all(&prefix).is_err() {
+                return (false, true);
+            }
+            for _ in 0..4 {
+                if stream.write_all(&[0x7B]).is_err() {
+                    return (false, true);
+                }
+                let _ = stream.flush();
+                thread::sleep(cfg.dribble_delay);
+            }
+            let got = read_wire_reject(&mut stream, cfg.read_timeout)
+                .is_some_and(|r| r == "wire_deadline");
+            (got, false)
+        }
+        // Abrupt close: partial frame, then a hard shutdown mid-frame.
+        1 => {
+            let prefix = (32u32).to_be_bytes();
+            if stream.write_all(&prefix).is_err() || stream.write_all(&[1, 2, 3]).is_err() {
+                return (false, true);
+            }
+            let _ = stream.flush();
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            (false, false)
+        }
+        // Oversize: a length prefix past any ceiling the server admits.
+        2 => {
+            let prefix = (u32::MAX).to_be_bytes();
+            if stream.write_all(&prefix).is_err() {
+                return (false, true);
+            }
+            let _ = stream.flush();
+            let got = read_wire_reject(&mut stream, cfg.read_timeout)
+                .is_some_and(|r| r == "wire_oversized");
+            (got, false)
+        }
+        // Churn: clean open/close, no frame offered.
+        _ => {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            (false, false)
+        }
+    }
+}
+
+/// Drives the adversarial battery against a live server, all
+/// connections concurrently. The server must outlive the call; its
+/// `read_timeout` must be shorter than `cfg.read_timeout` or the
+/// slow-loris verdicts never arrive.
+pub fn run_adversarial(addr: SocketAddr, cfg: &AdversarialConfig) -> AdversarialReport {
+    let started = Instant::now();
+    let mut modes = Vec::new();
+    modes.extend(std::iter::repeat_n(0usize, cfg.slow_loris));
+    modes.extend(std::iter::repeat_n(1usize, cfg.abrupt_close));
+    modes.extend(std::iter::repeat_n(2usize, cfg.oversize));
+    modes.extend(std::iter::repeat_n(3usize, cfg.churn));
+    let outcomes: Vec<(bool, bool)> = thread::scope(|scope| {
+        let handles: Vec<_> = modes
+            .iter()
+            .map(|&mode| scope.spawn(move || run_adversary(addr, mode, cfg)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((false, true)))
+            .collect()
+    });
+    let rejects = outcomes.iter().filter(|(got, _)| *got).count() as u64;
+    let transport = outcomes.iter().filter(|(_, err)| *err).count() as u64;
+    AdversarialReport {
+        connections: cfg.connections(),
+        expected_wire_errors: cfg.expected_wire_errors(),
+        rejects_received: rejects,
+        transport_errors: transport,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Soak harness
 // ---------------------------------------------------------------------------
 
@@ -1893,6 +2151,653 @@ pub fn run_serve_soak(cfg: &ServeSoakConfig) -> Result<ServeSoakReport, WireErro
     run_serve_soak_with_registry(cfg).map(|(report, _)| report)
 }
 
+// ---------------------------------------------------------------------------
+// Supervision soak
+// ---------------------------------------------------------------------------
+
+/// Shard poisoned with per-sample panics in a supervision soak.
+pub const SUPERVISE_PANIC_SHARD: usize = 0;
+/// Shard poisoned with watchdog-tripping stalls in a supervision soak.
+pub const SUPERVISE_HANG_SHARD: usize = 1;
+/// Shard whose circuit breaker is jammed open in a supervision soak.
+pub const SUPERVISE_JAM_SHARD: usize = 2;
+
+/// Knobs of one supervision soak campaign: a supervised multi-shard
+/// registry behind a live TCP server, three simultaneously injected
+/// shard-poisoning fault classes (per-sample panics on
+/// [`SUPERVISE_PANIC_SHARD`], watchdog-abandoned stalls on
+/// [`SUPERVISE_HANG_SHARD`], a jammed breaker on
+/// [`SUPERVISE_JAM_SHARD`]), an adversarial client battery, and seeded
+/// load driven in bursts until every poisoned shard has walked the full
+/// Suspect → Quarantined → Rebuilding → Healthy cycle.
+#[derive(Debug, Clone)]
+pub struct SuperviseSoakConfig {
+    /// Seed of the model, the inputs and the request mix.
+    pub seed: u64,
+    /// Monte-Carlo samples per request (T).
+    pub samples: usize,
+    /// Registry shards; must exceed the three poisoned indices so at
+    /// least one shard is never poisoned (the failover sink).
+    pub shards: usize,
+    /// Concurrent load-generator connections per burst.
+    pub connections: usize,
+    /// Requests each connection offers per burst.
+    pub requests_per_burst: usize,
+    /// Upper bound on bursts across all phases.
+    pub max_bursts: usize,
+    /// Adversarial battery driven while the poisons are still armed.
+    pub adversarial: AdversarialConfig,
+    /// Stall of the hang poison; must be well past `watchdog`.
+    pub stall: Duration,
+    /// Resilience watchdog timeout while the soak runs.
+    pub watchdog: Duration,
+    /// Wall-clock bound of the whole campaign; on exhaustion the soak
+    /// stops bursting and the final reconciliation reports what is
+    /// missing.
+    pub time_limit: Duration,
+}
+
+impl SuperviseSoakConfig {
+    /// CI-speed campaign (a few seconds).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            seed,
+            samples: 4,
+            shards: 4,
+            connections: 2,
+            requests_per_burst: 26,
+            max_bursts: 60,
+            adversarial: AdversarialConfig {
+                slow_loris: 1,
+                abrupt_close: 1,
+                oversize: 1,
+                churn: 1,
+                dribble_delay: Duration::from_millis(2),
+                read_timeout: Duration::from_secs(5),
+            },
+            stall: Duration::from_millis(60),
+            watchdog: Duration::from_millis(30),
+            time_limit: Duration::from_secs(45),
+        }
+    }
+
+    /// Acceptance-floor campaign (bounded under two minutes).
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            samples: 6,
+            shards: 4,
+            connections: 4,
+            requests_per_burst: 40,
+            max_bursts: 120,
+            adversarial: AdversarialConfig {
+                slow_loris: 2,
+                abrupt_close: 2,
+                oversize: 2,
+                churn: 3,
+                dribble_delay: Duration::from_millis(3),
+                read_timeout: Duration::from_secs(10),
+            },
+            stall: Duration::from_millis(60),
+            watchdog: Duration::from_millis(30),
+            time_limit: Duration::from_secs(120),
+        }
+    }
+
+    /// The supervision thresholds the soak pins: windows wide enough to
+    /// span a burst, at least four observations before a verdict binds
+    /// (so the recurring pre-expired ids can never fill a window on
+    /// their own), two strikes to quarantine, a three-probe re-admission
+    /// gate.
+    fn supervise(&self) -> crate::supervise::SuperviseConfig {
+        crate::supervise::SuperviseConfig {
+            window_ns: 700_000_000,
+            min_observations: 4,
+            failure_rate_threshold: 0.6,
+            expiry_rate_threshold: 1.0,
+            // Two abandonments per window: one spurious watchdog trip
+            // (a legitimately slow attempt on a noisy scheduler) must
+            // not strike a healthy shard; the hang poison abandons
+            // every request it touches, so it clears two trivially.
+            abandon_threshold: 2,
+            breaker_open_dwell_ns: 150_000_000,
+            suspect_strikes: 2,
+            probe_requests: 3,
+            probe_max_failures: 0,
+            // Hold each quarantined shard out of the ring for a quarter
+            // second so the closed-loop bursts actually exercise the
+            // failover path before the rebuild probation begins.
+            rebuild_backoff_ns: 250_000_000,
+            ..crate::supervise::SuperviseConfig::default()
+        }
+    }
+
+    fn burst_loadgen(&self, salt: u64, clean: bool) -> LoadgenConfig {
+        LoadgenConfig {
+            seed: self.seed.wrapping_add(salt),
+            mode: LoadMode::Closed,
+            connections: self.connections,
+            requests_per_connection: self.requests_per_burst,
+            classes: vec![
+                "interactive".to_string(),
+                "batch".to_string(),
+                "degraded".to_string(),
+            ],
+            shed_class: (!clean).then(|| "reject".to_string()),
+            shed_every: if clean { 0 } else { 7 },
+            expiring_every: if clean { 0 } else { 11 },
+            malformed_every: if clean { 0 } else { 13 },
+            bit_check_every: if clean { 1 } else { 5 },
+            open_pipeline: 8,
+            read_timeout: Duration::from_secs(20),
+            time_limit: None,
+        }
+    }
+}
+
+/// One supervision state transition, flattened for serialization.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransitionRow {
+    /// Shard that moved.
+    pub shard: usize,
+    /// State it left.
+    pub from: String,
+    /// State it entered.
+    pub to: String,
+}
+
+/// What one supervision soak observed, on all three sides of the wire:
+/// the load generator, the server's wire accounting, and the
+/// supervisor's per-shard ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuperviseSoakReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Registry shards.
+    pub shards: usize,
+    /// Concurrent connections per burst.
+    pub connections: usize,
+    /// Bursts driven across all phases.
+    pub bursts: u64,
+    /// The poisoned shard indices, in panic/hang/jam order.
+    pub poisoned: Vec<usize>,
+    /// Client-side accounting, merged across every burst.
+    pub loadgen: LoadgenTotals,
+    /// Load-generator connections opened (connections × bursts).
+    pub loadgen_connections: u64,
+    /// Load-generator workers that died before finishing (must be 0).
+    pub aborted_workers: u64,
+    /// Client-measured latencies in nanoseconds, merged across bursts.
+    pub latencies_ns: BTreeMap<String, Vec<u64>>,
+    /// What the adversarial battery observed.
+    pub adversarial: AdversarialReport,
+    /// Wire rejects the battery must have read back (slow-loris and
+    /// oversize clients; abrupt-close clients cannot receive one).
+    pub adversarial_expected_rejects: u64,
+    /// Server-side wire accounting.
+    pub server: ServeTotals,
+    /// Registry requests over the campaign (delta of version counters).
+    pub registry_requests: u64,
+    /// Registry `ok` outcomes over the campaign.
+    pub registry_ok: u64,
+    /// Registry `failed` outcomes over the campaign.
+    pub registry_failed: u64,
+    /// Final health per shard, by name.
+    pub health: Vec<String>,
+    /// Final cumulative supervision ledger per shard.
+    pub ledger: Vec<crate::supervise::ShardLedger>,
+    /// Every supervision transition, in order.
+    pub transitions: Vec<TransitionRow>,
+    /// Whether each poisoned shard (in `poisoned` order) completed the
+    /// full Suspect → Quarantined → Rebuilding → Healthy walk.
+    pub full_walks: Vec<bool>,
+    /// Shard rebuilds attempted.
+    pub rebuild_attempts: u64,
+    /// Rebuilds whose probe gate re-admitted the shard.
+    pub rebuild_successes: u64,
+    /// Rebuilds whose probe gate sent the shard back to quarantine.
+    pub rebuild_probe_rejects: u64,
+    /// Wall clock until every poisoned shard had been quarantined.
+    pub quarantine_elapsed_ns: u64,
+    /// Wall clock of the whole campaign in nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl SuperviseSoakReport {
+    /// Exact three-way reconciliation of the supervision soak: load
+    /// generator ↔ server wire accounting ↔ registry version counters ↔
+    /// per-shard supervision ledger, plus the self-healing walk itself —
+    /// every poisoned shard quarantined, rebuilt and re-admitted, zero
+    /// lost requests, and the healthy-shard responses bit-identical to
+    /// the pristine reference engine.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first failed ledger row or
+    /// healing invariant.
+    pub fn reconcile(&self) -> Result<(), String> {
+        let lg = &self.loadgen;
+        let sv = &self.server;
+        let adv = &self.adversarial;
+        let fold = |f: fn(&crate::supervise::ShardLedger) -> u64| -> u64 {
+            self.ledger.iter().map(f).sum()
+        };
+        let checks: [(&str, u64, u64); 17] = [
+            (
+                "offered + adversarial vs server frames",
+                lg.offered + adv.expected_wire_errors,
+                sv.frames_total(),
+            ),
+            ("ok", lg.ok, sv.frames_ok),
+            ("failed", lg.failed, sv.frames_failed),
+            ("shed", lg.shed, sv.frames_shed),
+            (
+                "wire errors",
+                lg.wire_error_responses + adv.expected_wire_errors,
+                sv.frames_wire_error,
+            ),
+            ("unknown class", lg.unknown_class, sv.frames_unknown_class),
+            ("expired", lg.expired, sv.expired),
+            (
+                "registry requests vs served frames",
+                self.registry_requests,
+                sv.frames_ok + sv.frames_failed,
+            ),
+            ("registry ok", self.registry_ok, sv.frames_ok),
+            ("registry failed", self.registry_failed, sv.frames_failed),
+            (
+                "supervision ledger served vs registry requests",
+                fold(|s| s.served),
+                self.registry_requests,
+            ),
+            (
+                "supervision ledger ok vs registry ok",
+                fold(|s| s.ok),
+                self.registry_ok,
+            ),
+            (
+                "supervision ledger failed vs registry failed",
+                fold(|s| s.failed),
+                self.registry_failed,
+            ),
+            (
+                "supervision ledger expired vs server expired",
+                fold(|s| s.expired),
+                sv.expired,
+            ),
+            (
+                "failover folds",
+                fold(|s| s.failovers_out),
+                fold(|s| s.failovers_in),
+            ),
+            (
+                "connections",
+                self.loadgen_connections + adv.connections,
+                sv.connections,
+            ),
+            (
+                "adversarial rejects read back",
+                adv.rejects_received,
+                self.adversarial_expected_rejects,
+            ),
+        ];
+        for (what, left, right) in checks {
+            if left != right {
+                return Err(format!("{what} drifted: {left} != {right}"));
+            }
+        }
+        if sv.connections_rejected != 0 {
+            return Err(format!("{} connections rejected", sv.connections_rejected));
+        }
+        if self.aborted_workers != 0 {
+            return Err(format!(
+                "{} load-generator workers aborted",
+                self.aborted_workers
+            ));
+        }
+        if lg.transport_errors != 0 {
+            return Err(format!("{} transport errors", lg.transport_errors));
+        }
+        if adv.transport_errors != 0 {
+            return Err(format!(
+                "{} adversarial transport errors",
+                adv.transport_errors
+            ));
+        }
+        if lg.bit_checked == 0 {
+            return Err("no bit-identity spot checks ran".to_string());
+        }
+        if lg.bit_mismatched != 0 {
+            return Err(format!(
+                "{} of {} bit-identity spot checks mismatched",
+                lg.bit_mismatched, lg.bit_checked
+            ));
+        }
+        for (i, &shard) in self.poisoned.iter().enumerate() {
+            if !self.full_walks.get(i).copied().unwrap_or(false) {
+                return Err(format!(
+                    "poisoned shard {shard} never completed the \
+                     quarantine → rebuild → re-admission walk"
+                ));
+            }
+            let ledger = self
+                .ledger
+                .get(shard)
+                .ok_or_else(|| format!("no ledger row for shard {shard}"))?;
+            if ledger.quarantines == 0 {
+                return Err(format!("poisoned shard {shard} was never quarantined"));
+            }
+        }
+        if let Some(h) = self.health.iter().find(|h| h.as_str() != "healthy") {
+            return Err(format!("a shard ended the campaign {h}"));
+        }
+        if fold(|s| s.failovers_out) == 0 {
+            return Err("no requests ever failed over".to_string());
+        }
+        let hang = self
+            .ledger
+            .get(SUPERVISE_HANG_SHARD)
+            .ok_or("no hang-shard ledger row")?;
+        if hang.abandoned == 0 {
+            return Err("the hang poison never produced a watchdog abandonment".to_string());
+        }
+        let panicked = self
+            .ledger
+            .get(SUPERVISE_PANIC_SHARD)
+            .ok_or("no panic-shard ledger row")?;
+        if panicked.failed == 0 {
+            return Err("the panic poison never produced a typed failure".to_string());
+        }
+        if self.rebuild_attempts < self.poisoned.len() as u64 {
+            return Err(format!(
+                "only {} rebuilds attempted for {} poisoned shards",
+                self.rebuild_attempts,
+                self.poisoned.len()
+            ));
+        }
+        if self.rebuild_attempts != self.rebuild_successes + self.rebuild_probe_rejects {
+            return Err(format!(
+                "unresolved rebuilds: {} attempted, {} re-admitted + {} rejected",
+                self.rebuild_attempts, self.rebuild_successes, self.rebuild_probe_rejects
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Campaign-wide loadgen accumulators of the supervision soak, merged
+/// across every burst.
+#[derive(Default)]
+struct BurstTotals {
+    totals: LoadgenTotals,
+    latencies: BTreeMap<String, Vec<u64>>,
+    aborted: u64,
+    connections: u64,
+}
+
+/// One load burst of the supervision soak, merged into the campaign
+/// accumulators.
+fn supervise_burst(
+    addr: SocketAddr,
+    reference: &Engine,
+    cfg: &SuperviseSoakConfig,
+    salt: u64,
+    clean: bool,
+    acc: &mut BurstTotals,
+) {
+    let report = run_loadgen(addr, reference, &cfg.burst_loadgen(salt, clean));
+    acc.totals.merge(&report.totals);
+    for (class, lat) in &report.latencies_ns {
+        acc.latencies.entry(class.clone()).or_default().extend(lat);
+    }
+    acc.aborted += report.aborted_workers;
+    acc.connections += cfg.connections as u64;
+}
+
+/// Runs a supervision soak, recording into `telemetry` (installing it
+/// as the global recorder for the duration unless it is already the
+/// sink).
+///
+/// The campaign has three phases: (1) poisoned — panics, stalls and a
+/// jammed breaker active on three distinct shards, bursts driven until
+/// the supervisor has quarantined all three, with the adversarial
+/// battery fired while the poisons are still armed; (2) healing —
+/// poisons disarmed, bursts driven until every poisoned shard has been
+/// rebuilt and re-admitted through its probe gate and the whole ring is
+/// Healthy; (3) verification — one clean burst with every response
+/// bit-checked against the pristine reference engine.
+///
+/// # Errors
+///
+/// [`WireError`] when the registry or the server cannot be built (a
+/// *failed* campaign instead surfaces through
+/// [`SuperviseSoakReport::reconcile`]).
+pub fn run_supervise_soak_into(
+    cfg: &SuperviseSoakConfig,
+    telemetry: &Arc<fbcnn_telemetry::Registry>,
+) -> Result<SuperviseSoakReport, WireError> {
+    let started = Instant::now();
+    let poisoned = [
+        SUPERVISE_PANIC_SHARD,
+        SUPERVISE_HANG_SHARD,
+        SUPERVISE_JAM_SHARD,
+    ];
+    let max_poisoned = poisoned.iter().max().copied().unwrap_or(0);
+    if cfg.shards <= max_poisoned + 1 {
+        return Err(WireError::Io(format!(
+            "supervise soak needs at least {} shards (got {})",
+            max_poisoned + 2,
+            cfg.shards
+        )));
+    }
+    let recorder = Arc::clone(telemetry) as Arc<dyn fbcnn_telemetry::Recorder>;
+    let _guard = if fbcnn_telemetry::installed_sink_is(telemetry) {
+        None
+    } else {
+        Some(fbcnn_telemetry::install(recorder))
+    };
+    let _silencer = crate::chaos::SilencedChaosPanics::install();
+
+    let routing_seed = cfg.seed;
+    let gate = crate::supervise::SupervisorGate::default();
+    let panic_armed = Arc::new(AtomicBool::new(true));
+    let hang_armed = Arc::new(AtomicBool::new(true));
+    let panic_hook = crate::faults::FaultInjector::shard_panic_hook(
+        routing_seed,
+        cfg.shards,
+        SUPERVISE_PANIC_SHARD,
+        Arc::clone(&panic_armed),
+        Arc::clone(&gate),
+    );
+    let hang_hook = crate::faults::FaultInjector::shard_hang_hook(
+        routing_seed,
+        cfg.shards,
+        SUPERVISE_HANG_SHARD,
+        Arc::clone(&hang_armed),
+        Arc::clone(&gate),
+        cfg.stall,
+    );
+    let hook: crate::resilience::RequestSampleHook = Arc::new(move |id, attempt, sample| {
+        panic_hook(id, attempt, sample);
+        hang_hook(id, attempt, sample);
+    });
+
+    let engine_cfg = EngineConfig {
+        samples: cfg.samples.max(2),
+        calibration_samples: 3,
+        seed: cfg.seed,
+        threads: 1,
+        ..EngineConfig::for_model(ModelKind::LeNet5)
+    };
+    let registry_cfg = RegistryConfig {
+        shards: cfg.shards,
+        routing_seed,
+        resilience: ResilienceConfig {
+            deadline_class: "net".to_string(),
+            watchdog_timeout: Some(cfg.watchdog),
+            max_requeues: 1,
+            ..ResilienceConfig::default()
+        },
+        sample_hook: Some(hook),
+        jitter: Some(Arc::new(NoJitter)),
+        supervise: Some(cfg.supervise()),
+        ..RegistryConfig::default()
+    };
+    let (registry, reference) =
+        crate::chaos::boot_registry_via_disk(engine_cfg, 1, "supervise_soak", registry_cfg)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+    *crate::supervise::lock_gate(&gate) = registry.supervisor().cloned();
+    let sup = registry
+        .supervisor()
+        .cloned()
+        .ok_or_else(|| WireError::Io("supervision missing from the registry".to_string()))?;
+    registry.jam_shard_breaker(SUPERVISE_JAM_SHARD);
+    let supervisor_thread = registry.spawn_supervisor(Duration::from_millis(5));
+    let before = registry.version_counters();
+    let server = serve(
+        Arc::clone(&registry),
+        ServeConfig {
+            classes: soak_classes(cfg.samples.max(2)),
+            read_timeout: Duration::from_millis(150),
+            ..ServeConfig::default()
+        },
+    )?;
+
+    let mut acc = BurstTotals::default();
+    let mut bursts = 0u64;
+
+    // Phase 1: poisoned. Burst until the supervisor has quarantined all
+    // three poisoned shards at least once (their rebuilds start
+    // immediately, so current health is checked via the transition
+    // ledger, not the live state).
+    loop {
+        supervise_burst(server.addr(), &reference, cfg, bursts, false, &mut acc);
+        bursts += 1;
+        let snap = sup.snapshot();
+        let all_quarantined = poisoned.iter().all(|&s| {
+            snap.transitions
+                .iter()
+                .any(|t| t.shard == s && t.to == crate::supervise::ShardHealth::Quarantined)
+        });
+        if all_quarantined {
+            break;
+        }
+        if bursts as usize >= cfg.max_bursts || started.elapsed() >= cfg.time_limit {
+            break;
+        }
+    }
+    let quarantine_elapsed_ns = started.elapsed().as_nanos() as u64;
+
+    // The adversarial battery fires while the shard poisons are still
+    // armed — hostile transports and sick shards at the same time.
+    let adversarial = run_adversarial(server.addr(), &cfg.adversarial);
+
+    // Phase 2: healing. Disarm the poisons (the jammed breaker is cured
+    // by the rebuild itself, which installs a fresh breaker) and burst
+    // until every poisoned shard has walked the full cycle and the whole
+    // ring is Healthy again — with every breaker closed, so a lingering
+    // open breaker cannot dwell-strike a healed shard back to Suspect
+    // during the verification burst.
+    panic_armed.store(false, Ordering::Relaxed);
+    hang_armed.store(false, Ordering::Relaxed);
+    // Let the supervisor's tick thread flush every window that still
+    // carries armed-era observations (and any breaker dwell) before
+    // judging the heal: a stale bad window closing mid-verification
+    // would otherwise strike a healed shard after the last chance to
+    // recover.
+    std::thread::sleep(
+        Duration::from_nanos(cfg.supervise().window_ns) + Duration::from_millis(100),
+    );
+    loop {
+        supervise_burst(server.addr(), &reference, cfg, bursts, false, &mut acc);
+        bursts += 1;
+        let snap = sup.snapshot();
+        let healed = poisoned.iter().all(|&s| snap.full_walk(s))
+            && snap
+                .health
+                .iter()
+                .all(|h| *h == crate::supervise::ShardHealth::Healthy)
+            && (0..cfg.shards).all(|s| !registry.shard_breaker_open(s));
+        if healed {
+            break;
+        }
+        if bursts as usize >= cfg.max_bursts || started.elapsed() >= cfg.time_limit {
+            break;
+        }
+    }
+
+    // Phase 3: verification. One clean burst against the healed ring,
+    // every response bit-checked against the pristine reference. The
+    // tick thread keeps running — with every breaker closed and only
+    // clean traffic flowing, it has nothing left to strike.
+    supervise_burst(server.addr(), &reference, cfg, bursts, true, &mut acc);
+    bursts += 1;
+
+    drop(supervisor_thread); // stop ticking before the final snapshot
+    let server_totals = server.shutdown();
+    let after = registry.version_counters();
+    let (registry_requests, registry_ok, registry_failed) = sum_delta(&before, &after);
+    let snap = sup.snapshot();
+    Ok(SuperviseSoakReport {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        connections: cfg.connections,
+        bursts,
+        poisoned: poisoned.to_vec(),
+        loadgen: acc.totals,
+        loadgen_connections: acc.connections,
+        aborted_workers: acc.aborted,
+        latencies_ns: acc.latencies,
+        adversarial,
+        adversarial_expected_rejects: (cfg.adversarial.slow_loris + cfg.adversarial.oversize)
+            as u64,
+        server: server_totals,
+        registry_requests,
+        registry_ok,
+        registry_failed,
+        health: snap.health.iter().map(|h| h.name().to_string()).collect(),
+        ledger: snap.shards.clone(),
+        transitions: snap
+            .transitions
+            .iter()
+            .map(|t| TransitionRow {
+                shard: t.shard,
+                from: t.from.name().to_string(),
+                to: t.to.name().to_string(),
+            })
+            .collect(),
+        full_walks: poisoned.iter().map(|&s| snap.full_walk(s)).collect(),
+        rebuild_attempts: snap.rebuild_attempts,
+        rebuild_successes: snap.rebuild_successes,
+        rebuild_probe_rejects: snap.rebuild_probe_rejects,
+        quarantine_elapsed_ns,
+        elapsed_ns: started.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Runs a supervision soak into a fresh private telemetry registry,
+/// returning both.
+///
+/// # Errors
+///
+/// [`WireError`] when the registry or the server cannot be built.
+pub fn run_supervise_soak_with_registry(
+    cfg: &SuperviseSoakConfig,
+) -> Result<(SuperviseSoakReport, Arc<fbcnn_telemetry::Registry>), WireError> {
+    let telemetry = Arc::new(fbcnn_telemetry::Registry::new());
+    let report = run_supervise_soak_into(cfg, &telemetry)?;
+    Ok((report, telemetry))
+}
+
+/// Runs a supervision soak, discarding telemetry.
+///
+/// # Errors
+///
+/// [`WireError`] when the registry or the server cannot be built.
+pub fn run_supervise_soak(cfg: &SuperviseSoakConfig) -> Result<SuperviseSoakReport, WireError> {
+    run_supervise_soak_with_registry(cfg).map(|(report, _)| report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2009,6 +2914,68 @@ mod tests {
             Some(Duration::from_millis(7))
         );
         assert_eq!(effective_deadline(None, None), None);
+    }
+
+    #[test]
+    fn adversarial_battery_reconciles_exactly() {
+        let (registry, _reference) = build_soak_registry(&ServeSoakConfig::quick(3)).unwrap();
+        let server = serve(
+            Arc::clone(&registry),
+            ServeConfig {
+                read_timeout: Duration::from_millis(150),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let adv = AdversarialConfig::default();
+        let report = run_adversarial(server.addr(), &adv);
+        let totals = server.shutdown();
+        assert_eq!(report.transport_errors, 0, "adversaries lost connections");
+        assert_eq!(totals.connections, report.connections);
+        assert_eq!(totals.frames_wire_error, report.expected_wire_errors);
+        // The battery offers nothing else: every counted frame is one of
+        // its provoked wire errors.
+        assert_eq!(totals.frames_total(), report.expected_wire_errors);
+        // Slow-loris and oversize clients keep reading, so their typed
+        // verdicts must actually arrive; abrupt-close clients cannot.
+        assert_eq!(
+            report.rejects_received,
+            (adv.slow_loris + adv.oversize) as u64,
+            "typed verdicts were not delivered"
+        );
+        assert_eq!(totals.frames_ok, 0);
+        assert_eq!(totals.write_deadline_drops, 0);
+    }
+
+    #[test]
+    fn supervise_soak_quick_heals_and_reconciles() {
+        let cfg = SuperviseSoakConfig::quick(11);
+        let (report, telemetry) = run_supervise_soak_with_registry(&cfg).unwrap();
+        report.reconcile().unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.bursts >= 3, "all three phases must burst");
+        assert!(
+            report.ledger[SUPERVISE_JAM_SHARD].quarantines >= 1,
+            "breaker dwell never quarantined the jammed shard"
+        );
+        // The supervision counters made it into the installed sink.
+        assert_eq!(
+            telemetry.counter_total(crate::supervise::REBUILD_ATTEMPTS_METRIC),
+            report.rebuild_attempts
+        );
+        assert_eq!(
+            telemetry.counter_total(crate::supervise::REBUILD_SUCCESSES_METRIC),
+            report.rebuild_successes
+        );
+        assert!(
+            telemetry.counter_total(crate::supervise::SHARD_HEALTH_TRANSITIONS_METRIC)
+                >= report.transitions.len() as u64,
+            "health transitions missing from telemetry"
+        );
+        let failovers: u64 = report.ledger.iter().map(|s| s.failovers_out).sum();
+        assert_eq!(
+            telemetry.counter_total(crate::supervise::FAILOVER_REQUESTS_METRIC),
+            failovers
+        );
     }
 
     #[test]

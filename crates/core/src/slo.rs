@@ -535,6 +535,7 @@ pub fn run_slo_soak_with_registry(
         },
         jitter: Some(Arc::new(NoJitter)),
         flight: Some(Arc::clone(&flight)),
+        supervise: None,
     };
     let registry =
         ModelRegistry::new(ModelArtifact::from_engine(&pristine, 1, "v1"), registry_cfg)?;

@@ -92,6 +92,21 @@ pub struct TelemetryReport {
     pub deadline_expired: u64,
     /// `watchdog_requeues` total — hung units requeued to fresh workers.
     pub watchdog_requeues: u64,
+    /// `shard_health_transitions` by `(from, to)` label pair, in label
+    /// order — the supervision state-machine walk.
+    pub shard_health_transitions: Vec<(String, u64)>,
+    /// `failover_requests` by quarantined-primary shard label, in label
+    /// order — requests rerouted off a dead shard.
+    pub failover_requests: Vec<(String, u64)>,
+    /// `rebuild_attempts` total — quarantined shards the supervisor
+    /// tried to rebuild from the retained artifact.
+    pub rebuild_attempts: u64,
+    /// `rebuild_successes` total — rebuilt shards re-admitted after a
+    /// clean probation.
+    pub rebuild_successes: u64,
+    /// `rebuild_probe_rejects` total — rebuilt shards sent back to
+    /// quarantine by a failed probation.
+    pub rebuild_probe_rejects: u64,
     /// Per-span duration quantiles from the `span_duration_ns`
     /// histograms, in span-name order.
     pub span_quantiles: Vec<SpanQuantileRow>,
@@ -148,9 +163,11 @@ impl TelemetryReport {
         let mut layers: BTreeMap<String, LayerSkipRow> = BTreeMap::new();
         let mut degraded: BTreeMap<String, u64> = BTreeMap::new();
         let mut transitions: BTreeMap<String, u64> = BTreeMap::new();
+        let mut health_transitions: BTreeMap<String, u64> = BTreeMap::new();
+        let mut failovers: BTreeMap<String, u64> = BTreeMap::new();
         for c in registry.counters() {
             match c.name.as_str() {
-                "breaker_transitions" => {
+                "breaker_transitions" | "shard_health_transitions" => {
                     let label = |key: &str| {
                         c.labels
                             .iter()
@@ -158,9 +175,23 @@ impl TelemetryReport {
                             .map(|(_, v)| v.clone())
                             .unwrap_or_else(|| "unknown".into())
                     };
-                    *transitions
+                    let sink = if c.name == "breaker_transitions" {
+                        &mut transitions
+                    } else {
+                        &mut health_transitions
+                    };
+                    *sink
                         .entry(format!("{}->{}", label("from"), label("to")))
                         .or_default() += c.value;
+                }
+                "failover_requests" => {
+                    let shard = c
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "shard")
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_else(|| "unknown".into());
+                    *failovers.entry(shard).or_default() += c.value;
                 }
                 "skip_neurons_considered"
                 | "skip_neurons_dropped"
@@ -208,6 +239,11 @@ impl TelemetryReport {
             retry_exhausted: registry.counter_total("retry_exhausted"),
             deadline_expired: registry.counter_total("deadline_expired"),
             watchdog_requeues: registry.counter_total("watchdog_requeues"),
+            shard_health_transitions: health_transitions.into_iter().collect(),
+            failover_requests: failovers.into_iter().collect(),
+            rebuild_attempts: registry.counter_total("rebuild_attempts"),
+            rebuild_successes: registry.counter_total("rebuild_successes"),
+            rebuild_probe_rejects: registry.counter_total("rebuild_probe_rejects"),
             span_quantiles: span_quantile_rows(registry),
         }
     }
@@ -318,6 +354,32 @@ impl TelemetryReport {
                 "breaker: forced exact {} | transitions {}\n",
                 self.breaker_forced_exact,
                 moves.join(", "),
+            ));
+        }
+        // Supervision lines appear only when shards actually moved
+        // through the health state machine.
+        if !self.shard_health_transitions.is_empty() {
+            let moves: Vec<String> = self
+                .shard_health_transitions
+                .iter()
+                .map(|(t, n)| format!("{t}={n}"))
+                .collect();
+            out.push_str(&format!("shard health: {}\n", moves.join(", ")));
+            let failovers: Vec<String> = self
+                .failover_requests
+                .iter()
+                .map(|(shard, n)| format!("shard{shard}={n}"))
+                .collect();
+            out.push_str(&format!(
+                "supervision: failovers {} | rebuilds {} (re-admitted {}, probe-rejected {})\n",
+                if failovers.is_empty() {
+                    "none".to_string()
+                } else {
+                    failovers.join(", ")
+                },
+                self.rebuild_attempts,
+                self.rebuild_successes,
+                self.rebuild_probe_rejects,
             ));
         }
         if !self.span_quantiles.is_empty() {
@@ -435,6 +497,45 @@ mod tests {
         assert!(rendered.contains("deadline expiries 5"));
         assert!(rendered.contains("breaker: forced exact 6"));
         assert!(rendered.contains("closed->open=1"));
+    }
+
+    #[test]
+    fn report_reads_supervision_counters() {
+        let r = Registry::new();
+        r.counter_add(
+            "shard_health_transitions",
+            &[("from", "healthy"), ("to", "suspect")],
+            2,
+        );
+        r.counter_add(
+            "shard_health_transitions",
+            &[("from", "suspect"), ("to", "quarantined")],
+            1,
+        );
+        r.counter_add("failover_requests", &[("shard", "0")], 7);
+        r.counter_add("rebuild_attempts", &[], 2);
+        r.counter_add("rebuild_successes", &[], 1);
+        r.counter_add("rebuild_probe_rejects", &[], 1);
+        let report = TelemetryReport::from_registry(&r);
+        assert_eq!(
+            report.shard_health_transitions,
+            vec![
+                ("healthy->suspect".to_string(), 2),
+                ("suspect->quarantined".to_string(), 1)
+            ]
+        );
+        assert_eq!(report.failover_requests, vec![("0".to_string(), 7)]);
+        assert_eq!(report.rebuild_attempts, 2);
+        assert_eq!(report.rebuild_successes, 1);
+        assert_eq!(report.rebuild_probe_rejects, 1);
+        let rendered = report.render();
+        assert!(rendered.contains("shard health: healthy->suspect=2"));
+        assert!(rendered.contains("supervision: failovers shard0=7"));
+        assert!(rendered.contains("rebuilds 2 (re-admitted 1, probe-rejected 1)"));
+        // Quiet sessions must not grow supervision lines.
+        let quiet = TelemetryReport::from_registry(&Registry::new()).render();
+        assert!(!quiet.contains("shard health:"));
+        assert!(!quiet.contains("supervision:"));
     }
 
     #[test]

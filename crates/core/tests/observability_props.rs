@@ -31,6 +31,9 @@ fn base_record(id: u64) -> FlightRecord {
         shard: 0,
         canary: false,
         rolled_back: false,
+        primary_shard: 0,
+        failed_over: false,
+        rebuild_probe: false,
         latency_ns: 0,
         queue_wait_ns: 0,
         backoff_ns: 0,

@@ -1,0 +1,123 @@
+//! Property-based tests pinning the failover router's determinism
+//! contract: for any quarantine subset that leaves at least one shard
+//! live, every request id maps to exactly one live shard, the mapping
+//! is a pure function of its inputs, requests whose primary is live
+//! never move, and restoring the full ring restores the original
+//! mod-hash routing bit-for-bit.
+
+use fast_bcnn::{failover_route, shard_route};
+use proptest::prelude::*;
+
+/// A ring size, a live-mask over it with at least one live shard, and a
+/// routing seed — the full input space of one failover decision.
+fn ring_strategy() -> impl Strategy<Value = (u64, Vec<bool>)> {
+    (any::<u64>(), 1usize..=8)
+        .prop_flat_map(|(seed, shards)| {
+            (Just(seed), proptest::collection::vec(any::<bool>(), shards))
+        })
+        .prop_map(|(seed, mut live)| {
+            if !live.iter().any(|l| *l) {
+                live[0] = true; // the supervisor never drains the whole ring
+            }
+            (seed, live)
+        })
+}
+
+proptest! {
+    /// Every id lands on exactly one shard, and that shard is live.
+    #[test]
+    fn every_id_maps_to_exactly_one_live_shard(
+        (seed, live) in ring_strategy(),
+        ids in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        for id in ids {
+            let target = failover_route(seed, live.len(), &live, id);
+            prop_assert!(target < live.len());
+            prop_assert!(live[target], "id {id} routed to dead shard {target}");
+        }
+    }
+
+    /// The route is a pure function of (seed, ring, mask, id): repeated
+    /// evaluation never drifts, so two replicas holding the same view of
+    /// the ring agree on every request without coordination.
+    #[test]
+    fn the_mapping_is_stable_across_evaluations(
+        (seed, live) in ring_strategy(),
+        id in any::<u64>(),
+    ) {
+        let first = failover_route(seed, live.len(), &live, id);
+        for _ in 0..8 {
+            prop_assert_eq!(failover_route(seed, live.len(), &live, id), first);
+        }
+    }
+
+    /// An id whose primary shard is live routes to that primary —
+    /// quarantining *other* shards never moves healthy traffic.
+    #[test]
+    fn healthy_traffic_never_moves(
+        (seed, live) in ring_strategy(),
+        ids in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        for id in ids {
+            let primary = shard_route(seed, live.len(), id);
+            if live[primary] {
+                prop_assert_eq!(failover_route(seed, live.len(), &live, id), primary);
+            }
+        }
+    }
+
+    /// Restoring every shard restores the original mod-hash routing
+    /// bit-for-bit: with a fully live ring the failover router *is*
+    /// `shard_route`.
+    #[test]
+    fn a_restored_ring_recovers_the_original_routing(
+        seed in any::<u64>(),
+        shards in 1usize..=8,
+        ids in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        let live = vec![true; shards];
+        for id in ids {
+            prop_assert_eq!(
+                failover_route(seed, shards, &live, id),
+                shard_route(seed, shards, id)
+            );
+        }
+    }
+
+    /// Deepening a quarantine only moves ids that were standing on the
+    /// newly drained shard: everyone already failed over elsewhere (and
+    /// everyone still on a live primary) keeps their assignment. This is
+    /// the rendezvous-hashing minimal-disruption guarantee the rebuild
+    /// path leans on — un-quarantining replays the same moves in reverse.
+    #[test]
+    fn deepening_a_quarantine_only_moves_the_drained_shards_ids(
+        (seed, mut live) in ring_strategy(),
+        extra_live in 0usize..8,
+        ids in proptest::collection::vec(any::<u64>(), 1..64),
+    ) {
+        // Draining below requires a second live shard to fall back to.
+        if live.len() < 2 {
+            live.push(true);
+        }
+        if live.iter().filter(|l| **l).count() < 2 {
+            let slot = extra_live % live.len();
+            let idx = if live[slot] { (slot + 1) % live.len() } else { slot };
+            live[idx] = true;
+        }
+        let drained = live
+            .iter()
+            .position(|l| *l)
+            .expect("ring has a live shard");
+        let mut deeper = live.clone();
+        deeper[drained] = false;
+        for id in ids {
+            let before = failover_route(seed, live.len(), &live, id);
+            let after = failover_route(seed, live.len(), &deeper, id);
+            if before != drained {
+                prop_assert_eq!(after, before, "id {} moved off live shard", id);
+            } else {
+                prop_assert!(deeper[after]);
+            }
+        }
+    }
+}

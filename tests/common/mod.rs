@@ -31,7 +31,7 @@ pub const TYPED_REASONS: [&str; 8] = [
 /// The wire-level reason vocabulary the serve tier adds on top of
 /// [`TYPED_REASONS`]: one tag per [`fast_bcnn::serve::WireError`]
 /// variant, plus the admission-time `unknown_class` rejection.
-pub const WIRE_REASONS: [&str; 9] = [
+pub const WIRE_REASONS: [&str; 10] = [
     "wire_truncated",
     "wire_oversized",
     "wire_envelope",
@@ -39,6 +39,7 @@ pub const WIRE_REASONS: [&str; 9] = [
     "wire_foreign_kind",
     "wire_payload",
     "wire_deadline",
+    "wire_write_deadline",
     "wire_io",
     "unknown_class",
 ];

@@ -14,11 +14,12 @@ mod common;
 
 use common::is_wire_reason;
 use fast_bcnn::serve::{
-    encode_frame, seal_frame, FrameDecoder, ServeRequest, ServeResponse, WireError,
-    LEN_PREFIX_BYTES, REQUEST_KIND,
+    classify_write_failure, encode_frame, seal_frame, FrameDecoder, ServeRequest, ServeResponse,
+    WireError, LEN_PREFIX_BYTES, REQUEST_KIND,
 };
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
+use std::time::Duration;
 
 const MAX_FRAME: usize = 4096;
 
@@ -219,6 +220,35 @@ proptest! {
     }
 
     #[test]
+    fn write_failures_classify_typed_and_deadline_aware(
+        kind_pick in 0usize..8,
+        deadline_ms in 1u64..60_000,
+    ) {
+        use std::io::ErrorKind;
+        let kinds = [
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::BrokenPipe,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::UnexpectedEof,
+            ErrorKind::NotConnected,
+            ErrorKind::Other,
+        ];
+        let kind = kinds[kind_pick];
+        let err = std::io::Error::new(kind, "stalled");
+        let wire = classify_write_failure(&err, Duration::from_millis(deadline_ms));
+        prop_assert!(is_wire_reason(wire.reason()), "untyped reason {}", wire.reason());
+        match kind {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                prop_assert_eq!(wire.reason(), "wire_write_deadline");
+                prop_assert_eq!(wire, WireError::WriteDeadline { waited_ms: deadline_ms });
+            }
+            _ => prop_assert_eq!(wire.reason(), "wire_io"),
+        }
+    }
+
+    #[test]
     fn foreign_and_stale_envelopes_are_typed(
         variant in any::<u8>(),
     ) {
@@ -244,4 +274,47 @@ proptest! {
         };
         prop_assert_eq!(err.reason(), expected);
     }
+}
+
+/// A peer that never reads must stall the writer into the OS write
+/// deadline, and the resulting error must classify as the typed
+/// `wire_write_deadline` — the satellite contract behind
+/// [`fast_bcnn::serve::ServeConfig::write_timeout`].
+#[test]
+fn unread_peer_stalls_into_a_typed_write_deadline() {
+    use std::io::Write;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    // The client connects and then never reads a byte.
+    let client = std::net::TcpStream::connect(addr).expect("connect");
+    let (mut server_side, _) = listener.accept().expect("accept");
+    let deadline = Duration::from_millis(50);
+    server_side
+        .set_write_timeout(Some(deadline))
+        .expect("write timeout");
+    // Large enough to overflow any socket buffer pair, so the write
+    // must eventually block on the unread peer and hit the deadline.
+    let slab = vec![0u8; 8 << 20];
+    let mut stalls = 0u32;
+    let err = loop {
+        match server_side.write_all(&slab) {
+            Ok(()) => {
+                stalls += 1;
+                assert!(
+                    stalls < 64,
+                    "an unread peer absorbed 512 MiB — no deadline fired"
+                );
+            }
+            Err(e) => break e,
+        }
+    };
+    let wire = classify_write_failure(&err, deadline);
+    assert_eq!(
+        wire,
+        WireError::WriteDeadline { waited_ms: 50 },
+        "stalled write classified as {wire:?}"
+    );
+    assert_eq!(wire.reason(), "wire_write_deadline");
+    drop(client);
 }
